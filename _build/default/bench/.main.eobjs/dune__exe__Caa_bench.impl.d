@@ -1,0 +1,1 @@
+bench/caa_bench.ml: Caa Harness Int64 List Minicc Native Option Printf Tools Vg_core Workloads

@@ -1,0 +1,1 @@
+bench/dispatch_bench.ml: Harness Int64 List Printf String Vg_core Workloads

@@ -1,0 +1,1 @@
+bench/figures.ml: Aspace Bytes Format Guest Harness Host Jit List Printf String Support Tools Vex_ir Vg_core

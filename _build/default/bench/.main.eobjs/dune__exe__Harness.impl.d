@@ -1,0 +1,1 @@
+bench/harness.ml: Guest Int64 List Native Printf String Vg_core

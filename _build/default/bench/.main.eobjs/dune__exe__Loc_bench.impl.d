@@ -1,0 +1,1 @@
+bench/loc_bench.ml: Array Filename Harness List Printf Sys

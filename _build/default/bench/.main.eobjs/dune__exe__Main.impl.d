@@ -1,0 +1,1 @@
+bench/main.ml: Array Caa_bench Dispatch_bench Figures List Loc_bench Micro Printf String Sys Table1 Table2 Transtab_bench

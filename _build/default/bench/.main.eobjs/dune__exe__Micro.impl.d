@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Aspace Bechamel Benchmark Harness Hashtbl Instance Jit List Measure Option Printf Staged Test Time Toolkit Tools Vg_core Workloads

@@ -1,0 +1,1 @@
+bench/table1.ml: Harness Kernel List Minicc Printf Tools Vg_core

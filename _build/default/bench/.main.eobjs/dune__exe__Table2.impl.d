@@ -1,0 +1,1 @@
+bench/table2.ml: Harness List Printf String Tools Vg_core Workloads

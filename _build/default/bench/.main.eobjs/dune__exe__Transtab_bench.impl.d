@@ -1,0 +1,1 @@
+bench/transtab_bench.ml: Buffer Guest Harness Printf Vg_core

@@ -1,0 +1,63 @@
+(** §3.9 experiments: dispatcher behaviour and the chaining ablation.
+
+    The paper reports: fast-lookup hit rate ≈ 98%; the fast path is 14
+    instructions; Valgrind does no chaining, yet its no-instrumentation
+    slow-down is only 4.3x because the dispatcher is fast — whereas
+    Strata's 250-cycle dispatch gave 22.1x without chaining and 4.1x
+    with.  We reproduce the hit-rate measurement and both ablations:
+    chaining on/off crossed with a cheap (14-cycle) vs expensive
+    (250-cycle) dispatcher. *)
+
+let subset = [ "bzip2"; "mcf"; "vpr"; "equake" ]
+
+let run_config ~name ~(opts : Vg_core.Session.options) () =
+  let sds =
+    List.filter_map
+      (fun n ->
+        match Workloads.find n with
+        | None -> None
+        | Some w ->
+            let img = Workloads.compile ~scale:1 w in
+            let native = Harness.run_native img in
+            let tr = Harness.run_tool ~options:opts Vg_core.Tool.nulgrind img in
+            Some (Harness.slowdown native tr, tr.tr_stats))
+      subset
+  in
+  let gm = Harness.geomean (List.map fst sds) in
+  let hits =
+    List.fold_left (fun a (_, st) -> Int64.add a st.Vg_core.Session.st_dispatch_hits) 0L sds
+  in
+  let misses =
+    List.fold_left (fun a (_, st) -> Int64.add a st.Vg_core.Session.st_dispatch_misses) 0L sds
+  in
+  let chained =
+    List.fold_left (fun a (_, st) -> Int64.add a st.Vg_core.Session.st_chained) 0L sds
+  in
+  let rate =
+    let t = Int64.add hits misses in
+    if t = 0L then 1.0 else Int64.to_float hits /. Int64.to_float t
+  in
+  Printf.printf "%-34s %10.2fx   hit-rate %6.2f%%  chained %Ld\n%!" name gm
+    (100.0 *. rate) chained
+
+let run () =
+  Harness.section "§3.9: dispatcher hit rate and the chaining ablation";
+  Printf.printf
+    "Nulgrind geometric-mean slow-down over {%s}\nunder four dispatcher \
+     configurations:\n\n"
+    (String.concat ", " subset);
+  let base = Vg_core.Session.default_options in
+  run_config ~name:"fast dispatch (14cy), no chaining" ~opts:base ();
+  run_config ~name:"fast dispatch (14cy), chaining"
+    ~opts:{ base with chaining = true } ();
+  run_config ~name:"slow dispatch (250cy), no chaining"
+    ~opts:{ base with dispatch_fast_cost = 250 } ();
+  run_config ~name:"slow dispatch (250cy), chaining"
+    ~opts:{ base with dispatch_fast_cost = 250; chaining = true } ();
+  run_config ~name:"fast dispatch, no loop unrolling"
+    ~opts:{ base with unroll_loops = false } ();
+  Printf.printf
+    "\nExpected shape (paper footnote 5): with a ~250-cycle dispatch the\n\
+     basic slow-down explodes (Strata: 22.1x) and chaining rescues it\n\
+     (4.1x); with Valgrind's 14-instruction dispatcher the no-chaining\n\
+     penalty is modest, which is why Valgrind gets away without chaining.\n"

@@ -1,0 +1,63 @@
+(** Benchmark harness entry point: regenerates every table and figure of
+    the paper's evaluation (see DESIGN.md's per-experiment index).
+
+    {v
+    dune exec bench/main.exe             # everything (a few minutes)
+    dune exec bench/main.exe -- table2 --scale 2 --programs bzip2,mcf
+    dune exec bench/main.exe -- fig1 fig2 fig3 table1 dispatch caa \
+                                transtab loc micro
+    v} *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [fig1|fig2|fig3|table1|table2|dispatch|caa|transtab|loc|micro|all]*";
+  print_endline "       table2 options: --scale N --programs a,b,c";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1 in
+  let programs = ref [] in
+  let cmds = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+        scale := int_of_string n;
+        parse rest
+    | "--programs" :: ps :: rest ->
+        programs := String.split_on_char ',' ps;
+        parse rest
+    | "--help" :: _ | "-h" :: _ -> usage ()
+    | cmd :: rest ->
+        cmds := cmd :: !cmds;
+        parse rest
+  in
+  parse args;
+  let cmds = match List.rev !cmds with [] -> [ "all" ] | l -> l in
+  let run_cmd = function
+    | "fig1" -> Figures.fig1 ()
+    | "fig2" -> Figures.fig2 ()
+    | "fig3" -> Figures.fig3 ()
+    | "table1" -> Table1.run ()
+    | "table2" -> Table2.run ~scale:!scale ~programs:!programs ()
+    | "dispatch" -> Dispatch_bench.run ()
+    | "caa" -> Caa_bench.run ()
+    | "transtab" -> Transtab_bench.run ()
+    | "loc" -> Loc_bench.run ()
+    | "micro" -> Micro.run ()
+    | "all" ->
+        Figures.fig1 ();
+        Figures.fig2 ();
+        Figures.fig3 ();
+        Table1.run ();
+        Table2.run ~scale:!scale ~programs:!programs ();
+        Dispatch_bench.run ();
+        Caa_bench.run ();
+        Transtab_bench.run ();
+        Loc_bench.run ();
+        Micro.run ()
+    | c ->
+        Printf.printf "unknown command '%s'\n" c;
+        usage ()
+  in
+  List.iter run_cmd cmds

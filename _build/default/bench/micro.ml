@@ -1,0 +1,81 @@
+(** Bechamel micro-benchmarks of the JIT pipeline itself (wall-clock,
+    not simulated cycles): per-phase translation costs over a workload's
+    real code blocks.  This quantifies the paper's D&R observation that
+    "a D&R JIT compiler will probably also translate code more slowly"
+    than a C&A one — and that heavyweight instrumentation (Memcheck)
+    multiplies the translation cost again. *)
+
+open Bechamel
+open Toolkit
+
+(* collect a corpus of block start addresses by running a workload *)
+let corpus () =
+  let w = Option.get (Workloads.find "bzip2") in
+  let img = Workloads.compile ~scale:1 w in
+  let s = Vg_core.Session.create ~tool:Vg_core.Tool.nulgrind img in
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited _ -> ()
+  | _ -> ());
+  let keys =
+    Vg_core.Transtab.all_entries s.transtab
+    |> List.map (fun e -> e.Vg_core.Transtab.e_key)
+  in
+  (s.mem, Array.of_list keys)
+
+let make_tests () =
+  let mem, keys = corpus () in
+  let fetch a = Aspace.fetch_u8 mem a in
+  let n = Array.length keys in
+  let idx = ref 0 in
+  let next_key () =
+    let k = keys.(!idx mod n) in
+    incr idx;
+    k
+  in
+  (* a Memcheck instrumenter detached from any running session *)
+  let img = Workloads.compile ~scale:1 (Option.get (Workloads.find "bzip2")) in
+  let s2 = Vg_core.Session.create ~tool:Tools.Memcheck.tool img in
+  Vg_core.Session.startup s2;
+  let mc_instr = Vg_core.Session.instrument_fn s2 in
+  let fetch2 a = Aspace.fetch_u8 s2.mem a in
+  [
+    Test.make ~name:"phase1 disasm"
+      (Staged.stage (fun () -> ignore (Jit.Disasm.superblock ~fetch (next_key ()))));
+    Test.make ~name:"phases 1-2 (disasm+opt1)"
+      (Staged.stage (fun () ->
+           let b, _ = Jit.Disasm.superblock ~fetch (next_key ()) in
+           ignore (Jit.Opt.opt1 b)));
+    Test.make ~name:"full pipeline, nulgrind"
+      (Staged.stage (fun () ->
+           ignore
+             (Jit.Pipeline.translate ~fetch
+                ~instrument:Jit.Pipeline.no_instrument (next_key ()))));
+    Test.make ~name:"full pipeline, memcheck"
+      (Staged.stage (fun () ->
+           ignore
+             (Jit.Pipeline.translate ~fetch:fetch2 ~instrument:mc_instr
+                (next_key ()))));
+  ]
+
+let run () =
+  Harness.section
+    "Micro: JIT translation wall-clock costs (Bechamel, ns per block)";
+  let tests = make_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) -> Printf.printf "%-28s %12.0f ns/block\n%!" name t
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        analyzed)
+    tests

@@ -1,0 +1,141 @@
+(** The [valgrind] command-line driver: run a VG32 program under a tool.
+
+    {v
+    valgrind --tool=memcheck prog.c       # mini-C source, compiled on the fly
+    valgrind --tool=cachegrind prog.s     # VG32 assembly
+    valgrind --tool=nulgrind --chaining --smc-check=all prog.c
+    v} *)
+
+open Cmdliner
+
+let tools : (string * Vg_core.Tool.t) list =
+  [
+    ("nulgrind", Vg_core.Tool.nulgrind);
+    ("memcheck", Tools.Memcheck.tool);
+    ("memcheck-origins", Tools.Memcheck.tool_origins);
+    ("cachegrind", Tools.Cachegrind.tool);
+    ("massif", Tools.Massif.tool);
+    ("lackey", Tools.Lackey.tool);
+    ("taintgrind", Tools.Taintgrind.tool);
+    ("annelid", Tools.Annelid.tool);
+    ("redux", Tools.Redux.tool);
+    ("icnti", Tools.Icnt.icnt_inline);
+    ("icntc", Tools.Icnt.icnt_call);
+  ]
+
+let load_image (path : string) : Guest.Image.t =
+  let read_file p =
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  if Filename.check_suffix path ".s" || Filename.check_suffix path ".asm" then
+    Guest.Asm.assemble (read_file path)
+  else Minicc.Driver.compile (read_file path)
+
+let run tool_name chaining smc_mode stats stdin_file supp_file path =
+  let tool =
+    match List.assoc_opt tool_name tools with
+    | Some t -> t
+    | None ->
+        Printf.eprintf "valgrind: unknown tool '%s' (have: %s)\n" tool_name
+          (String.concat ", " (List.map fst tools));
+        exit 2
+  in
+  let img =
+    try load_image path with
+    | Minicc.Driver.Compile_error m ->
+        Printf.eprintf "valgrind: %s: %s\n" path m;
+        exit 2
+    | Guest.Asm.Error { line; msg } ->
+        Printf.eprintf "valgrind: %s:%d: %s\n" path line msg;
+        exit 2
+    | Sys_error m ->
+        Printf.eprintf "valgrind: %s\n" m;
+        exit 2
+  in
+  let smc =
+    match smc_mode with
+    | "none" -> Vg_core.Session.Smc_none
+    | "all" -> Vg_core.Session.Smc_all
+    | _ -> Vg_core.Session.Smc_stack
+  in
+  let options =
+    { Vg_core.Session.default_options with chaining; smc_mode = smc }
+  in
+  let s = Vg_core.Session.create ~options ~tool img in
+  s.echo_output <- true;
+  (match supp_file with
+  | Some f ->
+      let ic = open_in_bin f in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      List.iter
+        (Vg_core.Errors.add_suppression s.errors)
+        (Vg_core.Errors.parse_suppressions text)
+  | None -> ());
+  (match stdin_file with
+  | Some f ->
+      let ic = open_in_bin f in
+      let n = in_channel_length ic in
+      Kernel.set_stdin s.kern (really_input_string ic n);
+      close_in ic
+  | None -> ());
+  s.kern.stdout_echo <- true;
+  Printf.eprintf "==vg== %s: %s\n" tool.name tool.description;
+  Printf.eprintf "==vg== running %s\n" path;
+  let reason = Vg_core.Session.run s in
+  if stats then begin
+    let st = Vg_core.Session.stats s in
+    Printf.eprintf "==vg== blocks run: %Ld  translations: %d  host cycles: %Ld\n"
+      st.st_blocks st.st_translations st.st_host_cycles;
+    Printf.eprintf "==vg== dispatcher hit rate: %.2f%%  total cycles: %Ld\n"
+      (100.0 *. st.st_dispatch_hit_rate)
+      st.st_total_cycles
+  end;
+  match reason with
+  | Vg_core.Session.Exited n -> exit (n land 0xFF)
+  | Vg_core.Session.Fatal_signal sg -> exit (128 + sg)
+  | Vg_core.Session.Out_of_fuel ->
+      Printf.eprintf "==vg== out of fuel\n";
+      exit 3
+
+let cmd =
+  let tool =
+    Arg.(value & opt string "memcheck" & info [ "tool" ] ~doc:"Tool plug-in to run.")
+  in
+  let chaining =
+    Arg.(value & flag & info [ "chaining" ] ~doc:"Enable translation chaining.")
+  in
+  let smc =
+    Arg.(
+      value
+      & opt string "stack"
+      & info [ "smc-check" ] ~doc:"Self-modifying-code checks: none|stack|all.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print core statistics at exit.")
+  in
+  let stdin_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stdin" ] ~doc:"File fed to the client as standard input.")
+  in
+  let supp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suppressions" ]
+          ~doc:"Suppression file (errors matching its entries are hidden).")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+  in
+  Cmd.v
+    (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
+    Term.(const run $ tool $ chaining $ smc $ stats $ stdin_file $ supp $ path)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,253 @@
+(** Simulated address-space manager.
+
+    Valgrind's core initialises "the address space manager and its own
+    internal memory allocator" first thing at start-up (§3.3); squeezing
+    the client and the tool into one process means the address space must
+    be explicitly partitioned (R2) and mmap-like requests from the client
+    pre-checked against the tool's mappings (§3.10).
+
+    This module provides the mechanism: a sparse paged 32-bit address
+    space with per-page permissions.  Policy (which ranges belong to the
+    client vs the core/tool) lives in {!Vg_core.Layout} and the kernel.
+
+    Addresses are [int64] with only the low 32 bits significant. *)
+
+let page_size = 4096
+let page_shift = 12
+
+(** Round an address up/down to a page boundary. *)
+let round_up (a : int64) = Int64.logand (Int64.add a 4095L) (Int64.lognot 4095L)
+
+let round_down (a : int64) = Int64.logand a (Int64.lognot 4095L)
+let round_up_int (n : int) = (n + 4095) land lnot 4095
+
+type perm = { r : bool; w : bool; x : bool }
+
+let perm_rwx = { r = true; w = true; x = true }
+let perm_rw = { r = true; w = true; x = false }
+let perm_rx = { r = true; w = false; x = true }
+let perm_none = { r = false; w = false; x = false }
+
+let pp_perm ppf p =
+  Fmt.pf ppf "%c%c%c"
+    (if p.r then 'r' else '-')
+    (if p.w then 'w' else '-')
+    (if p.x then 'x' else '-')
+
+type page = { data : Bytes.t; mutable perm : perm }
+
+type access_kind = Read | Write | Exec | Map
+
+exception Fault of { addr : int64; kind : access_kind }
+
+let pp_access_kind ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Exec -> Fmt.string ppf "exec"
+  | Map -> Fmt.string ppf "map"
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable bytes_mapped : int;  (** total currently-mapped bytes *)
+  mutable store_watch : (int64 -> int -> unit) list;
+      (** called on every successful store (address, size); used by the
+          core and interpreters to notice self-modifying code *)
+}
+
+let create () = { pages = Hashtbl.create 1024; bytes_mapped = 0; store_watch = [] }
+
+let add_store_watch t f = t.store_watch <- f :: t.store_watch
+let notify_store t addr size = List.iter (fun f -> f addr size) t.store_watch
+
+let page_index (addr : int64) =
+  Int64.to_int (Int64.shift_right_logical (Support.Bits.trunc32 addr) page_shift)
+
+let page_offset (addr : int64) = Int64.to_int (Int64.logand addr 0xFFFL)
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+let perm_at t addr =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | None -> perm_none
+  | Some p -> p.perm
+
+(** Round [len] up and [addr] down to page boundaries; iterate pages. *)
+let iter_pages addr len f =
+  if len > 0 then begin
+    let first = page_index addr in
+    let last = page_index (Int64.add addr (Int64.of_int (len - 1))) in
+    for pi = first to last do
+      f pi
+    done
+  end
+
+(** Map [len] bytes at [addr] (both page-rounded) with permission [perm].
+    Newly mapped pages are zero-filled; remapping an existing page keeps
+    its contents but updates the permission (like mmap MAP_FIXED over an
+    existing mapping would zero it — we zero too when [zero] is true). *)
+let map ?(zero = true) t ~addr ~len ~perm =
+  iter_pages addr len (fun pi ->
+      match Hashtbl.find_opt t.pages pi with
+      | Some p ->
+          p.perm <- perm;
+          if zero then Bytes.fill p.data 0 page_size '\000'
+      | None ->
+          Hashtbl.replace t.pages pi { data = Bytes.make page_size '\000'; perm };
+          t.bytes_mapped <- t.bytes_mapped + page_size)
+
+let unmap t ~addr ~len =
+  iter_pages addr len (fun pi ->
+      if Hashtbl.mem t.pages pi then begin
+        Hashtbl.remove t.pages pi;
+        t.bytes_mapped <- t.bytes_mapped - page_size
+      end)
+
+let protect t ~addr ~len ~perm =
+  iter_pages addr len (fun pi ->
+      match Hashtbl.find_opt t.pages pi with
+      | Some p -> p.perm <- perm
+      | None -> raise (Fault { addr = Int64.of_int (pi lsl page_shift); kind = Map }))
+
+(** Is [addr..addr+len) entirely mapped with at least [kind] access? *)
+let check_range t ~addr ~len kind =
+  let ok = ref true in
+  iter_pages addr len (fun pi ->
+      match Hashtbl.find_opt t.pages pi with
+      | None -> ok := false
+      | Some p ->
+          let allowed =
+            match kind with
+            | Read -> p.perm.r
+            | Write -> p.perm.w
+            | Exec -> p.perm.x
+            | Map -> true
+          in
+          if not allowed then ok := false);
+  !ok
+
+(** Find [len] bytes of unmapped space at or above [hint], page aligned.
+    Returns the base address.  Raises [Not_found] if the search passes
+    [limit]. *)
+let find_free t ~hint ~limit ~len =
+  let npages = (len + page_size - 1) / page_size in
+  let limit_pi = page_index limit in
+  let rec search pi =
+    if pi + npages > limit_pi then raise Not_found;
+    let rec free k = k = npages || ((not (Hashtbl.mem t.pages (pi + k))) && free (k + 1)) in
+    if free 0 then Int64.of_int (pi lsl page_shift)
+    else search (pi + 1)
+  in
+  search (page_index hint)
+
+let get_page t addr kind =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | Some p -> p
+  | None -> raise (Fault { addr; kind })
+
+(** {2 Byte-level access with permission checks} *)
+
+let read_u8 t addr =
+  let p = get_page t addr Read in
+  if not p.perm.r then raise (Fault { addr; kind = Read });
+  Char.code (Bytes.unsafe_get p.data (page_offset addr))
+
+let write_u8 t addr v =
+  let p = get_page t addr Write in
+  if not p.perm.w then raise (Fault { addr; kind = Write });
+  Bytes.unsafe_set p.data (page_offset addr) (Char.unsafe_chr (v land 0xFF));
+  notify_store t addr 1
+
+(** [read t addr size] reads [size] (1/2/4/8/16? no — 1..8) bytes LE.
+    Fast path when the access stays within one page. *)
+let read t addr size : int64 =
+  let off = page_offset addr in
+  if off + size <= page_size then begin
+    let p = get_page t addr Read in
+    if not p.perm.r then raise (Fault { addr; kind = Read });
+    match size with
+    | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get p.data off))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le p.data off)
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le p.data off) |> Support.Bits.trunc32
+    | 8 -> Bytes.get_int64_le p.data off
+    | _ ->
+        let v = ref 0L in
+        for i = size - 1 downto 0 do
+          v := Int64.logor (Int64.shift_left !v 8)
+                 (Int64.of_int (Char.code (Bytes.unsafe_get p.data (off + i))))
+        done;
+        !v
+  end
+  else begin
+    (* crosses a page boundary: byte at a time *)
+    let v = ref 0L in
+    for i = size - 1 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (read_u8 t (Int64.add addr (Int64.of_int i))))
+    done;
+    !v
+  end
+
+let write t addr size (v : int64) =
+  let off = page_offset addr in
+  if off + size <= page_size then begin
+    let p = get_page t addr Write in
+    if not p.perm.w then raise (Fault { addr; kind = Write });
+    (match size with
+    | 1 -> Bytes.unsafe_set p.data off (Char.unsafe_chr (Int64.to_int v land 0xFF))
+    | 2 -> Bytes.set_uint16_le p.data off (Int64.to_int v land 0xFFFF)
+    | 4 -> Bytes.set_int32_le p.data off (Int64.to_int32 v)
+    | 8 -> Bytes.set_int64_le p.data off v
+    | _ ->
+        for i = 0 to size - 1 do
+          Bytes.unsafe_set p.data (off + i)
+            (Char.unsafe_chr
+               (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+        done);
+    notify_store t addr size
+  end
+  else
+    for i = 0 to size - 1 do
+      write_u8 t
+        (Int64.add addr (Int64.of_int i))
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+(** Read for instruction fetch: checks execute permission. *)
+let fetch_u8 t addr =
+  let p = get_page t addr Exec in
+  if not p.perm.x then raise (Fault { addr; kind = Exec });
+  Char.code (Bytes.unsafe_get p.data (page_offset addr))
+
+(** Copy [len] raw bytes out (read-checked). *)
+let read_bytes t addr len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (read_u8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  b
+
+(** Copy [len] raw bytes in (write-checked). *)
+let write_bytes t addr (src : Bytes.t) =
+  for i = 0 to Bytes.length src - 1 do
+    write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.unsafe_get src i))
+  done
+
+(** Read a NUL-terminated string (at most [max] bytes, default 4096). *)
+let read_asciiz ?(max = 4096) t addr =
+  let buf = Buffer.create 32 in
+  let rec go i =
+    if i >= max then Buffer.contents buf
+    else
+      let c = read_u8 t (Int64.add addr (Int64.of_int i)) in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (i + 1)
+      end
+  in
+  go 0
+
+(** Copy [len] bytes from [src] to [dst] handling overlap (memmove). *)
+let move t ~src ~dst ~len =
+  let tmp = read_bytes t src len in
+  write_bytes t dst tmp

@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Array Int64 Jit

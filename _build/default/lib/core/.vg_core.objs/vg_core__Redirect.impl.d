@@ -1,0 +1,1 @@
+lib/core/redirect.ml: Aspace Bytes Clientreq Guest Hashtbl Int64 Layout List Option Support

@@ -1,0 +1,1 @@
+lib/core/stack_events.ml: Guest Hashtbl Int64 List Support Vex_ir

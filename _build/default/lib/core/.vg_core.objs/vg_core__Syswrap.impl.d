@@ -1,0 +1,1 @@
+lib/core/syswrap.ml: Events Guest Int64 Kernel Num

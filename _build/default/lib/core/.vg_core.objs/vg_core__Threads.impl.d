@@ -1,0 +1,1 @@
+lib/core/threads.ml: Aspace Bytes Guest Host Int64 Kernel Layout List Support

@@ -1,0 +1,1 @@
+lib/core/tool.ml: Aspace Errors Events Vex_ir

@@ -1,0 +1,1 @@
+lib/core/transtab.ml: Array Fun Int64 Jit List

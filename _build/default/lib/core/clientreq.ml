@@ -1,0 +1,32 @@
+(** Client request codes (paper §3.11).
+
+    A client program embeds [clreq] instructions (via macros in the
+    guest's valgrind.h equivalent — see [examples/] and the guest libc)
+    with a request code in r0 and an argument-block pointer in r1.  Under
+    a tool, the core routes the request; run natively, [clreq] is a
+    cheap no-op that leaves 0 in r0. *)
+
+(* Core requests *)
+let running_on_valgrind = 0x0001L
+let discard_translations = 0x0002L (* args: [addr; len] *)
+let print_msg = 0x0003L (* r1 = asciiz pointer *)
+let stack_register = 0x0004L (* args: [start; end] -> id *)
+let stack_deregister = 0x0005L (* args: [id] *)
+let stack_change = 0x0006L (* args: [id; start; end] *)
+
+(* Internal requests used by replacement-function stubs *)
+let internal_base = 0x0100L
+
+(* Tool requests (Memcheck-compatible set) *)
+let mem_make_noaccess = 0x1001L
+let mem_make_undefined = 0x1002L
+let mem_make_defined = 0x1003L
+let mem_check_addressable = 0x1004L
+let mem_check_defined = 0x1005L
+let mem_count_errors = 0x1006L
+let mem_do_leak_check = 0x1007L
+
+(* Taint-tool requests *)
+let taint_mark = 0x2001L (* args: [addr; len] *)
+let taint_clear = 0x2002L
+let taint_check = 0x2003L

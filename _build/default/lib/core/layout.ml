@@ -1,0 +1,44 @@
+(** Address-space policy: how the single process is partitioned between
+    the client and the core+tool (§3.3, §3.10).
+
+    The core loads "at a non-standard address that is usually free at
+    program start-up (on x86/Linux it is 0x38000000)"; we reserve the
+    same region for everything the core owns: translations, ThreadStates,
+    the tool arena and replacement-function stubs.  Client mmap requests
+    that would intrude are refused without consulting the kernel. *)
+
+(* Client space *)
+let client_text_base = Guest.Image.default_text_base
+let client_mmap_base = 0x2000_0000L
+let client_mmap_limit = 0x3000_0000L
+let client_stack_top = Guest.Image.stack_top
+
+(* Core/tool space: [valgrind_base, valgrind_limit) *)
+let valgrind_base = 0x3800_0000L
+let valgrind_limit = 0x7000_0000L
+
+(** ThreadState blocks (one per thread, {!Host.Arch.threadstate_size}
+    bytes each). *)
+let threadstate_base = 0x3880_0000L
+
+(** Translation code blocks. *)
+let code_cache_base = 0x3900_0000L
+
+let code_cache_limit = 0x3A00_0000L
+
+(** Core allocator arena (tool data structures, guest-visible stubs). *)
+let tool_arena_base = 0x3A00_0000L
+
+let tool_arena_limit = 0x3C00_0000L
+
+(** Replacement-function stub code. *)
+let stub_base = 0x3C00_0000L
+
+let stub_limit = 0x3C10_0000L
+
+(** Does a client mapping request intrude on the core's space? *)
+let client_map_allowed (addr : int64) (len : int) : bool =
+  let hi = Int64.add addr (Int64.of_int len) in
+  not
+    (Int64.unsigned_compare addr valgrind_limit < 0
+    && Int64.unsigned_compare hi valgrind_base > 0)

@@ -1,0 +1,700 @@
+(** A Valgrind session: core + tool plug-in + client, all in one
+    (simulated) process.
+
+    This module is the core's scheduler and start-up sequence (§3.2,
+    §3.3, §3.9): it initialises the address-space manager, loads the
+    client, initialises the tool, and then spends its life making,
+    finding and running translations — none of the client's original
+    code is ever run.  It also owns thread serialisation (§3.14), signal
+    interception and between-blocks delivery (§3.15), self-modifying-code
+    checks (§3.16), client requests (§3.11) and function redirection
+    (§3.13). *)
+
+module GA = Guest.Arch
+module HA = Host.Arch
+
+type smc_mode = Smc_none | Smc_stack | Smc_all
+
+type options = {
+  chaining : bool;
+      (** simulate translation chaining (the real Valgrind of the paper
+          does not chain; this exists for the ablation benchmarks) *)
+  chain_cost : int;  (** cycles for a chained transfer *)
+  smc_mode : smc_mode;  (** default [Smc_stack], like Valgrind *)
+  timeslice_blocks : int;  (** thread-switch period (paper: 100,000) *)
+  sched_poll_blocks : int;
+      (** the dispatcher falls back into the scheduler this often
+          (paper: "every few thousand translation executions") *)
+  transtab_capacity : int;
+  dispatch_size : int;
+  dispatch_fast_cost : int;
+  dispatch_slow_cost : int;
+  stack_switch_threshold : int64;  (** the 2MB heuristic, changeable *)
+  unroll_loops : bool;  (** phase-2 self-loop unrolling (VEX default: on) *)
+  max_blocks : int64;  (** fuel: abort runaway clients (0 = unlimited) *)
+}
+
+let default_options =
+  {
+    chaining = false;
+    chain_cost = 2;
+    smc_mode = Smc_stack;
+    timeslice_blocks = 100_000;
+    sched_poll_blocks = 3000;
+    transtab_capacity = 32768;
+    dispatch_size = 8192;
+    dispatch_fast_cost = Dispatch.default_fast_cost;
+    dispatch_slow_cost = Dispatch.default_slow_cost;
+    stack_switch_threshold = 0x20_0000L;
+    unroll_loops = true;
+    max_blocks = 0L;
+  }
+
+type exit_reason =
+  | Exited of int
+  | Fatal_signal of int
+  | Out_of_fuel
+
+type t = {
+  opts : options;
+  mem : Aspace.t;
+  kern : Kernel.t;
+  events : Events.t;
+  errors : Errors.t;
+  threads : Threads.t;
+  transtab : Transtab.t;
+  dispatch : Dispatch.t;
+  cpu : Host.Interp.cpu;
+  redirect : Redirect.t;
+  regstacks : Stack_events.registered_stacks;
+  image : Guest.Image.t;
+  tool : Tool.t;
+  mutable instance : Tool.instance option;
+  output_buf : Buffer.t;
+  mutable echo_output : bool;
+  (* accounting *)
+  mutable blocks_executed : int64;
+  mutable overhead_cycles : int64;  (** dispatch + scheduler + chain *)
+  mutable jit_cycles : int64;
+  mutable smc_cycles : int64;
+  mutable translations_made : int;
+  mutable retranslations_smc : int;
+  mutable exit_reason : exit_reason option;
+  (* stack-event helpers (registered lazily per session) *)
+  mutable stack_helpers : Stack_events.helpers option;
+  (* chaining memo: guest dest -> translation *)
+  chain_memo : (int64, Jit.Pipeline.translation) Hashtbl.t;
+  mutable last_exit_direct : bool;
+  mutable chained_transfers : int64;
+  (* core client-space allocator arena *)
+  mutable arena_next : int64;
+  arena_limit : int64;
+  (* stubs *)
+  mutable sigreturn_tramp : int64;
+  mutable thread_exit_tramp : int64;
+  (* main stack range, for SMC-on-stack detection *)
+  mutable stack_lo : int64;
+  mutable stack_hi : int64;
+}
+
+let total_cycles (s : t) : int64 =
+  List.fold_left Int64.add 0L
+    [ s.cpu.cycles; s.overhead_cycles; s.jit_cycles; s.smc_cycles ]
+
+let output s msg =
+  Buffer.add_string s.output_buf msg;
+  if s.echo_output then prerr_string msg
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let symbolize_with (img : Guest.Image.t) (addr : int64) : string =
+  match Guest.Image.symbol_for img addr with
+  | Some (name, base) when Int64.sub addr base < 0x10000L ->
+      if addr = base then name
+      else Printf.sprintf "%s+0x%LX" name (Int64.sub addr base)
+  | _ -> Printf.sprintf "0x%LX" addr
+
+let create ?(options = default_options) ~(tool : Tool.t)
+    (image : Guest.Image.t) : t =
+  let mem = Aspace.create () in
+  let kern = Kernel.create ~mmap_base:Layout.client_mmap_base
+      ~mmap_limit:Layout.client_mmap_limit mem
+  in
+  kern.map_allowed <- Layout.client_map_allowed;
+  let threads = Threads.create mem in
+  let errors = Errors.create () in
+  let s =
+    {
+      opts = options;
+      mem;
+      kern;
+      events = Events.create ();
+      errors;
+      threads;
+      transtab = Transtab.create ~capacity:options.transtab_capacity ();
+      dispatch =
+        Dispatch.create ~size:options.dispatch_size
+          ~fast_cost:options.dispatch_fast_cost
+          ~slow_cost:options.dispatch_slow_cost ();
+      cpu = Host.Interp.create mem;
+      redirect = Redirect.create mem;
+      regstacks = Stack_events.make_registered_stacks ();
+      image;
+      tool;
+      instance = None;
+      output_buf = Buffer.create 1024;
+      echo_output = false;
+      blocks_executed = 0L;
+      overhead_cycles = 0L;
+      jit_cycles = 0L;
+      smc_cycles = 0L;
+      translations_made = 0;
+      retranslations_smc = 0;
+      exit_reason = None;
+      stack_helpers = None;
+      chain_memo = Hashtbl.create 4096;
+      last_exit_direct = false;
+      chained_transfers = 0L;
+      arena_next = 0x1900_0000L;
+      arena_limit = 0x1A00_0000L;
+      sigreturn_tramp = 0L;
+      thread_exit_tramp = 0L;
+      stack_lo = 0L;
+      stack_hi = 0L;
+    }
+  in
+  errors.symbolize <-
+    (fun a ->
+      match Redirect.stub_name s.redirect a with
+      | Some n -> n
+      | None -> symbolize_with image a);
+  errors.output <- (fun msg -> output s msg);
+  kern.now_cycles <- (fun () -> total_cycles s);
+  s
+
+(** Symbolise an address: image symbols, plus redirection-stub names. *)
+let symbolize (s : t) (a : int64) : string =
+  match Redirect.stub_name s.redirect a with
+  | Some n -> n
+  | None -> symbolize_with s.image a
+
+(* The helper environment: guest-state access goes to the *current*
+   thread's ThreadState; memory to the shared address space. *)
+let helper_env (s : t) : Vex_ir.Helpers.env =
+  {
+    he_get_guest =
+      (fun off size -> Threads.get_state s.threads s.threads.current ~off ~size);
+    he_put_guest =
+      (fun off size v ->
+        Threads.put_state s.threads s.threads.current ~off ~size v);
+    he_load = (fun addr size -> Aspace.read s.mem addr size);
+    he_store = (fun addr size v -> Aspace.write s.mem addr size v);
+  }
+
+(* Core client-space allocator (backs replacement heap allocators). *)
+let client_alloc (s : t) (size : int) : int64 =
+  let size = (size + 15) land lnot 15 in
+  let addr = s.arena_next in
+  let next = Int64.add addr (Int64.of_int size) in
+  if Int64.unsigned_compare next s.arena_limit >= 0 then
+    failwith "core allocator: client arena exhausted";
+  (* map on demand, page-rounded *)
+  Aspace.map ~zero:false s.mem ~addr:(Aspace.round_down addr)
+    ~len:(Int64.to_int (Int64.sub (Aspace.round_up next) (Aspace.round_down addr)))
+    ~perm:Aspace.perm_rw;
+  s.arena_next <- next;
+  addr
+
+let on_discard (s : t) (addr : int64) (len : int) =
+  let n = Transtab.discard_range s.transtab addr len in
+  if n > 0 then begin
+    Dispatch.flush s.dispatch;
+    Hashtbl.reset s.chain_memo
+  end
+
+let charge (s : t) c =
+  s.overhead_cycles <- Int64.add s.overhead_cycles (Int64.of_int c)
+
+let caps_of (s : t) : Tool.caps =
+  {
+    events = s.events;
+    errors = s.errors;
+    mem = s.mem;
+    output = (fun msg -> output s msg);
+    read_guest =
+      (fun off size -> Threads.get_state s.threads s.threads.current ~off ~size);
+    write_guest =
+      (fun off size v ->
+        Threads.put_state s.threads s.threads.current ~off ~size v);
+    cur_eip = (fun () -> Threads.get_eip s.threads s.threads.current);
+    stack_trace =
+      (fun () -> Threads.stack_trace s.threads s.threads.current ());
+    symbolize = symbolize s;
+    client_alloc = (fun size -> client_alloc s size);
+    replace_function =
+      (fun ~symbol ~handler ->
+        match List.assoc_opt symbol s.image.symbols with
+        | Some addr ->
+            Redirect.replace ~name:(symbol ^ " (redirected)") s.redirect
+              ~addr ~handler
+        | None -> ());
+    wrap_function =
+      (fun ~symbol ~on_enter ~on_exit ->
+        match List.assoc_opt symbol s.image.symbols with
+        | Some addr ->
+            Redirect.wrap s.redirect ~addr ~arity:4 ~on_enter ~on_exit
+        | None -> ());
+    discard_translations = (fun addr len -> on_discard s addr len);
+    charge_cycles = (fun c -> charge s c);
+    register_helper =
+      (fun ?(fx_reads = []) ~name ~cost ~nargs f ->
+        ignore nargs;
+        Vex_ir.Helpers.register ~fx_reads ~name ~cost (fun _env args -> f args));
+  }
+
+(* Register the stack-event helpers for this session (only when the tool
+   tracks stack events). *)
+let make_stack_helpers (s : t) : Stack_events.helpers =
+  let fx = [ (GA.off_sp, 4) ] in
+  let h_new =
+    Vex_ir.Helpers.register ~name:"core_new_mem_stack" ~cost:4 ~fx_reads:fx
+      (fun _env args ->
+        Events.fire_new_mem_stack s.events ~addr:args.(0)
+          ~len:(Int64.to_int args.(1));
+        0L)
+  in
+  let h_die =
+    Vex_ir.Helpers.register ~name:"core_die_mem_stack" ~cost:4 ~fx_reads:fx
+      (fun _env args ->
+        Events.fire_die_mem_stack s.events
+          ~addr:(Int64.sub args.(0) args.(1))
+          ~len:(Int64.to_int args.(1));
+        0L)
+  in
+  let h_unknown =
+    Vex_ir.Helpers.register ~name:"core_unknown_sp_update" ~cost:8
+      ~fx_reads:fx (fun env args ->
+        let old_sp = env.he_get_guest GA.off_sp 4 in
+        let new_sp = args.(0) in
+        (match
+           Stack_events.classify_sp_change
+             ~threshold:s.opts.stack_switch_threshold s.regstacks ~old_sp
+             ~new_sp
+         with
+        | None -> () (* stack switch: no events *)
+        | Some (base, len, is_alloc) ->
+            if is_alloc then
+              Events.fire_new_mem_stack s.events ~addr:base ~len
+            else Events.fire_die_mem_stack s.events ~addr:base ~len);
+        0L)
+  in
+  { h_new; h_die; h_unknown }
+
+(* ------------------------------------------------------------------ *)
+(* Start-up (§3.3)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let startup (s : t) =
+  (* tool initialisation: registers events, redirects, helpers *)
+  let inst = s.tool.create (caps_of s) in
+  s.instance <- Some inst;
+  if s.events.new_mem_stack <> None || s.events.die_mem_stack <> None then
+    s.stack_helpers <- Some (make_stack_helpers s);
+  (* trampolines *)
+  s.sigreturn_tramp <-
+    Redirect.write_stub s.redirect
+      [ GA.Movi (0, Int64.of_int Kernel.Num.sys_sigreturn); GA.Syscall ];
+  s.thread_exit_tramp <-
+    Redirect.write_stub s.redirect
+      [ GA.Movi (0, Int64.of_int Kernel.Num.sys_thread_exit); GA.Syscall ];
+  (* load the client; fire R5 startup events *)
+  let entry, sp, brk, mapped = Guest.Image.load s.image s.mem in
+  Kernel.set_brk_base s.kern brk;
+  List.iter
+    (fun (m : Guest.Image.mapped) ->
+      if m.m_what = "stack" then begin
+        s.stack_lo <- m.m_base;
+        s.stack_hi <- Int64.add m.m_base (Int64.of_int m.m_len)
+      end;
+      Events.fire_new_mem_startup s.events ~addr:m.m_base ~len:m.m_len
+        ~defined:m.m_defined ~what:m.m_what)
+    mapped;
+  let th = s.threads.current in
+  Threads.put_reg s.threads th GA.reg_sp sp;
+  Threads.put_reg s.threads th GA.reg_fp sp;
+  Threads.put_eip s.threads th entry
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let instrument_fn (s : t) : Jit.Pipeline.instrument =
+ fun b ->
+  let b =
+    match s.instance with Some i -> i.instrument b | None -> b
+  in
+  match s.stack_helpers with
+  | Some h -> Stack_events.instrument h b
+  | None -> b
+
+let wants_smc_check (s : t) (pc : int64) : bool =
+  match s.opts.smc_mode with
+  | Smc_none -> false
+  | Smc_all -> true
+  | Smc_stack ->
+      (Int64.unsigned_compare pc s.stack_lo >= 0
+      && Int64.unsigned_compare pc s.stack_hi < 0)
+      || List.exists
+           (fun (_, lo, hi) ->
+             Int64.unsigned_compare lo pc <= 0
+             && Int64.unsigned_compare pc hi < 0)
+           s.regstacks.stacks
+
+let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
+  let fetch_pc = Redirect.resolve s.redirect pc in
+  let fetch addr = Aspace.fetch_u8 s.mem addr in
+  let t =
+    Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ~fetch
+      ~instrument:(instrument_fn s) fetch_pc
+  in
+  let t = { t with t_guest_addr = pc; t_smc_check = wants_smc_check s fetch_pc } in
+  s.jit_cycles <-
+    Int64.add s.jit_cycles (Int64.of_int (Jit.Pipeline.translation_cost t));
+  s.translations_made <- s.translations_made + 1;
+  Transtab.insert s.transtab pc t;
+  t
+
+(* find-or-translate via the scheduler (slow path) *)
+let scheduler_find (s : t) (pc : int64) : Jit.Pipeline.translation =
+  match Transtab.find s.transtab pc with
+  | Some t -> t
+  | None -> translate s pc
+
+(* ------------------------------------------------------------------ *)
+(* Signals (§3.15)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fatal (s : t) (signal : int) =
+  output s
+    (Printf.sprintf "==vg== Process terminating with default action of %s\n"
+       (Kernel.Sig.name signal));
+  let th = s.threads.current in
+  let stack = Threads.stack_trace s.threads th () in
+  List.iteri
+    (fun i a ->
+      output s
+        (Printf.sprintf "==vg==    %s 0x%LX: %s\n"
+           (if i = 0 then "at" else "by")
+           a
+           (symbolize s a)))
+    stack;
+  s.exit_reason <- Some (Fatal_signal signal)
+
+(** Deliver [signal] to the current thread, between code blocks — so a
+    load/shadow-load pair is never separated (§3.15). *)
+let deliver_signal (s : t) (signal : int) =
+  match Kernel.handler_for s.kern signal with
+  | None -> fatal s signal
+  | Some h ->
+      let th = s.threads.current in
+      Threads.save_frame s.threads th;
+      (* push the signal number argument and the sigreturn trampoline as
+         the return address, then enter the handler *)
+      let sp = Threads.get_reg s.threads th GA.reg_sp in
+      let sp = Int64.sub sp 4L in
+      Aspace.write s.mem sp 4 (Int64.of_int signal);
+      let sp = Int64.sub sp 4L in
+      Aspace.write s.mem sp 4 s.sigreturn_tramp;
+      Threads.put_reg s.threads th GA.reg_sp sp;
+      Threads.put_eip s.threads th h.sh_addr
+
+let check_signals (s : t) =
+  match Kernel.take_pending_signal s.kern with
+  | None -> ()
+  | Some (tid, signal) ->
+      (* deliver when the target thread is current; otherwise switch it in
+         first (serialised execution makes this safe) *)
+      (match Threads.find s.threads tid with
+      | Some th when th.status = Threads.Runnable -> s.threads.current <- th
+      | _ -> ());
+      deliver_signal s signal
+
+(* ------------------------------------------------------------------ *)
+(* Client requests (§3.11)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_args (s : t) (argp : int64) (n : int) : int64 array =
+  Array.init n (fun i ->
+      try Aspace.read s.mem (Int64.add argp (Int64.of_int (4 * i))) 4
+      with Aspace.Fault _ -> 0L)
+
+let handle_client_request (s : t) =
+  let th = s.threads.current in
+  let code = Threads.get_reg s.threads th 0 in
+  let argp = Threads.get_reg s.threads th 1 in
+  let set_result v = Threads.put_reg s.threads th 0 v in
+  (* internal codes from replacement stubs *)
+  match Redirect.lookup_handler s.redirect code with
+  | Some handler -> handler ()
+  | None ->
+      if code = Clientreq.running_on_valgrind then set_result 1L
+      else if code = Clientreq.discard_translations then begin
+        let args = read_args s argp 2 in
+        on_discard s args.(0) (Int64.to_int args.(1));
+        set_result 0L
+      end
+      else if code = Clientreq.print_msg then begin
+        let msg = Aspace.read_asciiz s.mem argp in
+        output s msg;
+        set_result (Int64.of_int (String.length msg))
+      end
+      else if code = Clientreq.stack_register then begin
+        let args = read_args s argp 2 in
+        let id = s.regstacks.next_id in
+        s.regstacks.next_id <- id + 1;
+        s.regstacks.stacks <- (id, args.(0), args.(1)) :: s.regstacks.stacks;
+        set_result (Int64.of_int id)
+      end
+      else if code = Clientreq.stack_deregister then begin
+        let args = read_args s argp 1 in
+        s.regstacks.stacks <-
+          List.filter
+            (fun (id, _, _) -> id <> Int64.to_int args.(0))
+            s.regstacks.stacks;
+        set_result 0L
+      end
+      else if code = Clientreq.stack_change then begin
+        let args = read_args s argp 3 in
+        s.regstacks.stacks <-
+          List.map
+            (fun (id, lo, hi) ->
+              if id = Int64.to_int args.(0) then (id, args.(1), args.(2))
+              else (id, lo, hi))
+            s.regstacks.stacks;
+        set_result 0L
+      end
+      else
+        let args = read_args s argp 4 in
+        match s.instance with
+        | Some inst -> (
+            match inst.client_request ~code ~args with
+            | Some v -> set_result v
+            | None -> set_result 0L)
+        | None -> set_result 0L
+
+(* ------------------------------------------------------------------ *)
+(* The main scheduler loop (§3.9)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* SMC self-check: rehash the guest bytes a translation came from. *)
+let smc_ok (s : t) (t : Jit.Pipeline.translation) : bool =
+  let fetch addr = try Aspace.read_u8 s.mem addr with Aspace.Fault _ -> 0 in
+  let h = Jit.Pipeline.hash_guest_bytes fetch t.t_guest_ranges in
+  s.smc_cycles <- Int64.add s.smc_cycles (Int64.of_int (2 * t.t_guest_bytes));
+  h = t.t_code_hash
+
+let find_translation (s : t) (pc : int64) : Jit.Pipeline.translation =
+  (* chaining shortcut: a direct exit from the previous translation *)
+  if s.opts.chaining && s.last_exit_direct then
+    match Hashtbl.find_opt s.chain_memo pc with
+    | Some t ->
+        charge s s.opts.chain_cost;
+        s.chained_transfers <- Int64.add s.chained_transfers 1L;
+        t
+    | None ->
+        let t =
+          match Dispatch.lookup s.dispatch pc with
+          | Some t ->
+              charge s s.dispatch.fast_cost;
+              t
+          | None ->
+              charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
+              let t = scheduler_find s pc in
+              Dispatch.update s.dispatch pc t;
+              t
+        in
+        Hashtbl.replace s.chain_memo pc t;
+        t
+  else
+    match Dispatch.lookup s.dispatch pc with
+    | Some t ->
+        charge s s.dispatch.fast_cost;
+        t
+    | None ->
+        charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
+        let t = scheduler_find s pc in
+        Dispatch.update s.dispatch pc t;
+        t
+
+let do_thread_create (s : t) ~entry ~sp ~arg =
+  let th = Threads.spawn s.threads in
+  (* new thread: r1 = arg, return address = thread-exit trampoline *)
+  Threads.put_reg s.threads th 1 arg;
+  let sp = Int64.sub sp 4L in
+  Aspace.write s.mem sp 4 s.thread_exit_tramp;
+  Threads.put_reg s.threads th GA.reg_sp sp;
+  Threads.put_reg s.threads th GA.reg_fp sp;
+  Threads.put_eip s.threads th entry;
+  th.tid
+
+let finish (s : t) (reason : exit_reason) =
+  if s.exit_reason = None then s.exit_reason <- Some reason
+
+(** Execute one code block of the current thread. *)
+let run_block (s : t) =
+  let th = s.threads.current in
+  let pc = Threads.get_eip s.threads th in
+  let t = find_translation s pc in
+  let t =
+    if t.t_smc_check && not (smc_ok s t) then begin
+      (* §3.16: hash mismatch -> discard and retranslate *)
+      Transtab.discard_key s.transtab pc;
+      Dispatch.flush s.dispatch;
+      Hashtbl.reset s.chain_memo;
+      s.retranslations_smc <- s.retranslations_smc + 1;
+      let t' = translate s pc in
+      Dispatch.update s.dispatch pc t';
+      t'
+    end
+    else t
+  in
+  s.cpu.hregs.(HA.gsp) <- th.ts_addr;
+  let env = helper_env s in
+  match Host.Interp.run s.cpu ~env t.t_decoded with
+  | exception Aspace.Fault f ->
+      s.last_exit_direct <- false;
+      output s
+        (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
+           (Fmt.str "%a" Aspace.pp_access_kind f.kind)
+           f.addr);
+      deliver_signal s Kernel.Sig.sigsegv
+  | exception Host.Interp.Host_sigfpe ->
+      s.last_exit_direct <- false;
+      deliver_signal s Kernel.Sig.sigfpe
+  | ek, dest, direct -> (
+      s.last_exit_direct <- direct;
+      Threads.put_eip s.threads th dest;
+      s.blocks_executed <- Int64.add s.blocks_executed 1L;
+      th.blocks_run <- Int64.add th.blocks_run 1L;
+      if ek = HA.ek_syscall then begin
+        let wrap_env =
+          { Syswrap.events = s.events; kern = s.kern;
+            on_discard = (fun a l -> on_discard s a l) }
+        in
+        match Syswrap.syscall wrap_env ~tid:th.tid (Threads.regs_of s.threads th) with
+        | Kernel.Ok -> ()
+        | Kernel.Exit_process code -> finish s (Exited code)
+        | Kernel.Thread_create { entry; sp; arg } ->
+            let tid = do_thread_create s ~entry ~sp ~arg in
+            Threads.put_reg s.threads th 0 (Int64.of_int tid)
+        | Kernel.Thread_exit ->
+            th.status <- Threads.Exited;
+            if not (Threads.switch_to_next s.threads) then
+              finish s (Exited 0)
+        | Kernel.Yield -> ignore (Threads.switch_to_next s.threads)
+        | Kernel.Sigreturn ->
+            if not (Threads.restore_frame s.threads th) then
+              fatal s Kernel.Sig.sigsegv
+      end
+      else if ek = HA.ek_clientreq then handle_client_request s
+      else if ek = HA.ek_sigill then begin
+        output s
+          (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" dest);
+        deliver_signal s Kernel.Sig.sigill
+      end
+      else if ek = HA.ek_yield then ignore (Threads.switch_to_next s.threads))
+
+(** Run the client to completion.  Returns the exit reason. *)
+let run (s : t) : exit_reason =
+  startup s;
+  let continue_ = ref true in
+  while !continue_ do
+    (match s.exit_reason with
+    | Some _ -> continue_ := false
+    | None ->
+        if
+          s.opts.max_blocks > 0L
+          && Int64.unsigned_compare s.blocks_executed s.opts.max_blocks > 0
+        then finish s Out_of_fuel
+        else begin
+          (* periodic scheduler entry: signal poll + thread switch *)
+          if
+            Int64.rem s.blocks_executed (Int64.of_int s.opts.sched_poll_blocks)
+            = 0L
+          then begin
+            charge s s.dispatch.slow_cost;
+            check_signals s
+          end
+          else if not (Queue.is_empty s.kern.pending) then check_signals s;
+          if
+            s.opts.timeslice_blocks > 0
+            && Int64.rem s.blocks_executed
+                 (Int64.of_int s.opts.timeslice_blocks)
+               = Int64.of_int (s.opts.timeslice_blocks - 1)
+          then ignore (Threads.switch_to_next s.threads);
+          let th = s.threads.current in
+          if th.status <> Threads.Runnable then begin
+            if not (Threads.switch_to_next s.threads) then
+              finish s (Exited 0)
+          end
+          else run_block s
+        end);
+    if s.exit_reason <> None then continue_ := false
+  done;
+  let reason = Option.value s.exit_reason ~default:(Exited 0) in
+  (match s.instance with
+  | Some inst ->
+      let exit_code = match reason with Exited c -> c | _ -> 1 in
+      inst.fini ~exit_code
+  | None -> ());
+  reason
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_blocks : int64;
+  st_host_cycles : int64;
+  st_host_insns : int64;
+  st_overhead_cycles : int64;
+  st_jit_cycles : int64;
+  st_smc_cycles : int64;
+  st_total_cycles : int64;
+  st_translations : int;
+  st_retranslations_smc : int;
+  st_dispatch_hits : int64;
+  st_dispatch_misses : int64;
+  st_dispatch_hit_rate : float;
+  st_chained : int64;
+  st_transtab_used : int;
+  st_transtab_evictions : int;
+  st_lock_handoffs : int64;
+}
+
+let stats (s : t) : stats =
+  {
+    st_blocks = s.blocks_executed;
+    st_host_cycles = s.cpu.cycles;
+    st_host_insns = s.cpu.insns;
+    st_overhead_cycles = s.overhead_cycles;
+    st_jit_cycles = s.jit_cycles;
+    st_smc_cycles = s.smc_cycles;
+    st_total_cycles = total_cycles s;
+    st_translations = s.translations_made;
+    st_retranslations_smc = s.retranslations_smc;
+    st_dispatch_hits = s.dispatch.hits;
+    st_dispatch_misses = s.dispatch.misses;
+    st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;
+    st_chained = s.chained_transfers;
+    st_transtab_used = s.transtab.used;
+    st_transtab_evictions = s.transtab.n_evicted;
+    st_lock_handoffs = s.threads.lock_handoffs;
+  }
+
+(** Client console output (via the simulated kernel). *)
+let client_stdout (s : t) = Kernel.stdout_contents s.kern
+
+let tool_output (s : t) = Buffer.contents s.output_buf

@@ -1,0 +1,131 @@
+(** System-call wrappers (paper §3.10, §3.12).
+
+    Valgrind provides a wrapper for every system call which invokes the
+    R4/R6 event callbacks as needed: argument registers are announced
+    with [pre_reg_read], pointed-to memory with [pre_mem_read]/
+    [pre_mem_write], results with [post_reg_write]/[post_mem_write], and
+    the allocation syscalls fire new/die/copy memory events.  The
+    wrappers also keep the core safe: [munmap] discards any translations
+    made from the unmapped range, and client [mmap] requests were already
+    pre-checked against the core's own mappings by the hook installed in
+    the kernel.
+
+    (The real Valgrind's wrappers are ~15,000 lines covering ~300
+    syscalls with all their sub-cases; VG32's kernel has ~20, so this
+    file is mercifully shorter, but the structure is the same: one
+    wrapper per syscall, each encoding that syscall's exact access
+    pattern.) *)
+
+open Kernel
+module GA = Guest.Arch
+
+type env = {
+  events : Events.t;
+  kern : Kernel.t;
+  on_discard : int64 -> int -> unit;  (** munmap'd/discarded code ranges *)
+}
+
+(* Convenience: announce that the syscall reads its number and [n]
+   argument registers. *)
+let pre_args (e : env) ~name ~n =
+  Events.fire_pre_reg_read e.events ~syscall:name ~off:(GA.off_reg 0) ~size:4;
+  for i = 1 to n do
+    Events.fire_pre_reg_read e.events ~syscall:name ~off:(GA.off_reg i) ~size:4
+  done
+
+let post_ret (e : env) ~name =
+  Events.fire_post_reg_write e.events ~syscall:name ~off:(GA.off_reg 0) ~size:4
+
+(** Run one system call for the current thread, firing events around the
+    kernel's implementation. *)
+let syscall (e : env) ~(tid : int) (r : Kernel.regs) : Kernel.action =
+  let num = Int64.to_int (r.get 0) in
+  let name = Num.name num in
+  let a1 = r.get 1 and a2 = r.get 2 and a3 = r.get 3 in
+  let ev = e.events in
+  (* pre-events *)
+  let n_args =
+    if num = Num.sys_exit then 1
+    else if num = Num.sys_write || num = Num.sys_read then 3
+    else if num = Num.sys_open then 2
+    else if num = Num.sys_close then 1
+    else if num = Num.sys_brk then 1
+    else if num = Num.sys_mmap then 2
+    else if num = Num.sys_munmap then 2
+    else if num = Num.sys_mremap then 3
+    else if num = Num.sys_gettimeofday then 2
+    else if num = Num.sys_settimeofday then 1
+    else if num = Num.sys_sigaction then 2
+    else if num = Num.sys_kill then 2
+    else if num = Num.sys_thread_create then 3
+    else 0
+  in
+  pre_args e ~name ~n:n_args;
+  if num = Num.sys_write then
+    Events.fire_pre_mem_read ev ~syscall:name ~addr:a2 ~len:(Int64.to_int a3)
+  else if num = Num.sys_read then
+    Events.fire_pre_mem_write ev ~syscall:name ~addr:a2 ~len:(Int64.to_int a3)
+  else if num = Num.sys_open then
+    Events.fire_pre_mem_read_asciiz ev ~syscall:name ~addr:a1
+  else if num = Num.sys_gettimeofday then begin
+    Events.fire_pre_mem_write ev ~syscall:name ~addr:a1 ~len:8;
+    if a2 <> 0L then Events.fire_pre_mem_write ev ~syscall:name ~addr:a2 ~len:8
+  end
+  else if num = Num.sys_settimeofday then
+    Events.fire_pre_mem_read ev ~syscall:name ~addr:a1 ~len:8;
+  (* state snapshots needed for post-events *)
+  let old_brk = e.kern.brk in
+  (* the call itself *)
+  let action = Kernel.syscall e.kern ~tid r in
+  let ret = r.get 0 in
+  let ok = Int64.unsigned_compare ret 0xFFFF_F000L < 0 (* not -errno *) in
+  (* post-events *)
+  post_ret e ~name;
+  if num = Num.sys_read && ok then
+    Events.fire_post_mem_write ev ~addr:a2 ~len:(Int64.to_int ret)
+  else if num = Num.sys_gettimeofday && ok then begin
+    Events.fire_post_mem_write ev ~addr:a1 ~len:8;
+    if a2 <> 0L then Events.fire_post_mem_write ev ~addr:a2 ~len:8
+  end
+  else if num = Num.sys_brk then begin
+    let new_brk = e.kern.brk in
+    if Int64.unsigned_compare new_brk old_brk > 0 then
+      Events.fire_new_mem_brk ev ~addr:old_brk
+        ~len:(Int64.to_int (Int64.sub new_brk old_brk))
+    else if Int64.unsigned_compare new_brk old_brk < 0 then
+      Events.fire_die_mem_brk ev ~addr:new_brk
+        ~len:(Int64.to_int (Int64.sub old_brk new_brk))
+  end
+  else if num = Num.sys_mmap && ok then
+    Events.fire_new_mem_mmap ev ~addr:ret ~len:(Int64.to_int a2)
+  else if num = Num.sys_munmap && ok then begin
+    let len = Int64.to_int a2 in
+    Events.fire_die_mem_munmap ev ~addr:a1 ~len;
+    (* unloaded code: evict any translations made from it (§3.8) *)
+    e.on_discard a1 len
+  end
+  else if num = Num.sys_mremap && ok then begin
+    let old_len = Int64.to_int a2 and new_len = Int64.to_int a3 in
+    let dst = ret in
+    if dst <> a1 then begin
+      (* moved: shadow memory must follow the copied values *)
+      Events.fire_copy_mem_mremap ev ~src:a1 ~dst ~len:(min old_len new_len);
+      if new_len > old_len then
+        Events.fire_new_mem_mmap ev
+          ~addr:(Int64.add dst (Int64.of_int old_len))
+          ~len:(new_len - old_len);
+      Events.fire_die_mem_munmap ev ~addr:a1 ~len:old_len;
+      e.on_discard a1 old_len
+    end
+    else if new_len < old_len then begin
+      Events.fire_die_mem_munmap ev
+        ~addr:(Int64.add a1 (Int64.of_int new_len))
+        ~len:(old_len - new_len);
+      e.on_discard (Int64.add a1 (Int64.of_int new_len)) (old_len - new_len)
+    end
+    else if new_len > old_len then
+      Events.fire_new_mem_mmap ev
+        ~addr:(Int64.add a1 (Int64.of_int old_len))
+        ~len:(new_len - old_len)
+  end;
+  action

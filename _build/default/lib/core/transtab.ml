@@ -1,0 +1,132 @@
+(** The translation table (paper §3.8): a fixed-size, linear-probe hash
+    table from guest address to translation.  When it passes 80% full,
+    translations are evicted in chunks, 1/8th of the table at a time,
+    using a FIFO policy ("chosen over the more obvious LRU because it is
+    simpler and still does a fairly good job").  Translations are also
+    evicted when client code is unmapped or discarded by the
+    self-modifying-code machinery. *)
+
+type entry = {
+  e_key : int64;
+  e_trans : Jit.Pipeline.translation;
+  e_seq : int;  (** insertion sequence number, for FIFO eviction *)
+}
+
+type t = {
+  mutable slots : entry option array;
+  capacity : int;
+  mutable used : int;
+  mutable seq : int;
+  (* statistics *)
+  mutable n_inserts : int;
+  mutable n_evict_chunks : int;
+  mutable n_evicted : int;
+  mutable n_discards : int;
+}
+
+let create ?(capacity = 32768) () =
+  {
+    slots = Array.make capacity None;
+    capacity;
+    used = 0;
+    seq = 0;
+    n_inserts = 0;
+    n_evict_chunks = 0;
+    n_evicted = 0;
+    n_discards = 0;
+  }
+
+let hash t (key : int64) =
+  (* fibonacci hashing of the low word *)
+  let h = Int64.mul key 0x9E3779B97F4A7C15L in
+  Int64.to_int (Int64.shift_right_logical h 40) mod t.capacity
+
+let find (t : t) (key : int64) : Jit.Pipeline.translation option =
+  let rec probe i n =
+    if n > t.capacity then None
+    else
+      match t.slots.(i) with
+      | None -> None
+      | Some e when e.e_key = key -> Some e.e_trans
+      | Some _ -> probe ((i + 1) mod t.capacity) (n + 1)
+  in
+  probe (hash t key) 0
+
+(* Rebuild the table from a list of entries (preserving seq). *)
+let rebuild t (entries : entry list) =
+  t.slots <- Array.make t.capacity None;
+  t.used <- 0;
+  List.iter
+    (fun e ->
+      let rec probe i =
+        match t.slots.(i) with
+        | None ->
+            t.slots.(i) <- Some e;
+            t.used <- t.used + 1
+        | Some _ -> probe ((i + 1) mod t.capacity)
+      in
+      probe (hash t e.e_key))
+    entries
+
+let all_entries t =
+  Array.to_list t.slots |> List.filter_map Fun.id
+
+(* FIFO chunk eviction: drop the oldest 1/8th of the live entries. *)
+let evict_chunk t =
+  let entries =
+    all_entries t |> List.sort (fun a b -> compare a.e_seq b.e_seq)
+  in
+  let n_drop = max 1 (t.capacity / 8) in
+  let rec split n = function
+    | [] -> []
+    | _ :: rest when n > 0 -> split (n - 1) rest
+    | keep -> keep
+  in
+  let kept = split n_drop entries in
+  t.n_evict_chunks <- t.n_evict_chunks + 1;
+  t.n_evicted <- t.n_evicted + (List.length entries - List.length kept);
+  rebuild t kept
+
+let insert (t : t) (key : int64) (trans : Jit.Pipeline.translation) =
+  if t.used * 10 >= t.capacity * 8 then evict_chunk t;
+  t.n_inserts <- t.n_inserts + 1;
+  t.seq <- t.seq + 1;
+  let e = { e_key = key; e_trans = trans; e_seq = t.seq } in
+  let rec probe i =
+    match t.slots.(i) with
+    | None ->
+        t.slots.(i) <- Some e;
+        t.used <- t.used + 1
+    | Some old when old.e_key = key -> t.slots.(i) <- Some e
+    | Some _ -> probe ((i + 1) mod t.capacity)
+  in
+  probe (hash t key)
+
+(** Discard translations whose covered guest ranges intersect
+    [addr, addr+len) — used by munmap and the discard client request
+    (§3.8, §3.16). Returns how many were discarded. *)
+let discard_range (t : t) (addr : int64) (len : int) : int =
+  let hi = Int64.add addr (Int64.of_int len) in
+  let intersects (a, l) =
+    let ahi = Int64.add a (Int64.of_int l) in
+    Int64.unsigned_compare a hi < 0 && Int64.unsigned_compare addr ahi < 0
+  in
+  let keep, drop =
+    List.partition
+      (fun e -> not (List.exists intersects e.e_trans.Jit.Pipeline.t_guest_ranges))
+      (all_entries t)
+  in
+  let n = List.length drop in
+  if n > 0 then begin
+    t.n_discards <- t.n_discards + n;
+    rebuild t keep
+  end;
+  n
+
+(** Discard a single entry by key (SMC retranslation). *)
+let discard_key (t : t) (key : int64) =
+  let keep = List.filter (fun e -> e.e_key <> key) (all_entries t) in
+  t.n_discards <- t.n_discards + 1;
+  rebuild t keep
+
+let occupancy t = float_of_int t.used /. float_of_int t.capacity

@@ -1,0 +1,1 @@
+lib/guest/arch.ml: Fmt Printf Support

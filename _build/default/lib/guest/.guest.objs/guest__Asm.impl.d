@@ -1,0 +1,1 @@
+lib/guest/asm.ml: Arch Buffer Bytes Char Encode Fmt Hashtbl Image Int64 List Option String Support

@@ -1,0 +1,1 @@
+lib/guest/decode.ml: Arch Flags Int64 Support

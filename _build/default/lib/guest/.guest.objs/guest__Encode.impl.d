@@ -1,0 +1,1 @@
+lib/guest/encode.ml: Arch Bits Buf Bytes Flags Support

@@ -1,0 +1,1 @@
+lib/guest/flags.ml: Arch Bits Float Int64 Support

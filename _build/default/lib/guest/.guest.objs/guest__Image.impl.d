@@ -1,0 +1,1 @@
+lib/guest/image.ml: Aspace Bytes Int64 List

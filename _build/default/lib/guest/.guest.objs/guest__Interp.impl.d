@@ -1,0 +1,1 @@
+lib/guest/interp.ml: Arch Array Aspace Bits Decode Flags Float Hashtbl Int64 List Support V128

@@ -1,0 +1,605 @@
+(** Two-pass textual assembler for VG32.
+
+    Syntax (one statement per line, [;] or [#] comments):
+
+    {v
+            .text
+            .global _start
+    _start: movi r0, 10
+            call fact            ; labels are absolute targets
+            ldw  r1, [r7+r0*4+8] ; base + index*scale + disp
+            jeq  done
+            .data
+    msg:    .asciz "hello"
+    tbl:    .word 1, 2, 3, end-ish_label
+            .space 64
+            .align 8
+            .f64 3.5
+    v}
+
+    Register aliases: [sp] = r7, [fp] = r6.  Immediates may be decimal,
+    hex ([0x..]), negative, [label], or [label+n].  The entry point is
+    [_start] if defined, else [main], else the start of text. *)
+
+open Arch
+
+exception Error of { line : int; msg : string }
+
+let err line fmt = Fmt.kstr (fun msg -> raise (Error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic immediates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type term = Num of int64 | Sym of string
+type iexpr = (bool * term) list (* (negated, term) summands *)
+
+let eval_iexpr line (resolve : string -> int64 option) (e : iexpr) : int64 =
+  List.fold_left
+    (fun acc (neg, t) ->
+      let v =
+        match t with
+        | Num n -> n
+        | Sym s -> (
+            match resolve s with
+            | Some v -> v
+            | None -> err line "undefined symbol '%s'" s)
+      in
+      if neg then Int64.sub acc v else Int64.add acc v)
+    0L e
+
+(* ------------------------------------------------------------------ *)
+(* Tokenising operands                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let parse_reg line (s : string) : reg option =
+  match String.lowercase_ascii s with
+  | "sp" -> Some reg_sp
+  | "fp" -> Some reg_fp
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n < n_regs -> Some n
+      | Some _ -> err line "no such register '%s'" s
+      | None -> None)
+  | _ -> None
+
+let parse_freg (s : string) : freg option =
+  let s = String.lowercase_ascii s in
+  if String.length s >= 2 && s.[0] = 'f' && s <> "fp" then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 && n < n_fregs -> Some n
+    | _ -> None
+  else None
+
+let parse_vreg (s : string) : vreg option =
+  let s = String.lowercase_ascii s in
+  if String.length s >= 2 && s.[0] = 'v' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 && n < n_vregs -> Some n
+    | _ -> None
+  else None
+
+let parse_num (s : string) : int64 option =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    try Some (Int64.of_string s) (* handles 0x, negatives *)
+    with _ -> None
+
+(* Split "a+b-c" into signed terms, respecting a leading '-'. *)
+let split_sum line (s : string) : (bool * string) list =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let neg = ref false in
+  let flush () =
+    let t = String.trim (Buffer.contents buf) in
+    if t <> "" then parts := (!neg, t) :: !parts
+    else if Buffer.length buf > 0 || !parts <> [] then err line "empty term in expression '%s'" s;
+    Buffer.clear buf
+  in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '+' when Buffer.length buf > 0 || !parts <> [] ->
+          flush ();
+          neg := false
+      | '-' when i > 0 && (Buffer.length buf > 0 || !parts <> []) && String.trim (Buffer.contents buf) <> "" ->
+          flush ();
+          neg := true
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !parts
+
+let parse_iexpr line (s : string) : iexpr =
+  split_sum line s
+  |> List.map (fun (neg, t) ->
+         match parse_num t with
+         | Some n -> (neg, Num n)
+         | None ->
+             if String.length t > 0 && String.for_all is_ident_char t then
+               (neg, Sym t)
+             else err line "cannot parse term '%s'" t)
+
+(* Memory operand: [base + index*scale + disp-terms] *)
+type smem = {
+  sm_base : reg option;
+  sm_index : (reg * int) option;
+  sm_disp : iexpr;
+}
+
+let parse_mem line (s : string) : smem =
+  let inner = String.sub s 1 (String.length s - 2) in
+  let terms = split_sum line inner in
+  let base = ref None and index = ref None and disp = ref [] in
+  List.iter
+    (fun (neg, t) ->
+      match String.index_opt t '*' with
+      | Some i ->
+          if neg then err line "negated index term in '%s'" s;
+          let r = String.trim (String.sub t 0 i) in
+          let sc = String.trim (String.sub t (i + 1) (String.length t - i - 1)) in
+          let r =
+            match parse_reg line r with
+            | Some r -> r
+            | None -> err line "bad index register '%s'" r
+          in
+          let sc =
+            match int_of_string_opt sc with
+            | Some (1 | 2 | 4 | 8) -> int_of_string sc
+            | _ -> err line "bad scale '%s' (must be 1/2/4/8)" sc
+          in
+          if !index <> None then err line "two index terms in '%s'" s;
+          index := Some (r, sc)
+      | None -> (
+          match parse_reg line t with
+          | Some r when not neg ->
+              if !base = None then base := Some r
+              else if !index = None then index := Some (r, 1)
+              else err line "too many registers in '%s'" s
+          | Some _ -> err line "negated register in '%s'" s
+          | None -> (
+              match parse_num t with
+              | Some n -> disp := (neg, Num n) :: !disp
+              | None ->
+                  if String.for_all is_ident_char t && t <> "" then
+                    disp := (neg, Sym t) :: !disp
+                  else err line "cannot parse '%s' in memory operand" t)))
+    terms;
+  { sm_base = !base; sm_index = !index; sm_disp = List.rev !disp }
+
+(* ------------------------------------------------------------------ *)
+(* Program items                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type operand =
+  | OReg of reg
+  | OFreg of freg
+  | OVreg of vreg
+  | OMem of smem
+  | OImm of iexpr
+  | OFloat of float  (** a literal that only parses as a float (e.g. 1.5) *)
+
+type section = Text | Data
+
+type item =
+  | It_insn of int * ((string -> int64 option) -> insn)
+      (** line, resolver -> concrete instruction *)
+  | It_bytes of Bytes.t
+  | It_word of int * iexpr
+  | It_f64 of float
+  | It_space of int
+  | It_align of int
+
+(* length of an item given current address (align depends on position) *)
+let item_len addr = function
+  | It_insn (line, f) ->
+      ignore line;
+      Encode.length (f (fun _ -> Some 0L))
+  | It_bytes b -> Bytes.length b
+  | It_word _ -> 4
+  | It_f64 _ -> 8
+  | It_space n -> n
+  | It_align a ->
+      let m = Int64.to_int (Int64.rem addr (Int64.of_int a)) in
+      if m = 0 then 0 else a - m
+
+(* ------------------------------------------------------------------ *)
+(* Line parsing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment s =
+  let cut = ref (String.length s) in
+  let in_str = ref false in
+  String.iteri
+    (fun i c ->
+      if c = '"' then in_str := not !in_str
+      else if (c = ';' || c = '#') && (not !in_str) && i < !cut then cut := i)
+    s;
+  String.sub s 0 !cut
+
+let parse_string_lit line (s : string) : string =
+  let s = String.trim s in
+  if String.length s < 2 || s.[0] <> '"' || s.[String.length s - 1] <> '"' then
+    err line "expected string literal, got %s" s;
+  let body = String.sub s 1 (String.length s - 2) in
+  let buf = Buffer.create (String.length body) in
+  let i = ref 0 in
+  while !i < String.length body do
+    (if body.[!i] = '\\' && !i + 1 < String.length body then begin
+       (match body.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | '0' -> Buffer.add_char buf '\000'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | c -> err line "unknown escape '\\%c'" c);
+       incr i
+     end
+     else Buffer.add_char buf body.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* split operands on top-level commas (none occur inside brackets here,
+   but be safe) *)
+let split_operands (s : string) : string list =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  let in_str = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_str := not !in_str;
+        Buffer.add_char buf c
+      end
+      else if !in_str then Buffer.add_char buf c
+      else
+        match c with
+        | '[' ->
+            incr depth;
+            Buffer.add_char buf c
+        | ']' ->
+            decr depth;
+            Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+            parts := String.trim (Buffer.contents buf) :: !parts;
+            Buffer.clear buf
+        | c -> Buffer.add_char buf c)
+    s;
+  let last = String.trim (Buffer.contents buf) in
+  if last <> "" || !parts <> [] then parts := last :: !parts;
+  List.rev !parts |> List.filter (fun s -> s <> "")
+
+let parse_operand line (s : string) : operand =
+  if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']' then
+    OMem (parse_mem line s)
+  else
+    match parse_reg line s with
+    | Some r -> OReg r
+    | None -> (
+        match parse_freg s with
+        | Some f -> OFreg f
+        | None -> (
+            match parse_vreg s with
+            | Some v -> OVreg v
+            | None -> (
+                (* a float literal that is not a valid integer expression
+                   (hex-float or decimal-point form) *)
+                match (parse_num s, float_of_string_opt s) with
+                | None, Some f -> OFloat f
+                | _ -> OImm (parse_iexpr line s))))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction building                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let conds =
+  [ ("eq", Ceq); ("ne", Cne); ("lt", Clts); ("le", Cles); ("gt", Cgts);
+    ("ge", Cges); ("b", Cltu); ("be", Cleu); ("a", Cgtu); ("ae", Cgeu);
+    ("s", Cs); ("ns", Cns); ("z", Ceq); ("nz", Cne) ]
+
+let alus =
+  [ ("add", ADD); ("sub", SUB); ("and", AND); ("or", OR); ("xor", XOR);
+    ("shl", SHL); ("shr", SHR); ("sar", SAR); ("mul", MUL); ("divs", DIVS);
+    ("divu", DIVU); ("div", DIVS) ]
+
+let falus =
+  [ ("fadd", FADD); ("fsub", FSUB); ("fmul", FMUL); ("fdiv", FDIV);
+    ("fmin", FMIN); ("fmax", FMAX) ]
+
+let fun1s = [ ("fsqrt", FSQRT); ("fneg", FNEG); ("fabs", FABS) ]
+
+let valus =
+  [ ("vand", VAND); ("vor", VOR); ("vxor", VXOR); ("vadd32", VADD32);
+    ("vsub32", VSUB32); ("vcmpeq32", VCMPEQ32); ("vadd8", VADD8);
+    ("vsub8", VSUB8) ]
+
+let build_insn line (mn : string) (ops : operand list) :
+    (string -> int64 option) -> insn =
+  let imm e resolve = Support.Bits.trunc32 (eval_iexpr line (fun s -> resolve s) e) in
+  let mem (m : smem) resolve : mem =
+    { base = m.sm_base; index = m.sm_index; disp = imm m.sm_disp resolve }
+  in
+  let bad () = err line "bad operands for '%s'" mn in
+  let const i = fun _ -> i in
+  match (mn, ops) with
+  | "nop", [] -> const Nop
+  | "mov", [ OReg d; OReg s ] -> const (Mov (d, s))
+  | ("mov" | "movi"), [ OReg d; OImm e ] -> fun r -> Movi (d, imm e r)
+  | "lea", [ OReg d; OMem m ] -> fun r -> Lea (d, mem m r)
+  | "ldb", [ OReg d; OMem m ] -> fun r -> Ld (W1, Zx, d, mem m r)
+  | "ldbs", [ OReg d; OMem m ] -> fun r -> Ld (W1, Sx, d, mem m r)
+  | "ldh", [ OReg d; OMem m ] -> fun r -> Ld (W2, Zx, d, mem m r)
+  | "ldhs", [ OReg d; OMem m ] -> fun r -> Ld (W2, Sx, d, mem m r)
+  | "ldw", [ OReg d; OMem m ] -> fun r -> Ld (W4, Zx, d, mem m r)
+  | "stb", [ OMem m; OReg s ] -> fun r -> St (W1, mem m r, s)
+  | "sth", [ OMem m; OReg s ] -> fun r -> St (W2, mem m r, s)
+  | "stw", [ OMem m; OReg s ] -> fun r -> St (W4, mem m r, s)
+  | "cmp", [ OReg a; OReg b ] -> const (Cmp (a, b))
+  | ("cmp" | "cmpi"), [ OReg a; OImm e ] -> fun r -> Cmpi (a, imm e r)
+  | "test", [ OReg a; OReg b ] -> const (Test (a, b))
+  | "inc", [ OReg d ] -> const (Inc d)
+  | "dec", [ OReg d ] -> const (Dec d)
+  | "neg", [ OReg d ] -> const (Neg d)
+  | "not", [ OReg d ] -> const (Not d)
+  | ("jmp" | "jmp*" | "jmpr"), [ OReg s ] -> const (Jmpi s)
+  | "jmp", [ OImm e ] -> fun r -> Jmp (imm e r)
+  | ("call" | "call*" | "callr"), [ OReg s ] -> const (Calli s)
+  | "call", [ OImm e ] -> fun r -> Call (imm e r)
+  | "ret", [] -> const Ret
+  | "push", [ OReg s ] -> const (Push s)
+  | ("push" | "pushi"), [ OImm e ] -> fun r -> Pushi (imm e r)
+  | "pop", [ OReg d ] -> const (Pop d)
+  | "sysinfo", [] -> const Sysinfo
+  | "syscall", [] -> const Syscall
+  | "clreq", [] -> const Clreq
+  | "ud", [] -> const Ud
+  | "fld", [ OFreg d; OMem m ] -> fun r -> Fld (d, mem m r)
+  | "fst", [ OMem m; OFreg s ] -> fun r -> Fst (mem m r, s)
+  | "fmov", [ OFreg d; OFreg s ] -> const (Fmovr (d, s))
+  | "fldi", [ OFreg d; OFloat f ] -> const (Fldi (d, f))
+  | "fldi", [ OFreg d; OImm e ] ->
+      (* integer literal promoted to float *)
+      fun r -> Fldi (d, Int64.to_float (eval_iexpr line (fun s -> r s) e))
+  | "fcmp", [ OFreg a; OFreg b ] -> const (Fcmp (a, b))
+  | "fitod", [ OFreg d; OReg s ] -> const (Fitod (d, s))
+  | "fdtoi", [ OReg d; OFreg s ] -> const (Fdtoi (d, s))
+  | "vld", [ OVreg d; OMem m ] -> fun r -> Vld (d, mem m r)
+  | "vst", [ OMem m; OVreg s ] -> fun r -> Vst (mem m r, s)
+  | "vmov", [ OVreg d; OVreg s ] -> const (Vmovr (d, s))
+  | "vsplat", [ OVreg d; OReg s ] -> const (Vsplat (d, s))
+  | "vextr", [ OReg d; OVreg s; OImm e ] ->
+      fun r -> Vextr (d, s, Int64.to_int (imm e r) land 3)
+  | _ -> (
+      (* table-driven families *)
+      match List.assoc_opt mn alus with
+      | Some op -> (
+          match ops with
+          | [ OReg d; OReg s ] -> const (Alu (op, d, s))
+          | [ OReg d; OImm e ] -> fun r -> Alui (op, d, imm e r)
+          | _ -> bad ())
+      | None -> (
+          (* "addi" etc *)
+          let base =
+            if String.length mn > 1 && mn.[String.length mn - 1] = 'i' then
+              Some (String.sub mn 0 (String.length mn - 1))
+            else None
+          in
+          match Option.bind base (fun b -> List.assoc_opt b alus) with
+          | Some op -> (
+              match ops with
+              | [ OReg d; OImm e ] -> fun r -> Alui (op, d, imm e r)
+              | _ -> bad ())
+          | None -> (
+              match List.assoc_opt mn falus with
+              | Some op -> (
+                  match ops with
+                  | [ OFreg d; OFreg s ] -> const (Falu (op, d, s))
+                  | _ -> bad ())
+              | None -> (
+                  match List.assoc_opt mn fun1s with
+                  | Some op -> (
+                      match ops with
+                      | [ OFreg d; OFreg s ] -> const (Fun1 (op, d, s))
+                      | [ OFreg d ] -> const (Fun1 (op, d, d))
+                      | _ -> bad ())
+                  | None -> (
+                      match List.assoc_opt mn valus with
+                      | Some op -> (
+                          match ops with
+                          | [ OVreg d; OVreg s ] -> const (Valu (op, d, s))
+                          | _ -> bad ())
+                      | None -> (
+                          (* jCC / setCC *)
+                          if String.length mn > 1 && mn.[0] = 'j' then
+                            match
+                              List.assoc_opt
+                                (String.sub mn 1 (String.length mn - 1))
+                                conds
+                            with
+                            | Some c -> (
+                                match ops with
+                                | [ OImm e ] -> fun r -> Jcc (c, imm e r)
+                                | _ -> bad ())
+                            | None -> err line "unknown mnemonic '%s'" mn
+                          else if String.length mn > 3 && String.sub mn 0 3 = "set"
+                          then
+                            match
+                              List.assoc_opt
+                                (String.sub mn 3 (String.length mn - 3))
+                                conds
+                            with
+                            | Some c -> (
+                                match ops with
+                                | [ OReg d ] -> const (Setcc (c, d))
+                                | _ -> bad ())
+                            | None -> err line "unknown mnemonic '%s'" mn
+                          else err line "unknown mnemonic '%s'" mn))))))
+
+(* ------------------------------------------------------------------ *)
+(* Assembly driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type pitem = { sect : section; it : item; line : int }
+
+let parse_line lineno (sect : section ref) (raw : string) :
+    ((string * section) list * pitem list) =
+  let s = String.trim (strip_comment raw) in
+  if s = "" then ([], [])
+  else begin
+    (* peel off leading labels *)
+    let labels = ref [] in
+    let rest = ref s in
+    let continue = ref true in
+    while !continue do
+      match String.index_opt !rest ':' with
+      | Some i when i > 0 && String.for_all is_ident_char (String.sub !rest 0 i)
+        ->
+          labels := String.sub !rest 0 i :: !labels;
+          rest := String.trim (String.sub !rest (i + 1) (String.length !rest - i - 1))
+      | _ -> continue := false
+    done;
+    let labels_with_sect () =
+      List.rev_map (fun l -> (l, !sect)) !labels
+    in
+    let s = !rest in
+    if s = "" then (labels_with_sect (), [])
+    else
+      let mn, args =
+        match String.index_opt s ' ' with
+        | Some i ->
+            ( String.lowercase_ascii (String.sub s 0 i),
+              String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+        | None -> (String.lowercase_ascii s, "")
+      in
+      let items =
+        if String.length mn > 0 && mn.[0] = '.' then
+          match mn with
+          | ".text" ->
+              sect := Text;
+              []
+          | ".data" ->
+              sect := Data;
+              []
+          | ".global" | ".globl" | ".extern" -> []
+          | ".word" | ".long" ->
+              split_operands args
+              |> List.map (fun a ->
+                     { sect = !sect; it = It_word (lineno, parse_iexpr lineno a); line = lineno })
+          | ".byte" ->
+              let bs =
+                split_operands args
+                |> List.map (fun a ->
+                       match parse_num a with
+                       | Some n -> Char.chr (Int64.to_int n land 0xFF)
+                       | None -> err lineno "bad .byte operand '%s'" a)
+              in
+              [ { sect = !sect; it = It_bytes (Bytes.of_string (String.init (List.length bs) (List.nth bs))); line = lineno } ]
+          | ".ascii" ->
+              [ { sect = !sect; it = It_bytes (Bytes.of_string (parse_string_lit lineno args)); line = lineno } ]
+          | ".asciz" | ".string" ->
+              [ { sect = !sect; it = It_bytes (Bytes.of_string (parse_string_lit lineno args ^ "\000")); line = lineno } ]
+          | ".space" | ".skip" -> (
+              match parse_num args with
+              | Some n -> [ { sect = !sect; it = It_space (Int64.to_int n); line = lineno } ]
+              | None -> err lineno "bad .space operand")
+          | ".align" -> (
+              match parse_num args with
+              | Some n -> [ { sect = !sect; it = It_align (Int64.to_int n); line = lineno } ]
+              | None -> err lineno "bad .align operand")
+          | ".f64" | ".double" ->
+              split_operands args
+              |> List.map (fun a ->
+                     match float_of_string_opt a with
+                     | Some f -> { sect = !sect; it = It_f64 f; line = lineno }
+                     | None -> err lineno "bad .f64 operand '%s'" a)
+          | d -> err lineno "unknown directive '%s'" d
+        else
+          let ops = split_operands args |> List.map (parse_operand lineno) in
+          [ { sect = !sect; it = It_insn (lineno, build_insn lineno mn ops); line = lineno } ]
+      in
+      (labels_with_sect (), items)
+  end
+
+(** Assemble [source] into an image. *)
+let assemble ?(text_base = Image.default_text_base) (source : string) : Image.t =
+  let sect = ref Text in
+  let all : ((string * section) list * pitem list) list =
+    String.split_on_char '\n' source
+    |> List.mapi (fun i l -> parse_line (i + 1) sect l)
+  in
+  (* Layout pass: walk text items then data items, assigning addresses. *)
+  let symbols : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  let place (which : section) (base : int64) : (pitem * int64) list * int64 =
+    let addr = ref base in
+    let placed = ref [] in
+    List.iter
+      (fun (labels, items) ->
+        (* labels bind at the cursor of the section they were parsed in *)
+        List.iter
+          (fun (l, lsect) ->
+            if lsect = which && not (Hashtbl.mem symbols l) then
+              Hashtbl.replace symbols l !addr)
+          labels;
+        List.iter
+          (fun it ->
+            if it.sect = which then begin
+              let len = item_len !addr it.it in
+              placed := (it, !addr) :: !placed;
+              addr := Int64.add !addr (Int64.of_int len)
+            end)
+          items)
+      all;
+    (List.rev !placed, !addr)
+  in
+  (* Two-phase: text first, then data at the page after text. *)
+  let text_items, text_end = place Text text_base in
+  let data_base = Image.round_page text_end in
+  let data_items, data_end = place Data data_base in
+  ignore data_end;
+  let resolve s = Hashtbl.find_opt symbols s in
+  let emit_items items base =
+    let buf = Support.Buf.create ~capacity:1024 () in
+    List.iter
+      (fun (it, addr) ->
+        (* pad up to addr *)
+        let cur = Int64.add base (Int64.of_int (Support.Buf.length buf)) in
+        for _ = 1 to Int64.to_int (Int64.sub addr cur) do
+          Support.Buf.u8 buf 0
+        done;
+        match it.it with
+        | It_insn (_, f) -> Encode.emit buf (f resolve)
+        | It_bytes b -> Bytes.iter (fun c -> Support.Buf.u8 buf (Char.code c)) b
+        | It_word (line, e) -> Support.Buf.u32 buf (eval_iexpr line resolve e)
+        | It_f64 f -> Support.Buf.u64 buf (Support.Bits.bits_of_float f)
+        | It_space n ->
+            for _ = 1 to n do
+              Support.Buf.u8 buf 0
+            done
+        | It_align _ -> ())
+      items;
+    Support.Buf.contents buf
+  in
+  let text = emit_items text_items text_base in
+  let data = emit_items data_items data_base in
+  let entry =
+    match resolve "_start" with
+    | Some e -> e
+    | None -> (
+        match resolve "main" with Some e -> e | None -> text_base)
+  in
+  {
+    Image.text_addr = text_base;
+    text;
+    data_addr = data_base;
+    data;
+    bss_len = 0;
+    entry;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols [];
+  }

@@ -1,0 +1,215 @@
+(** VG32 instruction decoder.
+
+    Decodes from any byte source (a [fetch] function), so it is shared by
+    the JIT disassembler (phase 1, fetching through the address space with
+    execute permission) and by the guest reference interpreter.  An
+    unknown opcode decodes to [Ud] so that the translator can emit a
+    SIGILL exit rather than failing (paper: Valgrind must keep control on
+    all code, including garbage jumped to by a buggy client). *)
+
+open Arch
+
+type fetch = int64 -> int (* address -> unsigned byte *)
+
+exception Truncated (* fetch faulted: page not executable/mapped *)
+
+let alu_of_index = function
+  | 0 -> ADD | 1 -> SUB | 2 -> AND | 3 -> OR | 4 -> XOR | 5 -> SHL
+  | 6 -> SHR | 7 -> SAR | 8 -> MUL | 9 -> DIVS | 10 -> DIVU
+  | _ -> invalid_arg "alu_of_index"
+
+let falu_of_index = function
+  | 0 -> FADD | 1 -> FSUB | 2 -> FMUL | 3 -> FDIV | 4 -> FMIN | 5 -> FMAX
+  | _ -> invalid_arg "falu_of_index"
+
+let fun1_of_index = function
+  | 0 -> FSQRT | 1 -> FNEG | 2 -> FABS | _ -> invalid_arg "fun1_of_index"
+
+let valu_of_index = function
+  | 0 -> VAND | 1 -> VOR | 2 -> VXOR | 3 -> VADD32 | 4 -> VSUB32
+  | 5 -> VCMPEQ32 | 6 -> VADD8 | 7 -> VSUB8
+  | _ -> invalid_arg "valu_of_index"
+
+(** [decode fetch addr] decodes the instruction at [addr]; returns the
+    instruction and its encoded length. *)
+let decode (fetch : fetch) (addr : int64) : insn * int =
+  let pos = ref addr in
+  let u8 () =
+    let b = fetch !pos in
+    pos := Int64.add !pos 1L;
+    b
+  in
+  let u32 () =
+    let a = u8 () in
+    let b = u8 () in
+    let c = u8 () in
+    let d = u8 () in
+    Int64.of_int (a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24))
+  in
+  let u64 () =
+    let lo = u32 () in
+    let hi = u32 () in
+    Int64.logor lo (Int64.shift_left hi 32)
+  in
+  let rr () =
+    let b = u8 () in
+    ((b lsr 4) land 0xF, b land 0xF)
+  in
+  let mem () =
+    let mode = u8 () in
+    let base = if mode land 0x80 <> 0 then Some (mode land 7) else None in
+    let index =
+      if mode land 0x40 <> 0 then begin
+        let scale = 1 lsl ((mode lsr 4) land 3) in
+        let i = u8 () in
+        Some (i land 7, scale)
+      end
+      else None
+    in
+    let disp = u32 () in
+    { base; index; disp }
+  in
+  let r_mem () =
+    let r = u8 () in
+    let m = mem () in
+    (r land 0xF, m)
+  in
+  let opcode = u8 () in
+  let insn =
+    match opcode with
+    | 0x00 -> Nop
+    | 0x01 ->
+        let d, s = rr () in
+        Mov (d, s)
+    | 0x02 ->
+        let d = u8 () in
+        Movi (d land 7, u32 ())
+    | 0x03 ->
+        let d, m = r_mem () in
+        Lea (d, m)
+    | 0x04 ->
+        let d, m = r_mem () in
+        Ld (W1, Zx, d, m)
+    | 0x05 ->
+        let d, m = r_mem () in
+        Ld (W1, Sx, d, m)
+    | 0x06 ->
+        let d, m = r_mem () in
+        Ld (W2, Zx, d, m)
+    | 0x07 ->
+        let d, m = r_mem () in
+        Ld (W2, Sx, d, m)
+    | 0x08 ->
+        let d, m = r_mem () in
+        Ld (W4, Zx, d, m)
+    | 0x09 ->
+        let s, m = r_mem () in
+        St (W1, m, s)
+    | 0x0A ->
+        let s, m = r_mem () in
+        St (W2, m, s)
+    | 0x0B ->
+        let s, m = r_mem () in
+        St (W4, m, s)
+    | op when op >= 0x10 && op <= 0x1A ->
+        let d, s = rr () in
+        Alu (alu_of_index (op - 0x10), d, s)
+    | op when op >= 0x20 && op <= 0x2A ->
+        let d = u8 () in
+        Alui (alu_of_index (op - 0x20), d land 7, u32 ())
+    | 0x30 ->
+        let a, b = rr () in
+        Cmp (a, b)
+    | 0x31 ->
+        let a = u8 () in
+        Cmpi (a land 7, u32 ())
+    | 0x32 ->
+        let a, b = rr () in
+        Test (a, b)
+    | 0x33 ->
+        let d, _ = rr () in
+        Inc d
+    | 0x34 ->
+        let d, _ = rr () in
+        Dec d
+    | 0x35 ->
+        let d, _ = rr () in
+        Neg d
+    | 0x36 ->
+        let d, _ = rr () in
+        Not d
+    | 0x37 ->
+        let c, d = rr () in
+        if c > 11 then Ud else Setcc (Flags.cond_of_int c, d)
+    | 0x38 ->
+        let c = u8 () in
+        let target = u32 () in
+        if c land 0xF > 11 then Ud else Jcc (Flags.cond_of_int (c land 0xF), target)
+    | 0x39 -> Jmp (u32 ())
+    | 0x3A ->
+        let s, _ = rr () in
+        Jmpi s
+    | 0x3B -> Call (u32 ())
+    | 0x3C ->
+        let s, _ = rr () in
+        Calli s
+    | 0x3D -> Ret
+    | 0x3E ->
+        let s, _ = rr () in
+        Push s
+    | 0x3F -> Pushi (u32 ())
+    | 0x40 ->
+        let d, _ = rr () in
+        Pop d
+    | 0x41 -> Sysinfo
+    | 0x42 -> Syscall
+    | 0x43 -> Clreq
+    | 0x50 ->
+        let d, m = r_mem () in
+        Fld (d, m)
+    | 0x51 ->
+        let s, m = r_mem () in
+        Fst (m, s)
+    | 0x52 ->
+        let d, s = rr () in
+        Fmovr (d, s)
+    | 0x53 ->
+        let d = u8 () in
+        Fldi (d land 3, Support.Bits.float_of_bits (u64 ()))
+    | op when op >= 0x54 && op <= 0x59 ->
+        let d, s = rr () in
+        Falu (falu_of_index (op - 0x54), d, s)
+    | op when op >= 0x5A && op <= 0x5C ->
+        let d, s = rr () in
+        Fun1 (fun1_of_index (op - 0x5A), d, s)
+    | 0x5D ->
+        let a, b = rr () in
+        Fcmp (a, b)
+    | 0x5E ->
+        let d, s = rr () in
+        Fitod (d, s)
+    | 0x5F ->
+        let d, s = rr () in
+        Fdtoi (d, s)
+    | 0x60 ->
+        let d, m = r_mem () in
+        Vld (d, m)
+    | 0x61 ->
+        let s, m = r_mem () in
+        Vst (m, s)
+    | 0x62 ->
+        let d, s = rr () in
+        Vmovr (d, s)
+    | op when op >= 0x63 && op <= 0x6A ->
+        let d, s = rr () in
+        Valu (valu_of_index (op - 0x63), d, s)
+    | 0x6B ->
+        let d, s = rr () in
+        Vsplat (d, s)
+    | 0x6C ->
+        let d, s = rr () in
+        let lane = u8 () in
+        Vextr (d, s, lane land 3)
+    | _ -> Ud
+  in
+  (insn, Int64.to_int (Int64.sub !pos addr))

@@ -1,0 +1,122 @@
+(** VG32 binary instruction encoder.
+
+    Encoding: one opcode byte followed by operand bytes.  Memory operands
+    are a mode byte (bit7 = has base, bit6 = has index, bits 5:4 = log2
+    scale, bits 2:0 = base register), an optional index-register byte, and
+    a 32-bit displacement.  Instruction lengths therefore range from 1 to
+    10 bytes — decoding is genuinely variable-length, like x86. *)
+
+open Arch
+open Support
+
+let alu_index = function
+  | ADD -> 0 | SUB -> 1 | AND -> 2 | OR -> 3 | XOR -> 4 | SHL -> 5
+  | SHR -> 6 | SAR -> 7 | MUL -> 8 | DIVS -> 9 | DIVU -> 10
+
+let falu_index = function
+  | FADD -> 0 | FSUB -> 1 | FMUL -> 2 | FDIV -> 3 | FMIN -> 4 | FMAX -> 5
+
+let fun1_index = function FSQRT -> 0 | FNEG -> 1 | FABS -> 2
+
+let valu_index = function
+  | VAND -> 0 | VOR -> 1 | VXOR -> 2 | VADD32 -> 3 | VSUB32 -> 4
+  | VCMPEQ32 -> 5 | VADD8 -> 6 | VSUB8 -> 7
+
+let log2_scale = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> invalid_arg "scale"
+
+let emit_mem buf (m : mem) =
+  let mode =
+    (match m.base with Some b -> 0x80 lor b | None -> 0)
+    lor (match m.index with Some (_, s) -> 0x40 lor (log2_scale s lsl 4) | None -> 0)
+  in
+  Buf.u8 buf mode;
+  (match m.index with Some (i, _) -> Buf.u8 buf i | None -> ());
+  Buf.u32 buf m.disp
+
+let rr buf op d s =
+  Buf.u8 buf op;
+  Buf.u8 buf ((d lsl 4) lor s)
+
+let r_imm buf op d imm =
+  Buf.u8 buf op;
+  Buf.u8 buf d;
+  Buf.u32 buf imm
+
+let r_mem buf op r m =
+  Buf.u8 buf op;
+  Buf.u8 buf r;
+  emit_mem buf m
+
+(** Append the encoding of [i] to [buf]. *)
+let emit buf (i : insn) =
+  match i with
+  | Nop -> Buf.u8 buf 0x00
+  | Mov (d, s) -> rr buf 0x01 d s
+  | Movi (d, imm) -> r_imm buf 0x02 d imm
+  | Lea (d, m) -> r_mem buf 0x03 d m
+  | Ld (W1, Zx, d, m) -> r_mem buf 0x04 d m
+  | Ld (W1, Sx, d, m) -> r_mem buf 0x05 d m
+  | Ld (W2, Zx, d, m) -> r_mem buf 0x06 d m
+  | Ld (W2, Sx, d, m) -> r_mem buf 0x07 d m
+  | Ld (W4, _, d, m) -> r_mem buf 0x08 d m
+  | St (W1, m, s) -> r_mem buf 0x09 s m
+  | St (W2, m, s) -> r_mem buf 0x0A s m
+  | St (W4, m, s) -> r_mem buf 0x0B s m
+  | Alu (op, d, s) -> rr buf (0x10 + alu_index op) d s
+  | Alui (op, d, imm) -> r_imm buf (0x20 + alu_index op) d imm
+  | Cmp (a, b) -> rr buf 0x30 a b
+  | Cmpi (a, imm) -> r_imm buf 0x31 a imm
+  | Test (a, b) -> rr buf 0x32 a b
+  | Inc d -> rr buf 0x33 d 0
+  | Dec d -> rr buf 0x34 d 0
+  | Neg d -> rr buf 0x35 d 0
+  | Not d -> rr buf 0x36 d 0
+  | Setcc (c, d) -> rr buf 0x37 (Flags.cond_to_int c) d
+  | Jcc (c, target) -> r_imm buf 0x38 (Flags.cond_to_int c) target
+  | Jmp target ->
+      Buf.u8 buf 0x39;
+      Buf.u32 buf target
+  | Jmpi s -> rr buf 0x3A s 0
+  | Call target ->
+      Buf.u8 buf 0x3B;
+      Buf.u32 buf target
+  | Calli s -> rr buf 0x3C s 0
+  | Ret -> Buf.u8 buf 0x3D
+  | Push s -> rr buf 0x3E s 0
+  | Pushi imm ->
+      Buf.u8 buf 0x3F;
+      Buf.u32 buf imm
+  | Pop d -> rr buf 0x40 d 0
+  | Sysinfo -> Buf.u8 buf 0x41
+  | Syscall -> Buf.u8 buf 0x42
+  | Clreq -> Buf.u8 buf 0x43
+  | Fld (d, m) -> r_mem buf 0x50 d m
+  | Fst (m, s) -> r_mem buf 0x51 s m
+  | Fmovr (d, s) -> rr buf 0x52 d s
+  | Fldi (d, x) ->
+      Buf.u8 buf 0x53;
+      Buf.u8 buf d;
+      Buf.u64 buf (Bits.bits_of_float x)
+  | Falu (op, d, s) -> rr buf (0x54 + falu_index op) d s
+  | Fun1 (op, d, s) -> rr buf (0x5A + fun1_index op) d s
+  | Fcmp (a, b) -> rr buf 0x5D a b
+  | Fitod (d, s) -> rr buf 0x5E d s
+  | Fdtoi (d, s) -> rr buf 0x5F d s
+  | Vld (d, m) -> r_mem buf 0x60 d m
+  | Vst (m, s) -> r_mem buf 0x61 s m
+  | Vmovr (d, s) -> rr buf 0x62 d s
+  | Valu (op, d, s) -> rr buf (0x63 + valu_index op) d s
+  | Vsplat (d, s) -> rr buf 0x6B d s
+  | Vextr (d, s, lane) ->
+      rr buf 0x6C d s;
+      Buf.u8 buf lane
+  | Ud -> Buf.u8 buf 0xFF
+
+(** Encode a single instruction to fresh bytes. *)
+let encode (i : insn) : Bytes.t =
+  let b = Buf.create ~capacity:12 () in
+  emit b i;
+  Buf.contents b
+
+(** Encoded length of [i] in bytes. *)
+let length (i : insn) = Bytes.length (encode i)

@@ -1,0 +1,1 @@
+lib/host/arch.ml: Fmt Fun List Printf Vex_ir

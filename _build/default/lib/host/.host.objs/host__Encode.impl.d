@@ -1,0 +1,1 @@
+lib/host/encode.ml: Arch Array Bits Buf Bytes Hashtbl Int64 List Printf Support

@@ -1,0 +1,1 @@
+lib/host/interp.ml: Arch Array Aspace Bits Float Int64 Support V128 Vex_ir

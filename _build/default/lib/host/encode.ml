@@ -1,0 +1,272 @@
+(** VH64 encoder/decoder.
+
+    Phase 8 of the JIT assembles the register-allocated instruction list
+    into this byte encoding and writes it into the translation's code
+    block.  The executor ({!Interp}) decodes the bytes back once per
+    translation and caches the decoded form — playing the role of a
+    hardware instruction cache, and keeping the stored translation a real
+    byte artefact (the translation table hands out byte blocks, evicts
+    them in chunks, and so on, as §3.8 describes). *)
+
+open Arch
+open Support
+
+let alu_index = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4 | Shl -> 5 | Shr -> 6
+  | Sar -> 7 | Mul -> 8 | Mulhs -> 9 | Divs -> 10 | Divu -> 11 | CmpEq -> 12
+  | CmpNe -> 13 | CmpLts -> 14 | CmpLes -> 15 | CmpLtu -> 16 | CmpLeu -> 17
+
+let alu_of_index = function
+  | 0 -> Add | 1 -> Sub | 2 -> And | 3 -> Or | 4 -> Xor | 5 -> Shl | 6 -> Shr
+  | 7 -> Sar | 8 -> Mul | 9 -> Mulhs | 10 -> Divs | 11 -> Divu | 12 -> CmpEq
+  | 13 -> CmpNe | 14 -> CmpLts | 15 -> CmpLes | 16 -> CmpLtu | 17 -> CmpLeu
+  | n -> invalid_arg (Printf.sprintf "alu_of_index %d" n)
+
+let falu_index = function
+  | FAdd -> 0 | FSub -> 1 | FMul -> 2 | FDiv -> 3 | FMin -> 4 | FMax -> 5
+  | FCmpEq -> 6 | FCmpLt -> 7 | FCmpLe -> 8
+
+let falu_of_index = function
+  | 0 -> FAdd | 1 -> FSub | 2 -> FMul | 3 -> FDiv | 4 -> FMin | 5 -> FMax
+  | 6 -> FCmpEq | 7 -> FCmpLt | 8 -> FCmpLe
+  | n -> invalid_arg (Printf.sprintf "falu_of_index %d" n)
+
+let fun1_index = function
+  | FSqrt -> 0 | FNeg -> 1 | FAbs -> 2 | I32StoF64 -> 3 | F64toI32S -> 4
+  | Clz32 -> 5 | Ctz32 -> 6
+
+let fun1_of_index = function
+  | 0 -> FSqrt | 1 -> FNeg | 2 -> FAbs | 3 -> I32StoF64 | 4 -> F64toI32S
+  | 5 -> Clz32 | 6 -> Ctz32
+  | n -> invalid_arg (Printf.sprintf "fun1_of_index %d" n)
+
+let valu_index = function
+  | VAnd -> 0 | VOr -> 1 | VXor -> 2 | VAdd32 -> 3 | VSub32 -> 4
+  | VCmpEq32 -> 5 | VAdd8 -> 6 | VSub8 -> 7
+
+let valu_of_index = function
+  | 0 -> VAnd | 1 -> VOr | 2 -> VXor | 3 -> VAdd32 | 4 -> VSub32
+  | 5 -> VCmpEq32 | 6 -> VAdd8 | 7 -> VSub8
+  | n -> invalid_arg (Printf.sprintf "valu_of_index %d" n)
+
+let sz_code = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> invalid_arg "sz"
+let sz_of_code = function 0 -> 1 | 1 -> 2 | 2 -> 4 | _ -> 8
+
+(* Encoded length of each instruction (Label = 0). *)
+let enc_length = function
+  | Movi _ -> 10
+  | Mov _ -> 2
+  | Alu _ -> 4
+  | Alui _ -> 8
+  | Ld _ -> 7
+  | St _ -> 7
+  | Cmov _ -> 3
+  | Falu _ -> 4
+  | Fun1 _ -> 3
+  | Vld _ | Vst _ -> 6
+  | Vmov _ -> 2
+  | Valu _ -> 4
+  | Vnot _ | Vsplat32 _ -> 2
+  | Vpack _ -> 3
+  | Vunpack _ -> 3
+  | Call _ -> 6
+  | Jz _ | Jnz _ -> 6
+  | Jmp _ -> 5
+  | Label _ -> 0
+  | ExitIf _ -> 7
+  | Goto _ -> 3
+  | GotoI _ -> 6
+
+(** Assemble an instruction list (labels resolved to byte offsets) into
+    machine-code bytes. *)
+let assemble (insns : insn list) : Bytes.t =
+  (* pass 1: label -> byte offset *)
+  let label_off = Hashtbl.create 16 in
+  let off = ref 0 in
+  List.iter
+    (fun i ->
+      (match i with Label l -> Hashtbl.replace label_off l !off | _ -> ());
+      off := !off + enc_length i)
+    insns;
+  let target l =
+    match Hashtbl.find_opt label_off l with
+    | Some o -> Int64.of_int o
+    | None -> invalid_arg (Printf.sprintf "assemble: undefined label %d" l)
+  in
+  let b = Buf.create ~capacity:(!off + 8) () in
+  List.iter
+    (fun i ->
+      match i with
+      | Movi (d, imm) ->
+          Buf.u8 b 0x01;
+          Buf.u8 b d;
+          Buf.u64 b imm
+      | Mov (d, s) ->
+          Buf.u8 b 0x02;
+          Buf.u8 b ((d lsl 4) lor s)
+      | Alu (w, op, d, s1, s2) ->
+          Buf.u8 b (match w with W32 -> 0x03 | W64 -> 0x04);
+          Buf.u8 b (alu_index op);
+          Buf.u8 b ((d lsl 4) lor s1);
+          Buf.u8 b s2
+      | Alui (w, op, d, s1, imm) ->
+          Buf.u8 b (match w with W32 -> 0x05 | W64 -> 0x06);
+          Buf.u8 b (alu_index op);
+          Buf.u8 b ((d lsl 4) lor s1);
+          Buf.u32 b imm;
+          Buf.u8 b 0
+      | Ld (sz, sx, d, base, disp) ->
+          Buf.u8 b 0x07;
+          Buf.u8 b (sz_code sz lor if sx then 0x10 else 0);
+          Buf.u8 b ((d lsl 4) lor base);
+          Buf.u32 b (Int64.of_int disp)
+      | St (sz, s, base, disp) ->
+          Buf.u8 b 0x08;
+          Buf.u8 b (sz_code sz);
+          Buf.u8 b ((s lsl 4) lor base);
+          Buf.u32 b (Int64.of_int disp)
+      | Cmov (d, c, s) ->
+          Buf.u8 b 0x09;
+          Buf.u8 b ((d lsl 4) lor c);
+          Buf.u8 b s
+      | Falu (op, d, s1, s2) ->
+          Buf.u8 b 0x0A;
+          Buf.u8 b (falu_index op);
+          Buf.u8 b ((d lsl 4) lor s1);
+          Buf.u8 b s2
+      | Fun1 (op, d, s) ->
+          Buf.u8 b 0x0B;
+          Buf.u8 b (fun1_index op);
+          Buf.u8 b ((d lsl 4) lor s)
+      | Vld (d, base, disp) ->
+          Buf.u8 b 0x0C;
+          Buf.u8 b ((d lsl 4) lor base);
+          Buf.u32 b (Int64.of_int disp)
+      | Vst (s, base, disp) ->
+          Buf.u8 b 0x0D;
+          Buf.u8 b ((s lsl 4) lor base);
+          Buf.u32 b (Int64.of_int disp)
+      | Vmov (d, s) ->
+          Buf.u8 b 0x0E;
+          Buf.u8 b ((d lsl 4) lor s)
+      | Valu (op, d, s1, s2) ->
+          Buf.u8 b 0x0F;
+          Buf.u8 b (valu_index op);
+          Buf.u8 b ((d lsl 4) lor s1);
+          Buf.u8 b s2
+      | Vnot (d, s) ->
+          Buf.u8 b 0x10;
+          Buf.u8 b ((d lsl 4) lor s)
+      | Vsplat32 (d, s) ->
+          Buf.u8 b 0x11;
+          Buf.u8 b ((d lsl 4) lor s)
+      | Vpack (d, hi, lo) ->
+          Buf.u8 b 0x12;
+          Buf.u8 b d;
+          Buf.u8 b ((hi lsl 4) lor lo)
+      | Vunpack (d, s, half) ->
+          Buf.u8 b 0x13;
+          Buf.u8 b ((d lsl 4) lor s);
+          Buf.u8 b half
+      | Call (id, nargs, cost) ->
+          Buf.u8 b 0x14;
+          Buf.u16 b id;
+          Buf.u8 b nargs;
+          Buf.u16 b cost
+      | Jz (c, l) ->
+          Buf.u8 b 0x15;
+          Buf.u8 b c;
+          Buf.u32 b (target l)
+      | Jnz (c, l) ->
+          Buf.u8 b 0x16;
+          Buf.u8 b c;
+          Buf.u32 b (target l)
+      | Jmp l ->
+          Buf.u8 b 0x17;
+          Buf.u32 b (target l)
+      | Label _ -> ()
+      | ExitIf (c, ek, dest) ->
+          Buf.u8 b 0x18;
+          Buf.u8 b c;
+          Buf.u8 b ek;
+          Buf.u32 b dest
+      | Goto (ek, s) ->
+          Buf.u8 b 0x19;
+          Buf.u8 b ek;
+          Buf.u8 b s
+      | GotoI (ek, dest) ->
+          Buf.u8 b 0x1A;
+          Buf.u8 b ek;
+          Buf.u32 b dest)
+    insns;
+  Buf.contents b
+
+exception Decode_error of int
+
+(** Decode a translation back into an instruction array; branch targets
+    are rewritten from byte offsets to instruction indices (so [Jz]'s
+    label field is an index after decoding). *)
+let decode (code : Bytes.t) : insn array =
+  let out = ref [] in
+  let byte_to_idx = Hashtbl.create 64 in
+  let pos = ref 0 in
+  let idx = ref 0 in
+  let len = Bytes.length code in
+  while !pos < len do
+    Hashtbl.replace byte_to_idx !pos !idx;
+    let op = Buf.read_u8 code !pos in
+    let at = !pos + 1 in
+    let u8 o = Buf.read_u8 code (at + o) in
+    let u16 o = Buf.read_u16 code (at + o) in
+    let u32 o = Buf.read_u32 code (at + o) in
+    let u64 o = Buf.read_u64 code (at + o) in
+    let hi o = u8 o lsr 4 and lo o = u8 o land 0xF in
+    let i, sz =
+      match op with
+      | 0x01 -> (Movi (u8 0, u64 1), 10)
+      | 0x02 -> (Mov (hi 0, lo 0), 2)
+      | 0x03 -> (Alu (W32, alu_of_index (u8 0), hi 1, lo 1, u8 2), 4)
+      | 0x04 -> (Alu (W64, alu_of_index (u8 0), hi 1, lo 1, u8 2), 4)
+      | 0x05 -> (Alui (W32, alu_of_index (u8 0), hi 1, lo 1, Bits.sext32 (u32 2)), 8)
+      | 0x06 -> (Alui (W64, alu_of_index (u8 0), hi 1, lo 1, Bits.sext32 (u32 2)), 8)
+      | 0x07 ->
+          let m = u8 0 in
+          (Ld (sz_of_code (m land 3), m land 0x10 <> 0, hi 1, lo 1,
+               Int64.to_int (Bits.sext32 (u32 2))), 7)
+      | 0x08 ->
+          (St (sz_of_code (u8 0 land 3), hi 1, lo 1,
+               Int64.to_int (Bits.sext32 (u32 2))), 7)
+      | 0x09 -> (Cmov (hi 0, lo 0, u8 1), 3)
+      | 0x0A -> (Falu (falu_of_index (u8 0), hi 1, lo 1, u8 2), 4)
+      | 0x0B -> (Fun1 (fun1_of_index (u8 0), hi 1, lo 1), 3)
+      | 0x0C -> (Vld (hi 0, lo 0, Int64.to_int (Bits.sext32 (u32 1))), 6)
+      | 0x0D -> (Vst (hi 0, lo 0, Int64.to_int (Bits.sext32 (u32 1))), 6)
+      | 0x0E -> (Vmov (hi 0, lo 0), 2)
+      | 0x0F -> (Valu (valu_of_index (u8 0), hi 1, lo 1, u8 2), 4)
+      | 0x10 -> (Vnot (hi 0, lo 0), 2)
+      | 0x11 -> (Vsplat32 (hi 0, lo 0), 2)
+      | 0x12 -> (Vpack (u8 0, hi 1, lo 1), 3)
+      | 0x13 -> (Vunpack (hi 0, lo 0, u8 1), 3)
+      | 0x14 -> (Call (u16 0, u8 2, u16 3), 6)
+      | 0x15 -> (Jz (u8 0, Int64.to_int (u32 1)), 6)
+      | 0x16 -> (Jnz (u8 0, Int64.to_int (u32 1)), 6)
+      | 0x17 -> (Jmp (Int64.to_int (u32 0)), 5)
+      | 0x18 -> (ExitIf (u8 0, u8 1, u32 2), 7)
+      | 0x19 -> (Goto (u8 0, u8 1), 3)
+      | 0x1A -> (GotoI (u8 0, u32 1), 6)
+      | _ -> raise (Decode_error !pos)
+    in
+    out := i :: !out;
+    pos := !pos + sz;
+    incr idx
+  done;
+  Hashtbl.replace byte_to_idx !pos !idx;
+  let arr = Array.of_list (List.rev !out) in
+  (* rewrite branch targets from byte offsets to indices *)
+  Array.map
+    (function
+      | Jz (c, t) -> Jz (c, Hashtbl.find byte_to_idx t)
+      | Jnz (c, t) -> Jnz (c, Hashtbl.find byte_to_idx t)
+      | Jmp t -> Jmp (Hashtbl.find byte_to_idx t)
+      | i -> i)
+    arr

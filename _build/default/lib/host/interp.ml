@@ -1,0 +1,198 @@
+(** VH64 interpreter — the simulated host CPU that runs translations.
+
+    The dispatcher points [h15] (GSP) at the current ThreadState and runs
+    a decoded translation; the translation ends with an exit instruction
+    carrying the next guest PC and an exit kind.  Helper [Call]s are
+    routed through the global {!Vex_ir.Helpers} table with an environment
+    that accesses the same simulated address space the guest lives in.
+
+    Cycle accounting uses {!Arch.cost}; the dispatcher/scheduler add
+    their own costs on top (paper §3.9). *)
+
+open Arch
+open Support
+
+(** Raised when translated code divides by zero (guest SIGFPE). *)
+exception Host_sigfpe
+
+type cpu = {
+  hregs : int64 array;  (** h0..h15 *)
+  hvregs : V128.t array;  (** hv0..hv7 *)
+  mem : Aspace.t;
+  mutable cycles : int64;
+  mutable insns : int64;
+}
+
+let create mem =
+  {
+    hregs = Array.make n_hregs 0L;
+    hvregs = Array.make n_hvregs V128.zero;
+    mem;
+    cycles = 0L;
+    insns = 0L;
+  }
+
+let alu_eval (w : width) (op : alu_op) (a : int64) (b : int64) : int64 =
+  let fin v = match w with W32 -> Bits.trunc32 v | W64 -> v in
+  let a32 () = Bits.sext32 a and b32 () = Bits.sext32 b in
+  match (op, w) with
+  | Add, _ -> fin (Int64.add a b)
+  | Sub, _ -> fin (Int64.sub a b)
+  | And, _ -> fin (Int64.logand a b)
+  | Or, _ -> fin (Int64.logor a b)
+  | Xor, _ -> fin (Int64.logxor a b)
+  | Shl, W32 -> Bits.shl32 a b
+  | Shl, W64 -> Bits.shl64 a b
+  | Shr, W32 -> Bits.shr32 a b
+  | Shr, W64 -> Bits.shr64 a b
+  | Sar, W32 -> Bits.sar32 a b
+  | Sar, W64 -> Bits.sar64 a b
+  | Mul, _ -> fin (Int64.mul a b)
+  | Mulhs, W32 ->
+      Bits.trunc32 (Int64.shift_right (Int64.mul (a32 ()) (b32 ())) 32)
+  | Mulhs, W64 ->
+      (* high part of signed 64x64; sufficient approximation via floats is
+         not acceptable — use the standard 32-bit split *)
+      let ah = Int64.shift_right a 32 and al = Bits.trunc32 a in
+      let bh = Int64.shift_right b 32 and bl = Bits.trunc32 b in
+      let albl = Int64.mul al bl in
+      let mid1 = Int64.mul ah bl and mid2 = Int64.mul al bh in
+      let carry =
+        Int64.shift_right_logical
+          (Int64.add (Int64.add (Bits.trunc32 mid1) (Bits.trunc32 mid2))
+             (Int64.shift_right_logical albl 32))
+          32
+      in
+      Int64.add
+        (Int64.add (Int64.mul ah bh)
+           (Int64.add (Int64.shift_right mid1 32) (Int64.shift_right mid2 32)))
+        carry
+  | Divs, W32 ->
+      if Bits.trunc32 b = 0L then raise Host_sigfpe
+      else Bits.trunc32 (Int64.div (a32 ()) (b32 ()))
+  | Divs, W64 -> if b = 0L then raise Host_sigfpe else Int64.div a b
+  | Divu, W32 ->
+      if Bits.trunc32 b = 0L then raise Host_sigfpe
+      else Bits.trunc32 (Int64.unsigned_div (Bits.trunc32 a) (Bits.trunc32 b))
+  | Divu, W64 -> if b = 0L then raise Host_sigfpe else Int64.unsigned_div a b
+  | CmpEq, W32 -> Bits.bool64 (Bits.trunc32 a = Bits.trunc32 b)
+  | CmpEq, W64 -> Bits.bool64 (a = b)
+  | CmpNe, W32 -> Bits.bool64 (Bits.trunc32 a <> Bits.trunc32 b)
+  | CmpNe, W64 -> Bits.bool64 (a <> b)
+  | CmpLts, W32 -> Bits.bool64 (Bits.cmp32s a b < 0)
+  | CmpLts, W64 -> Bits.bool64 (Int64.compare a b < 0)
+  | CmpLes, W32 -> Bits.bool64 (Bits.cmp32s a b <= 0)
+  | CmpLes, W64 -> Bits.bool64 (Int64.compare a b <= 0)
+  | CmpLtu, W32 -> Bits.bool64 (Bits.cmp32u a b < 0)
+  | CmpLtu, W64 -> Bits.bool64 (Int64.unsigned_compare a b < 0)
+  | CmpLeu, W32 -> Bits.bool64 (Bits.cmp32u a b <= 0)
+  | CmpLeu, W64 -> Bits.bool64 (Int64.unsigned_compare a b <= 0)
+
+let falu_eval op a b =
+  let fa = Bits.float_of_bits a and fb = Bits.float_of_bits b in
+  match op with
+  | FAdd -> Bits.bits_of_float (fa +. fb)
+  | FSub -> Bits.bits_of_float (fa -. fb)
+  | FMul -> Bits.bits_of_float (fa *. fb)
+  | FDiv -> Bits.bits_of_float (fa /. fb)
+  | FMin -> Bits.bits_of_float (Float.min fa fb)
+  | FMax -> Bits.bits_of_float (Float.max fa fb)
+  | FCmpEq -> Bits.bool64 (fa = fb)
+  | FCmpLt -> Bits.bool64 (fa < fb)
+  | FCmpLe -> Bits.bool64 (fa <= fb)
+
+let fun1_eval op a =
+  match op with
+  | FSqrt -> Bits.bits_of_float (Float.sqrt (Bits.float_of_bits a))
+  | FNeg -> Bits.bits_of_float (-.Bits.float_of_bits a)
+  | FAbs -> Bits.bits_of_float (Float.abs (Bits.float_of_bits a))
+  | I32StoF64 -> Bits.bits_of_float (Int64.to_float (Bits.sext32 a))
+  | F64toI32S ->
+      Bits.trunc32 (Int64.of_float (Float.trunc (Bits.float_of_bits a)))
+  | Clz32 -> Bits.clz32 a
+  | Ctz32 -> Bits.ctz32 a
+
+let valu_eval op a b =
+  match op with
+  | VAnd -> V128.logand a b
+  | VOr -> V128.logor a b
+  | VXor -> V128.logxor a b
+  | VAdd32 -> V128.add32x4 a b
+  | VSub32 -> V128.sub32x4 a b
+  | VCmpEq32 -> V128.cmpeq32x4 a b
+  | VAdd8 -> V128.add8x16 a b
+  | VSub8 -> V128.sub8x16 a b
+
+(** Execute decoded translation [code] until an exit instruction fires.
+    Returns the exit kind, the next guest PC, and whether the exit target
+    was a constant (a "direct" exit — the kind translation chaining could
+    patch).  [env] is the helper environment (built by the core around
+    the current ThreadState). *)
+let run (cpu : cpu) ~(env : Vex_ir.Helpers.env) (code : insn array) :
+    exit_kind * int64 * bool =
+  let r = cpu.hregs and v = cpu.hvregs in
+  let mem = cpu.mem in
+  let pc = ref 0 in
+  let cycles = ref 0 in
+  let steps = ref 0 in
+  let result = ref None in
+  let n = Array.length code in
+  while !result = None && !pc < n do
+    let i = code.(!pc) in
+    incr pc;
+    cycles := !cycles + cost i;
+    incr steps;
+    (match i with
+    | Movi (d, imm) -> r.(d) <- imm
+    | Mov (d, s) -> r.(d) <- r.(s)
+    | Alu (w, op, d, s1, s2) -> r.(d) <- alu_eval w op r.(s1) r.(s2)
+    | Alui (w, op, d, s1, imm) -> r.(d) <- alu_eval w op r.(s1) imm
+    | Ld (sz, sx, d, b, disp) ->
+        let addr = Int64.add r.(b) (Int64.of_int disp) in
+        let x = Aspace.read mem addr sz in
+        r.(d) <-
+          (if sx then
+             match sz with
+             | 1 -> Bits.sext8 x
+             | 2 -> Bits.sext16 x
+             | 4 -> Bits.sext32 x
+             | _ -> x
+           else x)
+    | St (sz, s, b, disp) ->
+        Aspace.write mem (Int64.add r.(b) (Int64.of_int disp)) sz r.(s)
+    | Cmov (d, c, s) -> if r.(c) <> 0L then r.(d) <- r.(s)
+    | Falu (op, d, s1, s2) -> r.(d) <- falu_eval op r.(s1) r.(s2)
+    | Fun1 (op, d, s) -> r.(d) <- fun1_eval op r.(s)
+    | Vld (d, b, disp) ->
+        let addr = Int64.add r.(b) (Int64.of_int disp) in
+        v.(d) <-
+          V128.make ~lo:(Aspace.read mem addr 8)
+            ~hi:(Aspace.read mem (Int64.add addr 8L) 8)
+    | Vst (s, b, disp) ->
+        let addr = Int64.add r.(b) (Int64.of_int disp) in
+        Aspace.write mem addr 8 (V128.lo v.(s));
+        Aspace.write mem (Int64.add addr 8L) 8 (V128.hi v.(s))
+    | Vmov (d, s) -> v.(d) <- v.(s)
+    | Valu (op, d, s1, s2) -> v.(d) <- valu_eval op v.(s1) v.(s2)
+    | Vnot (d, s) -> v.(d) <- V128.lognot v.(s)
+    | Vsplat32 (d, s) -> v.(d) <- V128.splat32 r.(s)
+    | Vpack (d, hi, lo) -> v.(d) <- V128.make ~hi:r.(hi) ~lo:r.(lo)
+    | Vunpack (d, s, half) ->
+        r.(d) <- (if half = 0 then V128.lo v.(s) else V128.hi v.(s))
+    | Call (id, nargs, _cost) ->
+        let args = Array.init nargs (fun k -> r.(k)) in
+        r.(ret_reg) <- Vex_ir.Helpers.call id env args
+    | Jz (c, l) -> if r.(c) = 0L then pc := l
+    | Jnz (c, l) -> if r.(c) <> 0L then pc := l
+    | Jmp l -> pc := l
+    | Label _ -> ()
+    | ExitIf (c, ek, dest) -> if r.(c) <> 0L then result := Some (ek, dest, true)
+    | Goto (ek, s) -> result := Some (ek, Bits.trunc32 r.(s), false)
+    | GotoI (ek, dest) -> result := Some (ek, dest, true));
+    if !result = None && !pc >= n then
+      (* fell off the end of a translation: a JIT bug *)
+      invalid_arg "Host.Interp.run: translation fell through"
+  done;
+  cpu.cycles <- Int64.add cpu.cycles (Int64.of_int !cycles);
+  cpu.insns <- Int64.add cpu.insns (Int64.of_int !steps);
+  match !result with Some x -> x | None -> assert false

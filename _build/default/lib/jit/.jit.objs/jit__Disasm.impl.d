@@ -1,0 +1,1 @@
+lib/jit/disasm.ml: Aspace Fun Ghelpers Guest Int64 List Option Support Vex_ir

@@ -1,0 +1,1 @@
+lib/jit/ghelpers.ml: Arch Array Flags Guest Int64 Interp Vex_ir

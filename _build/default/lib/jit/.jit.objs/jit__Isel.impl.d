@@ -1,0 +1,1 @@
+lib/jit/isel.ml: Fmt Hashtbl Host Int64 List Option Support Vex_ir

@@ -1,0 +1,1 @@
+lib/jit/opt.ml: Array Guest Hashtbl Int Int64 List Map Option Support Vex_ir

@@ -1,0 +1,1 @@
+lib/jit/pipeline.ml: Aspace Bytes Disasm Fun Host Int64 Isel List Opt Regalloc Support Treebuild Vex_ir

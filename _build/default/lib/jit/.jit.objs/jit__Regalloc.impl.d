@@ -1,0 +1,1 @@
+lib/jit/regalloc.ml: Array Fun Host Isel List Option

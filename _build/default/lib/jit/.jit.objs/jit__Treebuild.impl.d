@@ -1,0 +1,1 @@
+lib/jit/treebuild.ml: Array List Support Vex_ir

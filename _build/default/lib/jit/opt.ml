@@ -1,0 +1,662 @@
+(** Phases 2 and 4 — IR optimisation.
+
+    Phase 2 ({!opt1}) runs after disassembly and before instrumentation:
+    it flattens the tree IR and performs redundant-GET/PUT elimination,
+    copy and constant propagation, constant folding, common
+    sub-expression elimination and dead-code removal (paper §3.7 phase 2).
+    The program-counter PUT emitted for every instruction is removed only
+    when no statement that could raise a memory exception (or a dirty
+    call that declares it reads the PC) intervenes before the next PC
+    write — the precision rule the paper illustrates with statement 5 of
+    Figure 1.
+
+    Phase 4 ({!opt2}) runs after instrumentation: constant folding and
+    dead code removal only.  "This optimisation makes life easier for
+    tools by allowing them to be somewhat simple-minded, knowing that the
+    code will be subsequently improved" (§3.7 phase 4 — Figure 2's 48
+    statements reduce to 18 here). *)
+
+open Vex_ir.Ir
+module GA = Guest.Arch
+
+(* ------------------------------------------------------------------ *)
+(* Flattening: tree IR -> flat IR                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_atom = function RdTmp _ | Const _ -> true | _ -> false
+
+let rec flatten_expr (b : block) (out : stmt -> unit) (e : expr) : expr =
+  let atom e =
+    let e' = flatten_expr b out e in
+    if is_atom e' then e'
+    else begin
+      let t = new_tmp b (type_of b e') in
+      out (WrTmp (t, e'));
+      RdTmp t
+    end
+  in
+  match e with
+  | Get _ | RdTmp _ | Const _ -> e
+  | Load (ty, a) -> Load (ty, atom a)
+  | Unop (op, a) -> Unop (op, atom a)
+  | Binop (op, x, y) ->
+      let x = atom x in
+      let y = atom y in
+      Binop (op, x, y)
+  | ITE (c, t, f) ->
+      let c = atom c in
+      let t = atom t in
+      let f = atom f in
+      ITE (c, t, f)
+  | CCall (callee, ty, args) -> CCall (callee, ty, List.map atom args)
+
+(* Flatten a rhs that is allowed to remain one operator deep. *)
+let flatten_rhs b out (e : expr) : expr =
+  match e with
+  | Get _ | RdTmp _ | Const _ | Load _ | Unop _ | Binop _ | ITE _ | CCall _ ->
+      flatten_expr b out e
+
+let flatten (b : block) : block =
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  let out s = add_stmt nb s in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | NoOp | IMark _ -> out s
+      | AbiHint (e, l) ->
+          let e' = flatten_expr nb out e in
+          let e' = if is_atom e' then e' else begin
+            let t = new_tmp nb (type_of nb e') in
+            out (WrTmp (t, e')); RdTmp t end
+          in
+          out (AbiHint (e', l))
+      | Put (off, e) ->
+          let e' = flatten_expr nb out e in
+          let e' =
+            if is_atom e' then e'
+            else begin
+              let t = new_tmp nb (type_of nb e') in
+              out (WrTmp (t, e'));
+              RdTmp t
+            end
+          in
+          out (Put (off, e'))
+      | WrTmp (t, e) -> out (WrTmp (t, flatten_rhs nb out e))
+      | Store (a, d) ->
+          let fa (e : expr) =
+            let e' = flatten_expr nb out e in
+            if is_atom e' then e'
+            else begin
+              let t = new_tmp nb (type_of nb e') in
+              out (WrTmp (t, e'));
+              RdTmp t
+            end
+          in
+          let a = fa a in
+          let d = fa d in
+          out (Store (a, d))
+      | Dirty d ->
+          let fa (e : expr) =
+            let e' = flatten_expr nb out e in
+            if is_atom e' then e'
+            else begin
+              let t = new_tmp nb (type_of nb e') in
+              out (WrTmp (t, e'));
+              RdTmp t
+            end
+          in
+          let guard = fa d.d_guard in
+          let args = List.map fa d.d_args in
+          let mfx =
+            match d.d_mfx with
+            | Mfx_none -> Mfx_none
+            | Mfx_read (e, n) -> Mfx_read (fa e, n)
+            | Mfx_write (e, n) -> Mfx_write (fa e, n)
+          in
+          out (Dirty { d with d_guard = guard; d_args = args; d_mfx = mfx })
+      | Exit (g, jk, dest) ->
+          let g' = flatten_expr nb out g in
+          let g' =
+            if is_atom g' then g'
+            else begin
+              let t = new_tmp nb I1 in
+              out (WrTmp (t, g'));
+              RdTmp t
+            end
+          in
+          out (Exit (g', jk, dest)))
+    b.stmts;
+  (let e' = flatten_expr nb out nb.next in
+   nb.next <-
+     (if is_atom e' then e'
+      else begin
+        let t = new_tmp nb (type_of nb e') in
+        out (WrTmp (t, e'));
+        RdTmp t
+      end));
+  nb
+
+(* ------------------------------------------------------------------ *)
+(* Copy/constant propagation and folding (flat IR)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold a pure operator over constant atoms using the reference
+   evaluator's semantics; returns None if not foldable (e.g. division by
+   zero must trap at run time, not at JIT time). *)
+let fold_op (b : block) (e : expr) : expr option =
+  let const_of_value ty (v : Vex_ir.Eval.value) : const option =
+    match (ty, v) with
+    | I1, VI x -> Some (CI1 (x <> 0L))
+    | I8, VI x -> Some (CI8 (Int64.to_int x land 0xFF))
+    | I16, VI x -> Some (CI16 (Int64.to_int x land 0xFFFF))
+    | I32, VI x -> Some (CI32 x)
+    | I64, VI x -> Some (CI64 x)
+    | F64, VF f -> Some (CF64 f)
+    | _ -> None (* V128 constants are pattern-limited; don't fold *)
+  in
+  match e with
+  | Unop (op, Const c) -> (
+      try
+        let v = Vex_ir.Eval.eval_unop op (Vex_ir.Eval.const_value c) in
+        Option.map (fun c -> Const c) (const_of_value (type_of b e) v)
+      with _ -> None)
+  | Binop (op, Const x, Const y) -> (
+      try
+        let v =
+          Vex_ir.Eval.eval_binop op (Vex_ir.Eval.const_value x)
+            (Vex_ir.Eval.const_value y)
+        in
+        Option.map (fun c -> Const c) (const_of_value (type_of b e) v)
+      with _ -> None)
+  | ITE (Const (CI1 true), t, _) -> Some t
+  | ITE (Const (CI1 false), _, f) -> Some f
+  | ITE (_, t, f) when t = f -> Some t
+  (* algebraic identities on atoms *)
+  | Binop (Add32, x, Const (CI32 0L)) | Binop (Add32, Const (CI32 0L), x) ->
+      Some x
+  | Binop (Sub32, x, Const (CI32 0L)) -> Some x
+  | Binop ((Or32 | Xor32), x, Const (CI32 0L))
+  | Binop ((Or32 | Xor32), Const (CI32 0L), x) ->
+      Some x
+  | Binop (And32, _, (Const (CI32 0L) as z))
+  | Binop (And32, (Const (CI32 0L) as z), _) ->
+      Some z
+  | Binop (And32, x, Const (CI32 0xFFFFFFFFL))
+  | Binop (And32, Const (CI32 0xFFFFFFFFL), x) ->
+      Some x
+  | Binop (Or32, x, y) when x = y -> Some x
+  | Binop (And32, x, y) when x = y -> Some x
+  | Binop ((Shl32 | Shr32 | Sar32), x, Const (CI8 0)) -> Some x
+  | Binop (Mul32, x, Const (CI32 1L)) | Binop (Mul32, Const (CI32 1L), x) ->
+      Some x
+  | Binop ((Add64 | Or64 | Xor64), x, Const (CI64 0L))
+  | Binop ((Add64 | Or64 | Xor64), Const (CI64 0L), x) ->
+      Some x
+  | Binop (And64, x, y) when x = y -> Some x
+  | Binop (Or64, x, y) when x = y -> Some x
+  | Unop (U1to32, Unop (T32to1, _)) -> None (* not equivalent in general *)
+  | _ -> None
+
+(* One forward pass of copy/const propagation + folding. *)
+let constprop (b : block) : block =
+  let n = Support.Vec.length b.tyenv in
+  let env : expr option array = Array.make n None in
+  let subst_atom = function
+    | RdTmp t as e -> ( match env.(t) with Some a -> a | None -> e)
+    | e -> e
+  in
+  let subst_rhs (e : expr) : expr =
+    let e =
+      match e with
+      | Get _ | Const _ -> e
+      | RdTmp _ -> subst_atom e
+      | Load (ty, a) -> Load (ty, subst_atom a)
+      | Unop (op, a) -> Unop (op, subst_atom a)
+      | Binop (op, x, y) -> Binop (op, subst_atom x, subst_atom y)
+      | ITE (c, t, f) -> ITE (subst_atom c, subst_atom t, subst_atom f)
+      | CCall (callee, ty, args) -> CCall (callee, ty, List.map subst_atom args)
+    in
+    match fold_op b e with Some e' -> e' | None -> e
+  in
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | NoOp -> ()
+      | IMark _ -> add_stmt nb s
+      | AbiHint (e, l) -> add_stmt nb (AbiHint (subst_atom e, l))
+      | Put (off, e) -> add_stmt nb (Put (off, subst_atom e))
+      | WrTmp (t, e) -> (
+          let e' = subst_rhs e in
+          match e' with
+          | Const _ | RdTmp _ ->
+              (* pure copy: record and drop the statement *)
+              env.(t) <- Some e'
+          | _ -> add_stmt nb (WrTmp (t, e')))
+      | Store (a, d) -> add_stmt nb (Store (subst_atom a, subst_atom d))
+      | Dirty d ->
+          add_stmt nb
+            (Dirty
+               {
+                 d with
+                 d_guard = subst_atom d.d_guard;
+                 d_args = List.map subst_atom d.d_args;
+                 d_mfx =
+                   (match d.d_mfx with
+                   | Mfx_none -> Mfx_none
+                   | Mfx_read (e, n) -> Mfx_read (subst_atom e, n)
+                   | Mfx_write (e, n) -> Mfx_write (subst_atom e, n));
+               })
+      | Exit (g, jk, dest) -> (
+          match subst_atom g with
+          | Const (CI1 false) -> () (* never taken *)
+          | g' -> add_stmt nb (Exit (g', jk, dest))))
+    b.stmts;
+  nb.next <- subst_atom b.next;
+  nb
+
+(* ------------------------------------------------------------------ *)
+(* Redundant GET elimination and PUT shortcutting (flat IR)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Track known guest-state contents as (offset, ty, atom). *)
+let redundant_getput (b : block) : block =
+  let known : (int * ty * expr) list ref = ref [] in
+  let overlaps off1 sz1 off2 sz2 = off1 < off2 + sz2 && off2 < off1 + sz1 in
+  let invalidate off sz =
+    known :=
+      List.filter (fun (o, ty, _) -> not (overlaps o (size_of_ty ty) off sz)) !known
+  in
+  let invalidate_all () = known := [] in
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  let rewrite_get (e : expr) : expr =
+    match e with
+    | Get (off, ty) -> (
+        match
+          List.find_opt (fun (o, t, _) -> o = off && t = ty) !known
+        with
+        | Some (_, _, atom) -> atom
+        | None -> e)
+    | e -> e
+  in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | NoOp | IMark _ | AbiHint _ | Exit _ -> add_stmt nb s
+      | WrTmp (t, e) ->
+          let e' = rewrite_get e in
+          add_stmt nb (WrTmp (t, e'));
+          (* a GET that survives records the state contents *)
+          (match e' with
+          | Get (off, ty) -> known := (off, ty, RdTmp t) :: !known
+          | _ -> ())
+      | Put (off, atom) ->
+          let sz = size_of_ty (type_of nb atom) in
+          (* put of the very value already known to be there: drop *)
+          let same =
+            List.exists
+              (fun (o, ty, a) -> o = off && size_of_ty ty = sz && a = atom)
+              !known
+          in
+          if not same then begin
+            invalidate off sz;
+            known := (off, type_of nb atom, atom) :: !known;
+            add_stmt nb (Put (off, atom))
+          end
+      | Store _ -> add_stmt nb s
+      | Dirty d ->
+          (* helper may write the guest state it declares; invalidate *)
+          List.iter (fun (o, s) -> invalidate o s) d.d_callee.c_fx_writes;
+          if d.d_callee.c_fx_writes = [] && d.d_callee.c_fx_reads = [] then
+            (* unannotated helper: be conservative *)
+            invalidate_all ();
+          add_stmt nb (Dirty d))
+    b.stmts;
+  nb.next <- rewrite_get b.next;
+  nb
+
+(* ------------------------------------------------------------------ *)
+(* Common sub-expression elimination (flat IR)                         *)
+(* ------------------------------------------------------------------ *)
+
+let cse (b : block) : block =
+  let table : (expr, tmp) Hashtbl.t = Hashtbl.create 64 in
+  let replace : expr option array = Array.make (Support.Vec.length b.tyenv) None in
+  let subst = function
+    | RdTmp t as e -> ( match replace.(t) with Some a -> a | None -> e)
+    | e -> e
+  in
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | WrTmp (t, e) -> (
+          let e =
+            match e with
+            | Unop (op, a) -> Unop (op, subst a)
+            | Binop (op, x, y) -> Binop (op, subst x, subst y)
+            | ITE (c, x, y) -> ITE (subst c, subst x, subst y)
+            | CCall (callee, ty, args) -> CCall (callee, ty, List.map subst args)
+            | Load (ty, a) -> Load (ty, subst a)
+            | e -> e
+          in
+          match e with
+          | Unop _ | Binop _ | ITE _ ->
+              (* pure value ops are CSE-able *)
+              (match Hashtbl.find_opt table e with
+              | Some t0 -> replace.(t) <- Some (RdTmp t0)
+              | None ->
+                  Hashtbl.replace table e t;
+                  add_stmt nb (WrTmp (t, e)))
+          | _ -> add_stmt nb (WrTmp (t, e)))
+      | Put (off, a) -> add_stmt nb (Put (off, subst a))
+      | Store (x, y) -> add_stmt nb (Store (subst x, subst y))
+      | AbiHint (e, l) -> add_stmt nb (AbiHint (subst e, l))
+      | Exit (g, jk, d) -> add_stmt nb (Exit (subst g, jk, d))
+      | Dirty d ->
+          add_stmt nb
+            (Dirty
+               {
+                 d with
+                 d_guard = subst d.d_guard;
+                 d_args = List.map subst d.d_args;
+                 d_mfx =
+                   (match d.d_mfx with
+                   | Mfx_none -> Mfx_none
+                   | Mfx_read (e, n) -> Mfx_read (subst e, n)
+                   | Mfx_write (e, n) -> Mfx_write (subst e, n));
+               })
+      | s -> add_stmt nb s)
+    b.stmts;
+  nb.next <- subst b.next;
+  nb
+
+(* ------------------------------------------------------------------ *)
+(* Dead code removal (flat IR, backward)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Statements that can raise a guest-visible exception, for the
+   precise-exceptions rule. *)
+let can_fault = function
+  | Store _ -> true
+  | WrTmp (_, Load _) -> true
+  | WrTmp (_, Binop ((DivS32 | DivU32), _, _)) -> true
+  | Dirty _ -> true
+  | _ -> false
+
+(* Guest-state offsets requiring precise memory exceptions: a PUT to one
+   of these may not be removed across a potentially-faulting statement
+   (VEX's guest_state_requires_precise_mem_exns; for x86 it is
+   ESP/EBP/EIP, for VG32 sp/fp/eip).  This is also what keeps every
+   stack-pointer write visible to the core's stack-event pass. *)
+let precise_offsets = [ GA.off_eip; GA.off_sp; GA.off_reg GA.reg_fp ]
+
+let dead (b : block) : block =
+  let n = Support.Vec.length b.tyenv in
+  let live = Array.make n false in
+  let mark e =
+    let rec go = function
+      | RdTmp t -> live.(t) <- true
+      | Get _ | Const _ -> ()
+      | Load (_, a) -> go a
+      | Unop (_, a) -> go a
+      | Binop (_, x, y) ->
+          go x;
+          go y
+      | ITE (c, t, f) ->
+          go c;
+          go t;
+          go f
+      | CCall (_, _, args) -> List.iter go args
+    in
+    go e
+  in
+  let stmts = Array.of_list (stmts b) in
+  let keep = Array.make (Array.length stmts) false in
+  mark b.next;
+  (* Track, walking backwards: has the PC been overwritten (with no
+     intervening faulting statement) — and similarly per guest offset
+     whether a full overwrite follows before any observation. *)
+  let module IMap = Map.Make (Int) in
+  (* overwritten.(off) = Some size: a PUT of [size] bytes at [off] follows
+     with no observation in between *)
+  let overwritten : int IMap.t ref = ref IMap.empty in
+  let observe_all () = overwritten := IMap.empty in
+  let observe_range off sz =
+    overwritten :=
+      IMap.filter
+        (fun o s -> not (o < off + sz && off < o + s))
+        !overwritten
+  in
+  for i = Array.length stmts - 1 downto 0 do
+    let s = stmts.(i) in
+    let needed =
+      match s with
+      | NoOp -> false
+      | IMark _ -> true
+      | AbiHint _ -> true
+      | Put (off, e) ->
+          let sz = size_of_ty (type_of b e) in
+          let covered =
+            match IMap.find_opt off !overwritten with
+            | Some s2 -> s2 >= sz
+            | None -> false
+          in
+          not covered
+      | WrTmp (t, e) -> (
+          live.(t)
+          ||
+          match e with
+          | Binop ((DivS32 | DivU32), _, _) -> true (* may trap *)
+          | Load _ -> false (* dead loads dropped: fine for our guest *)
+          | _ -> false)
+      | Store _ -> true
+      | Dirty _ -> true
+      | Exit _ -> true
+    in
+    keep.(i) <- needed;
+    (* update overwrite/observation state *)
+    (match s with
+    | Put (off, e) when needed ->
+        let sz = size_of_ty (type_of b e) in
+        overwritten := IMap.add off sz !overwritten
+    | Put _ -> ()
+    | Exit _ -> observe_all ()
+    | Dirty d ->
+        (* helper observes what it declares it reads, plus everything if
+           unannotated *)
+        if d.d_callee.c_fx_reads = [] && d.d_callee.c_fx_writes = [] then
+          observe_all ()
+        else begin
+          List.iter (fun (o, s) -> observe_range o s) d.d_callee.c_fx_reads;
+          (* and its declared writes stop earlier overwrite tracking *)
+          List.iter (fun (o, s) -> observe_range o s) d.d_callee.c_fx_writes
+        end;
+        (* dirty calls can fault / report errors: precise state needed *)
+        List.iter (fun o -> observe_range o 4) precise_offsets
+    | WrTmp (_, Get (off, ty)) -> observe_range off (size_of_ty ty)
+    | _ -> ());
+    if can_fault s then List.iter (fun o -> observe_range o 4) precise_offsets;
+    (* mark uses *)
+    if needed then
+      match s with
+      | Put (_, e) | WrTmp (_, e) | AbiHint (e, _) -> mark e
+      | Store (a, d) ->
+          mark a;
+          mark d
+      | Exit (g, _, _) -> mark g
+      | Dirty d ->
+          mark d.d_guard;
+          List.iter mark d.d_args;
+          (match d.d_mfx with
+          | Mfx_none -> ()
+          | Mfx_read (e, _) | Mfx_write (e, _) -> mark e)
+      | _ -> ()
+  done;
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  Array.iteri (fun i s -> if keep.(i) then add_stmt nb s) stmts;
+  nb
+
+(* Iterate dead removal until it stops helping (liveness is computed in a
+   single backward pass, so chains of dead temps need iteration). *)
+let rec dead_fix ?(rounds = 4) b =
+  let b' = dead b in
+  if rounds <= 1 || Support.Vec.length b'.stmts = Support.Vec.length b.stmts
+  then b'
+  else dead_fix ~rounds:(rounds - 1) b'
+
+(* ------------------------------------------------------------------ *)
+(* Simple intra-block loop unrolling (flat IR)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* "and even simple loop unrolling for intra-block loops" (§3.7 phase 2):
+   when a block's fall-through successor is its own first instruction (a
+   self-loop, e.g. a one-block spin or copy loop), append a second copy
+   of the body with freshly renamed temporaries.  Side exits are
+   duplicated too, so semantics are exactly "two iterations per
+   dispatch"; the win is halving the dispatcher transfers on hot tight
+   loops. *)
+let unroll_limit_stmts = 60
+
+let first_imark (b : block) : int64 option =
+  let r = ref None in
+  Support.Vec.iter
+    (fun s ->
+      match (s, !r) with IMark (a, _), None -> r := Some a | _ -> ())
+    b.stmts;
+  !r
+
+(* append a temp-renamed copy of [b]'s statements to [nb]; statements are
+   transformed through [tweak] first (identity by default) *)
+let append_renamed_copy (nb : block) (b : block) =
+  let rename = Hashtbl.create 32 in
+  let rn t =
+    match Hashtbl.find_opt rename t with
+    | Some t' -> t'
+    | None ->
+        let t' = new_tmp nb (tmp_ty b t) in
+        Hashtbl.replace rename t t';
+        t'
+  in
+  let rec rx (e : expr) : expr =
+    match e with
+    | RdTmp t -> RdTmp (rn t)
+    | Get _ | Const _ -> e
+    | Load (ty, a) -> Load (ty, rx a)
+    | Unop (op, a) -> Unop (op, rx a)
+    | Binop (op, x, y) -> Binop (op, rx x, rx y)
+    | ITE (c, t, f) -> ITE (rx c, rx t, rx f)
+    | CCall (callee, ty, args) -> CCall (callee, ty, List.map rx args)
+  in
+  Support.Vec.iter
+    (fun s ->
+      add_stmt nb
+        (match s with
+        | NoOp | IMark _ -> s
+        | AbiHint (e, l) -> AbiHint (rx e, l)
+        | Put (off, e) -> Put (off, rx e)
+        | WrTmp (t, e) -> WrTmp (rn t, rx e)
+        | Store (a, d) -> Store (rx a, rx d)
+        | Dirty d ->
+            Dirty
+              {
+                d with
+                d_guard = rx d.d_guard;
+                d_args = List.map rx d.d_args;
+                d_tmp = Option.map rn d.d_tmp;
+                d_mfx =
+                  (match d.d_mfx with
+                  | Mfx_none -> Mfx_none
+                  | Mfx_read (e, n) -> Mfx_read (rx e, n)
+                  | Mfx_write (e, n) -> Mfx_write (rx e, n));
+              }
+        | Exit (g, jk, dst) -> Exit (rx g, jk, dst)))
+    b.stmts
+
+(* the final statement, if any *)
+let last_stmt (b : block) : stmt option =
+  let n = Support.Vec.length b.stmts in
+  if n = 0 then None else Some (Support.Vec.get b.stmts (n - 1))
+
+let unroll_self_loop (b : block) : block =
+  if Support.Vec.length b.stmts > unroll_limit_stmts then b
+  else
+    match first_imark b with
+    | None -> b
+    | Some start -> (
+        let fresh () =
+          { tyenv = Support.Vec.copy b.tyenv;
+            stmts = Support.Vec.create NoOp;
+            next = b.next;
+            jumpkind = b.jumpkind }
+        in
+        match (b.next, b.jumpkind, last_stmt b) with
+        (* shape 1: ...; goto start  (unconditional backedge) *)
+        | Const (CI32 dest), Jk_boring, _ when dest = start ->
+            let nb = fresh () in
+            Support.Vec.iter (add_stmt nb) b.stmts;
+            append_renamed_copy nb b;
+            nb
+        (* shape 2: ...; if (g) goto start; goto after  (the common
+           conditional-backedge loop, e.g. dec+jne) *)
+        | Const (CI32 _after), Jk_boring, Some (Exit (g, Jk_boring, dest))
+          when dest = start ->
+            let nb = fresh () in
+            (* copy 1 with the final backedge inverted into a loop-exit *)
+            let n = Support.Vec.length b.stmts in
+            Support.Vec.iteri
+              (fun i s -> if i < n - 1 then add_stmt nb s)
+              b.stmts;
+            let tng = new_tmp nb I1 in
+            add_stmt nb (WrTmp (tng, Unop (Not1, g)));
+            (match b.next with
+            | Const (CI32 after) ->
+                add_stmt nb (Exit (RdTmp tng, Jk_boring, after))
+            | _ -> assert false);
+            (* copy 2 verbatim (renamed), keeping its backedge *)
+            append_renamed_copy nb b;
+            nb
+        | _ -> b)
+
+(** Phase 2: tree IR -> optimised flat IR.  [unroll] enables the simple
+    self-loop unrolling (on by default, as in VEX). *)
+let opt1 ?(unroll = true) (b : block) : block =
+  let b =
+    b |> flatten |> constprop |> redundant_getput |> constprop |> cse
+    |> constprop |> dead_fix
+  in
+  if unroll then
+    let b' = unroll_self_loop b in
+    if b' != b then
+      (* re-run the cheap passes over the doubled body *)
+      b' |> constprop |> redundant_getput |> constprop |> dead_fix
+    else b
+  else b
+
+(** Phase 4: flat IR -> flat IR (folding + dead code only). *)
+let opt2 (b : block) : block = b |> constprop |> cse |> constprop |> dead_fix

@@ -1,0 +1,146 @@
+(** The complete eight-phase translation pipeline (paper §3.7).
+
+    {v
+    1. Disassembly*         machine code   -> tree IR     (core)
+    2. Optimisation 1       tree IR        -> flat IR     (core)
+    3. Instrumentation      flat IR        -> flat IR     (tool)
+    4. Optimisation 2       flat IR        -> flat IR     (core)
+    5. Tree building        flat IR        -> tree IR     (core)
+    6. Instruction selection* tree IR      -> vreg insns  (core)
+    7. Register allocation  vreg insns     -> host insns  (core)
+    8. Assembly*            host insns     -> machine code(core)
+    v}
+
+    Phases marked * are architecture-specific.  The instrumentation
+    callback is supplied by the tool plug-in (via the core); everything
+    else is the core's. *)
+
+type instrument = Vex_ir.Ir.block -> Vex_ir.Ir.block
+
+(** A finished translation. *)
+type translation = {
+  t_guest_addr : int64;  (** guest address this was translated from *)
+  t_code : Bytes.t;  (** assembled host machine code *)
+  t_decoded : Host.Arch.insn array;  (** decoded-once cache of [t_code] *)
+  t_guest_insns : int;  (** guest instructions covered *)
+  t_guest_bytes : int;  (** guest bytes covered *)
+  t_guest_ranges : (int64 * int) list;  (** covered [addr,len) ranges *)
+  t_smc_check : bool;  (** prepend a self-hash check when executing *)
+  t_code_hash : int64;  (** hash of the original guest bytes (for SMC) *)
+  t_ir_stmts_pre : int;  (** flat statements before instrumentation *)
+  t_ir_stmts_post : int;  (** after instrumentation + opt2 *)
+}
+
+(** Cycle cost charged for making one translation (the JIT itself runs on
+    the host CPU; D&R "will probably translate code more slowly" — this
+    surfaces in total cycle counts for short runs). *)
+let translation_cost (t : translation) = 60 * t.t_ir_stmts_post
+
+(* FNV-1a over the guest bytes a translation was made from.  Unfetchable
+   bytes (a block ending in undecodable unmapped memory) hash as zero. *)
+let hash_guest_bytes (fetch : int64 -> int) (ranges : (int64 * int) list) :
+    int64 =
+  let h = ref 0xCBF29CE484222325L in
+  List.iter
+    (fun (addr, len) ->
+      for i = 0 to len - 1 do
+        let b =
+          try fetch (Int64.add addr (Int64.of_int i)) with Aspace.Fault _ -> 0
+        in
+        h := Int64.mul (Int64.logxor !h (Int64.of_int b)) 0x100000001B3L
+      done)
+    ranges;
+  !h
+
+(** Extract the guest address ranges covered by a block's IMarks. *)
+let imark_ranges (b : Vex_ir.Ir.block) : (int64 * int) list =
+  let ranges = ref [] in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | Vex_ir.Ir.IMark (a, l) -> ranges := (a, l) :: !ranges
+      | _ -> ())
+    b.stmts;
+  List.rev !ranges
+
+exception Translation_failure of string
+
+(** Intermediate results of each phase, for inspection/printing (the
+    bench harness regenerates the paper's Figures 1–3 from these). *)
+type phases = {
+  p_tree : Vex_ir.Ir.block;  (** after phase 1 *)
+  p_flat : Vex_ir.Ir.block;  (** after phase 2 *)
+  p_instrumented : Vex_ir.Ir.block;  (** after phase 3 *)
+  p_opt2 : Vex_ir.Ir.block;  (** after phase 4 *)
+  p_treebuilt : Vex_ir.Ir.block;  (** after phase 5 *)
+  p_vcode : Isel.vinsn list;  (** after phase 6 *)
+  p_hcode : Host.Arch.insn list;  (** after phase 7 *)
+  p_bytes : Bytes.t;  (** after phase 8 *)
+}
+
+(** Run all eight phases, returning every intermediate result.
+    [unroll] controls phase 2's self-loop unrolling. *)
+let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
+    ~(instrument : instrument) (guest_addr : int64) : phases * translation =
+  (* 1: disassembly *)
+  let tree, stats = Disasm.superblock ~fetch guest_addr in
+  (* 2: optimisation 1 *)
+  let flat = Opt.opt1 ~unroll tree in
+  let pre_stmts = Support.Vec.length flat.stmts in
+  (try Vex_ir.Typecheck.check_flat flat
+   with Vex_ir.Typecheck.Ill_typed m ->
+     raise (Translation_failure ("phase 2 output ill-typed: " ^ m)));
+  (* 3: instrumentation (tool) *)
+  let instrumented = instrument (Vex_ir.Ir.copy_block flat) in
+  (try Vex_ir.Typecheck.check_flat instrumented
+   with Vex_ir.Typecheck.Ill_typed m ->
+     raise (Translation_failure ("instrumented IR ill-typed: " ^ m)));
+  (* 4: optimisation 2 *)
+  let opt2 = Opt.opt2 instrumented in
+  let post_stmts = Support.Vec.length opt2.stmts in
+  (* 5: tree building *)
+  let treebuilt = Treebuild.build opt2 in
+  (* 6: instruction selection *)
+  let vcode, n_int, n_vec, n_label =
+    try Isel.select treebuilt
+    with Isel.Unrepresentable m ->
+      raise (Translation_failure ("instruction selection failed: " ^ m))
+  in
+  (* 7: register allocation *)
+  let next_label = ref n_label in
+  let hcode = Regalloc.run vcode ~n_int ~n_vec ~next_label in
+  (* 8: assembly *)
+  let bytes = Host.Encode.assemble hcode in
+  let ranges = imark_ranges tree in
+  let t =
+    {
+      t_guest_addr = guest_addr;
+      t_code = bytes;
+      t_decoded = Host.Encode.decode bytes;
+      t_guest_insns = stats.guest_insns;
+      t_guest_bytes = stats.guest_bytes;
+      t_guest_ranges = ranges;
+      t_smc_check = false;
+      t_code_hash = hash_guest_bytes fetch ranges;
+      t_ir_stmts_pre = pre_stmts;
+      t_ir_stmts_post = post_stmts;
+    }
+  in
+  ( {
+      p_tree = tree;
+      p_flat = flat;
+      p_instrumented = instrumented;
+      p_opt2 = opt2;
+      p_treebuilt = treebuilt;
+      p_vcode = vcode;
+      p_hcode = hcode;
+      p_bytes = bytes;
+    },
+    t )
+
+(** Run all eight phases, returning just the translation. *)
+let translate ?(unroll = true) ~fetch ~instrument guest_addr : translation =
+  snd (translate_phases ~unroll ~fetch ~instrument guest_addr)
+
+(** The identity instrumentation (what Nulgrind passes). *)
+let no_instrument : instrument = Fun.id

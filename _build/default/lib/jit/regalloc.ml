@@ -1,0 +1,425 @@
+(** Phase 7 — Register allocation: virtual registers -> host registers.
+
+    A linear-scan allocator in the style of Traub et al. [26] (the paper's
+    reference for Valgrind's allocator).  Because superblocks contain only
+    forward internal branches, a virtual register's live interval is just
+    [first position, last position] of its mentions, and a single linear
+    sweep suffices.
+
+    Intervals that are live across a helper [VCall] may not occupy
+    caller-saved registers (the call clobbers h0..h7/hv0..hv3); they are
+    given callee-saved registers or spilled to the per-thread spill zone
+    addressed off the GSP.  Spilled values are reloaded through the
+    reserved scratch registers (h13/h14, hv7).
+
+    The allocator also coalesces register-to-register moves whose source
+    and destination end up in the same host register (the effect shown in
+    the paper's Figure 3). *)
+
+open Isel
+module H = Host.Arch
+
+type cls = Int | Vec
+
+(* ------------------------------------------------------------------ *)
+(* Uses and defs of a vinsn, per class                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* (reads, writes) of virtual registers for each class *)
+let refs (i : vinsn) : (int list * int list) * (int list * int list) =
+  let ii r w = ((r, w), ([], [])) in
+  let vv r w = (([], []), (r, w)) in
+  let mixed ir iw vr vw = ((ir, iw), (vr, vw)) in
+  match i with
+  | V (Movi (d, _)) -> ii [] [ d ]
+  | V (Mov (d, s)) -> ii [ s ] [ d ]
+  | V (Alu (_, _, d, s1, s2)) -> ii [ s1; s2 ] [ d ]
+  | V (Alui (_, _, d, s1, _)) -> ii [ s1 ] [ d ]
+  | V (Ld (_, _, d, b, _)) ->
+      if b = H.gsp then ii [] [ d ] else ii [ b ] [ d ]
+  | V (St (_, s, b, _)) -> if b = H.gsp then ii [ s ] [] else ii [ s; b ] []
+  | V (Cmov (d, c, s)) -> ii [ c; s; d ] [ d ]
+  | V (Falu (_, d, s1, s2)) -> ii [ s1; s2 ] [ d ]
+  | V (Fun1 (_, d, s)) -> ii [ s ] [ d ]
+  | V (Vld (d, b, _)) ->
+      if b = H.gsp then vv [] [ d ] else mixed [ b ] [] [] [ d ]
+  | V (Vst (s, b, _)) ->
+      if b = H.gsp then vv [ s ] [] else mixed [ b ] [] [ s ] []
+  | V (Vmov (d, s)) -> vv [ s ] [ d ]
+  | V (Valu (_, d, s1, s2)) -> vv [ s1; s2 ] [ d ]
+  | V (Vnot (d, s)) -> vv [ s ] [ d ]
+  | V (Vsplat32 (d, s)) -> mixed [ s ] [] [] [ d ]
+  | V (Vpack (d, hi, lo)) -> mixed [ hi; lo ] [] [] [ d ]
+  | V (Vunpack (d, s, _)) -> mixed [] [ d ] [ s ] []
+  | V (Call _) -> ii [] [] (* physical calls appear only after allocation *)
+  | V (Jz (c, _)) | V (Jnz (c, _)) -> ii [ c ] []
+  | V (Jmp _) | V (Label _) -> ii [] []
+  | V (ExitIf (c, _, _)) -> ii [ c ] []
+  | V (Goto (_, s)) -> ii [ s ] []
+  | V (GotoI _) -> ii [] []
+  | VCall { args; dst; _ } -> ii args (Option.to_list dst)
+
+(* ------------------------------------------------------------------ *)
+(* Live intervals                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type interval = {
+  vreg : int;
+  cls : cls;
+  start : int;
+  stop : int;
+  crosses_call : bool;
+}
+
+let intervals (code : vinsn list) ~(n_int : int) ~(n_vec : int) :
+    interval list =
+  let first_i = Array.make n_int max_int and last_i = Array.make n_int (-1) in
+  let first_v = Array.make n_vec max_int and last_v = Array.make n_vec (-1) in
+  let call_positions = ref [] in
+  List.iteri
+    (fun pos i ->
+      (match i with VCall _ -> call_positions := pos :: !call_positions | _ -> ());
+      let (ir, iw), (vr, vw) = refs i in
+      let touch first last r =
+        if pos < first.(r) then first.(r) <- pos;
+        if pos > last.(r) then last.(r) <- pos
+      in
+      List.iter (touch first_i last_i) (ir @ iw);
+      List.iter (touch first_v last_v) (vr @ vw))
+    code;
+  let calls = !call_positions in
+  let mk cls first last n =
+    List.init n (fun r ->
+        if last.(r) < 0 then None
+        else
+          Some
+            {
+              vreg = r;
+              cls;
+              start = first.(r);
+              stop = last.(r);
+              crosses_call =
+                List.exists (fun p -> p > first.(r) && p < last.(r)) calls;
+            })
+    |> List.filter_map Fun.id
+  in
+  mk Int first_i last_i n_int @ mk Vec first_v last_v n_vec
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Where a virtual register lives after allocation. *)
+type loc = Phys of int | Spill of int (* slot index *)
+
+type assignment = {
+  int_loc : loc array;
+  vec_loc : loc array;
+  n_spill_int : int;
+  n_spill_vec : int;
+}
+
+exception Out_of_spill_slots
+
+let allocate (code : vinsn list) ~(n_int : int) ~(n_vec : int) : assignment =
+  let ivs =
+    intervals code ~n_int ~n_vec
+    |> List.sort (fun a b -> compare (a.start, a.stop) (b.start, b.stop))
+  in
+  let int_loc = Array.make n_int (Spill (-1)) in
+  let vec_loc = Array.make n_vec (Spill (-1)) in
+  let spill_int = ref 0 and spill_vec = ref 0 in
+  (* free registers per class *)
+  let free_int = Array.make (List.length H.allocatable_int) true in
+  let free_vec = Array.make (List.length H.allocatable_vec) true in
+  let active : interval list ref = ref [] in
+  let release iv =
+    match (iv.cls, if iv.cls = Int then int_loc.(iv.vreg) else vec_loc.(iv.vreg)) with
+    | Int, Phys p -> free_int.(p) <- true
+    | Vec, Phys p -> free_vec.(p) <- true
+    | _ -> ()
+  in
+  let next_spill cls =
+    match cls with
+    | Int ->
+        let s = !spill_int in
+        incr spill_int;
+        if s >= H.spill_slots_int then raise Out_of_spill_slots;
+        Spill s
+    | Vec ->
+        let s = !spill_vec in
+        incr spill_vec;
+        if s >= H.spill_slots_vec then raise Out_of_spill_slots;
+        Spill s
+  in
+  List.iter
+    (fun iv ->
+      (* expire old intervals *)
+      let expired, still = List.partition (fun a -> a.stop < iv.start) !active in
+      List.iter release expired;
+      active := still;
+      let free, caller_saved =
+        match iv.cls with
+        | Int -> (free_int, H.caller_saved_int)
+        | Vec -> (free_vec, H.caller_saved_vec)
+      in
+      let candidates =
+        (* prefer callee-saved for call-crossing intervals; call-crossing
+           intervals must not take caller-saved at all *)
+        let all = Array.to_list (Array.mapi (fun i f -> (i, f)) free) in
+        let avail = List.filter snd all |> List.map fst in
+        if iv.crosses_call then
+          List.filter (fun r -> not (List.mem r caller_saved)) avail
+        else
+          (* prefer caller-saved to keep callee-saved available *)
+          List.filter (fun r -> List.mem r caller_saved) avail
+          @ List.filter (fun r -> not (List.mem r caller_saved)) avail
+      in
+      let loc =
+        match candidates with
+        | r :: _ ->
+            free.(r) <- false;
+            active := iv :: !active;
+            Phys r
+        | [] -> next_spill iv.cls
+      in
+      match iv.cls with
+      | Int -> int_loc.(iv.vreg) <- loc
+      | Vec -> vec_loc.(iv.vreg) <- loc)
+    ivs;
+  { int_loc; vec_loc; n_spill_int = !spill_int; n_spill_vec = !spill_vec }
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting: apply assignment, expand spills and calls                 *)
+(* ------------------------------------------------------------------ *)
+
+let int_slot_off s = H.spill_base_int + (8 * s)
+let vec_slot_off s = H.spill_base_vec + (16 * s)
+
+(** Rewrite [code] into pure host instructions with physical registers.
+    Returns the final instruction list (labels still symbolic; phase 8
+    assembles them).  [next_label] supplies fresh labels for local
+    expansions. *)
+let apply (code : vinsn list) (asg : assignment) ~(next_label : int ref) :
+    H.insn list =
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let fresh_label () =
+    let l = !next_label in
+    incr next_label;
+    l
+  in
+  (* read an int virtual into a physical register, using scratch if
+     spilled; [which] distinguishes the two scratches *)
+  let read_int ?(which = 0) v =
+    match asg.int_loc.(v) with
+    | Phys p -> p
+    | Spill s ->
+        let scratch = if which = 0 then H.scratch else H.scratch2 in
+        emit (H.Ld (8, false, scratch, H.gsp, int_slot_off s));
+        scratch
+  in
+  let read_vec ?(which = 0) v =
+    match asg.vec_loc.(v) with
+    | Phys p -> p
+    | Spill s ->
+        let scratch = if which = 0 then H.vscratch else H.vscratch2 in
+        emit (H.Vld (scratch, H.gsp, vec_slot_off s));
+        scratch
+  in
+  (* destination: physical register to compute into + flush action *)
+  let write_int v =
+    match asg.int_loc.(v) with
+    | Phys p -> (p, fun () -> ())
+    | Spill s ->
+        (H.scratch, fun () -> emit (H.St (8, H.scratch, H.gsp, int_slot_off s)))
+  in
+  let write_vec v =
+    match asg.vec_loc.(v) with
+    | Phys p -> (p, fun () -> ())
+    | Spill s ->
+        (H.vscratch, fun () -> emit (H.Vst (H.vscratch, H.gsp, vec_slot_off s)))
+  in
+  let mov_int d s = if d <> s then emit (H.Mov (d, s)) in
+  List.iter
+    (fun vi ->
+      match vi with
+      | V (Movi (d, imm)) ->
+          let pd, fl = write_int d in
+          emit (H.Movi (pd, imm));
+          fl ()
+      | V (Mov (d, s)) ->
+          let ps = read_int s in
+          let pd, fl = write_int d in
+          mov_int pd ps;
+          fl ()
+      | V (Alu (w, op, d, s1, s2)) ->
+          let p1 = read_int ~which:0 s1 in
+          let p2 = read_int ~which:1 s2 in
+          let pd, fl = write_int d in
+          emit (H.Alu (w, op, pd, p1, p2));
+          fl ()
+      | V (Alui (w, op, d, s1, imm)) ->
+          let p1 = read_int s1 in
+          let pd, fl = write_int d in
+          emit (H.Alui (w, op, pd, p1, imm));
+          fl ()
+      | V (Ld (sz, sx, d, b, off)) ->
+          let pb = if b = H.gsp then H.gsp else read_int b in
+          let pd, fl = write_int d in
+          emit (H.Ld (sz, sx, pd, pb, off));
+          fl ()
+      | V (St (sz, s, b, off)) ->
+          let ps = read_int ~which:0 s in
+          let pb = if b = H.gsp then H.gsp else read_int ~which:1 b in
+          emit (H.St (sz, ps, pb, off))
+      | V (Cmov (d, cnd, s)) -> (
+          (* d is read-modify-write *)
+          match asg.int_loc.(d) with
+          | Phys pd ->
+              let pc = read_int ~which:0 cnd in
+              let ps = read_int ~which:1 s in
+              emit (H.Cmov (pd, pc, ps))
+          | Spill slot ->
+              (* all three operands may be spilled; expand to a branch so
+                 that only one scratch is live at a time *)
+              let pc = read_int ~which:1 cnd in
+              let l = fresh_label () in
+              emit (H.Jz (pc, l));
+              let ps = read_int ~which:0 s in
+              emit (H.St (8, ps, H.gsp, int_slot_off slot));
+              emit (H.Label l))
+      | V (Falu (op, d, s1, s2)) ->
+          let p1 = read_int ~which:0 s1 in
+          let p2 = read_int ~which:1 s2 in
+          let pd, fl = write_int d in
+          emit (H.Falu (op, pd, p1, p2));
+          fl ()
+      | V (Fun1 (op, d, s)) ->
+          let ps = read_int s in
+          let pd, fl = write_int d in
+          emit (H.Fun1 (op, pd, ps));
+          fl ()
+      | V (Vld (d, b, off)) ->
+          let pb = if b = H.gsp then H.gsp else read_int b in
+          let pd, fl = write_vec d in
+          emit (H.Vld (pd, pb, off));
+          fl ()
+      | V (Vst (s, b, off)) ->
+          let ps = read_vec s in
+          let pb = if b = H.gsp then H.gsp else read_int b in
+          emit (H.Vst (ps, pb, off))
+      | V (Vmov (d, s)) ->
+          let ps = read_vec s in
+          let pd, fl = write_vec d in
+          if pd <> ps then emit (H.Vmov (pd, ps));
+          fl ()
+      | V (Valu (op, d, s1, s2)) ->
+          let p1 = read_vec ~which:0 s1 in
+          let p2 = read_vec ~which:1 s2 in
+          let pd, fl = write_vec d in
+          (* the interpreter reads both sources before writing, so pd may
+             alias p1 (both the scratch) safely *)
+          emit (H.Valu (op, pd, p1, p2));
+          fl ()
+      | V (Vnot (d, s)) ->
+          let ps = read_vec s in
+          let pd, fl = write_vec d in
+          emit (H.Vnot (pd, ps));
+          fl ()
+      | V (Vsplat32 (d, s)) ->
+          let ps = read_int s in
+          let pd, fl = write_vec d in
+          emit (H.Vsplat32 (pd, ps));
+          fl ()
+      | V (Vpack (d, hi, lo)) ->
+          let phi = read_int ~which:0 hi in
+          let plo = read_int ~which:1 lo in
+          let pd, fl = write_vec d in
+          emit (H.Vpack (pd, phi, plo));
+          fl ()
+      | V (Vunpack (d, s, half)) ->
+          let ps = read_vec s in
+          let pd, fl = write_int d in
+          emit (H.Vunpack (pd, ps, half));
+          fl ()
+      | V (Call _) -> invalid_arg "Regalloc.apply: raw Call in input"
+      | V (Jz (cnd, l)) ->
+          let pc = read_int cnd in
+          emit (H.Jz (pc, l))
+      | V (Jnz (cnd, l)) ->
+          let pc = read_int cnd in
+          emit (H.Jnz (pc, l))
+      | V (Jmp l) -> emit (H.Jmp l)
+      | V (Label l) -> emit (H.Label l)
+      | V (ExitIf (cnd, ek, dest)) ->
+          let pc = read_int cnd in
+          emit (H.ExitIf (pc, ek, dest))
+      | V (Goto (ek, s)) ->
+          let ps = read_int s in
+          emit (H.Goto (ek, ps))
+      | V (GotoI (ek, dest)) -> emit (H.GotoI (ek, dest))
+      | VCall { callee; args; dst } ->
+          (* parallel-move the arguments into h0..h(n-1) *)
+          let n = List.length args in
+          if n > List.length H.arg_regs then
+            invalid_arg "too many helper arguments";
+          let moves =
+            List.mapi (fun i a -> (i, asg.int_loc.(a))) args
+            |> List.filter (fun (i, src) -> src <> Phys i)
+          in
+          (* iterative parallel move; use scratch to break cycles *)
+          let pending = ref moves in
+          let progress = ref true in
+          while !pending <> [] && !progress do
+            progress := false;
+            let ready, blocked =
+              List.partition
+                (fun (dst, _) ->
+                  not
+                    (List.exists
+                       (fun (d2, src2) ->
+                         d2 <> dst && src2 = Phys dst)
+                       !pending))
+                !pending
+            in
+            if ready <> [] then begin
+              progress := true;
+              List.iter
+                (fun (d, src) ->
+                  match src with
+                  | Phys p -> mov_int d p
+                  | Spill s -> emit (H.Ld (8, false, d, H.gsp, int_slot_off s)))
+                ready;
+              pending := blocked
+            end
+            else begin
+              (* cycle: rotate through scratch *)
+              match !pending with
+              | (d, Phys p) :: rest ->
+                  emit (H.Mov (H.scratch, p));
+                  (* anything that wanted p now reads scratch *)
+                  pending :=
+                    (d, Phys H.scratch)
+                    :: List.map
+                         (fun (d2, s2) ->
+                           if s2 = Phys p then (d2, Phys H.scratch) else (d2, s2))
+                         rest;
+                  progress := true
+              | _ -> assert false
+            end
+          done;
+          emit (H.Call (callee.c_id, n, callee.c_cost));
+          (match dst with
+          | None -> ()
+          | Some d -> (
+              match asg.int_loc.(d) with
+              | Phys p -> mov_int p H.ret_reg
+              | Spill s -> emit (H.St (8, H.ret_reg, H.gsp, int_slot_off s)))))
+    code;
+  List.rev !out
+
+(** Run allocation and rewriting in one step. *)
+let run (code : vinsn list) ~(n_int : int) ~(n_vec : int)
+    ~(next_label : int ref) : H.insn list =
+  apply code (allocate code ~n_int ~n_vec) ~next_label

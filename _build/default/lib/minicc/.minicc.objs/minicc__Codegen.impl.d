@@ -1,0 +1,1 @@
+lib/minicc/codegen.ml: Ast Buffer Char Fmt Hashtbl Int64 List Option Parser Printf String Support

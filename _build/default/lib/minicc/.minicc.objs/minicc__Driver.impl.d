@@ -1,0 +1,1 @@
+lib/minicc/driver.ml: Codegen Guest Lexer Libc Parser Printf

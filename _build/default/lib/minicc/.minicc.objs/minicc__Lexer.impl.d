@@ -1,0 +1,1 @@
+lib/minicc/lexer.ml: Buffer Fmt Int64 List String

@@ -1,0 +1,1 @@
+lib/minicc/parser.ml: Ast Char Fmt Int64 Lexer List

@@ -1,0 +1,92 @@
+(** AST for mini-C, the small C-like language the benchmark programs and
+    the guest libc are written in (the substitute for the paper's
+    GCC-compiled SPEC clients — see DESIGN.md §1). *)
+
+type ty =
+  | Tint  (** 32-bit signed *)
+  | Tchar  (** 8-bit unsigned in memory, int-width in registers *)
+  | Tdouble
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tvoid
+
+let rec ty_size = function
+  | Tint -> 4
+  | Tchar -> 1
+  | Tdouble -> 8
+  | Tptr _ -> 4
+  | Tarray (t, n) -> ty_size t * n
+  | Tvoid -> 0
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tchar -> Fmt.string ppf "char"
+  | Tdouble -> Fmt.string ppf "double"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_ty t n
+  | Tvoid -> Fmt.string ppf "void"
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or  (** short-circuit *)
+  | Band | Bor | Bxor | Shl | Shr
+
+type unop = Neg | Not | Bnot
+
+type expr =
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Chr of char
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr  (** lvalue = rvalue *)
+  | OpAssign of binop * expr * expr  (** lvalue op= rvalue *)
+  | Call of string * expr list
+  | Index of expr * expr  (** a[i] *)
+  | Deref of expr
+  | Addr of expr
+  | Cast of ty * expr
+  | Sizeof of ty
+  | Cond of expr * expr * expr  (** c ? t : e *)
+  | PostIncr of expr
+  | PostDecr of expr
+
+type stmt =
+  | Expr of expr
+  | Decl of ty * string * expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type func = {
+  f_name : string;
+  f_ret : ty;
+  f_params : (ty * string) list;
+  f_body : stmt list;
+}
+
+type global = {
+  g_name : string;
+  g_ty : ty;
+  g_init : ginit option;
+}
+
+and ginit =
+  | Gint of int64
+  | Gfloat of float
+  | Gstr of string
+  | Garray of ginit list
+
+type decl =
+  | Dfunc of func
+  | Dglobal of global
+  | Dproto of func  (** forward declaration: body ignored *)
+
+type program = decl list

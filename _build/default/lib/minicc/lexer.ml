@@ -1,0 +1,186 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | STR of string
+  | CHR of char
+  | IDENT of string
+  | KW of string  (** int/char/double/void/if/else/while/for/return/... *)
+  | PUNCT of string  (** operators and punctuation *)
+  | EOF
+
+exception Error of { line : int; msg : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : (token * int) option;
+}
+
+let keywords =
+  [ "int"; "char"; "double"; "void"; "if"; "else"; "while"; "for"; "return";
+    "break"; "continue"; "sizeof" ]
+
+let create src = { src; pos = 0; line = 1; peeked = None }
+
+let error lx fmt = Fmt.kstr (fun msg -> raise (Error { line = lx.line; msg })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  if lx.pos < String.length lx.src then begin
+    if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+      match lx.src.[lx.pos + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_ws lx
+      | '*' ->
+          advance lx;
+          advance lx;
+          let rec go () =
+            match peek_char lx with
+            | None -> error lx "unterminated comment"
+            | Some '*' when lx.pos + 1 < String.length lx.src
+                            && lx.src.[lx.pos + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                go ()
+          in
+          go ();
+          skip_ws lx
+      | _ -> ())
+  | _ -> ()
+
+let read_escape lx =
+  advance lx;
+  match peek_char lx with
+  | Some 'n' -> advance lx; '\n'
+  | Some 't' -> advance lx; '\t'
+  | Some 'r' -> advance lx; '\r'
+  | Some '0' -> advance lx; '\000'
+  | Some '\\' -> advance lx; '\\'
+  | Some '\'' -> advance lx; '\''
+  | Some '"' -> advance lx; '"'
+  | Some c -> error lx "unknown escape '\\%c'" c
+  | None -> error lx "unterminated escape"
+
+let rec raw_next lx : token =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c ->
+      let start = lx.pos in
+      while (match peek_char lx with
+             | Some c -> is_digit c || c = 'x' || c = 'X' || c = '.'
+                         || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+             | None -> false)
+      do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      if String.contains s '.' && not (String.length s > 1 && (s.[1] = 'x' || s.[1] = 'X')) then
+        match float_of_string_opt s with
+        | Some f -> FLOAT f
+        | None -> error lx "bad float literal '%s'" s
+      else (
+        match Int64.of_string_opt s with
+        | Some n -> INT n
+        | None -> error lx "bad integer literal '%s'" s)
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident c | None -> false) do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      if List.mem s keywords then KW s else IDENT s
+  | Some '"' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char lx with
+        | None -> error lx "unterminated string"
+        | Some '"' -> advance lx
+        | Some '\\' -> Buffer.add_char buf (read_escape lx); go ()
+        | Some c ->
+            advance lx;
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      STR (Buffer.contents buf)
+  | Some '\'' ->
+      advance lx;
+      let c =
+        match peek_char lx with
+        | Some '\\' -> read_escape lx
+        | Some c ->
+            advance lx;
+            c
+        | None -> error lx "unterminated char literal"
+      in
+      (match peek_char lx with
+      | Some '\'' -> advance lx
+      | _ -> error lx "unterminated char literal");
+      CHR c
+  | Some c ->
+      let two =
+        if lx.pos + 1 < String.length lx.src then
+          Some (String.sub lx.src lx.pos 2)
+        else None
+      in
+      (match two with
+      | Some (("=="|"!="|"<="|">="|"&&"|"||"|"+="|"-="|"*="|"/="|"%="|"<<"|">>"|"++"|"--") as op) ->
+          advance lx;
+          advance lx;
+          PUNCT op
+      | _ ->
+          (match c with
+          | '+' | '-' | '*' | '/' | '%' | '=' | '<' | '>' | '!' | '&' | '|'
+          | '^' | '~' | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '?'
+          | ':' ->
+              advance lx;
+              PUNCT (String.make 1 c)
+          | c -> error lx "unexpected character '%c'" c))
+
+and next lx : token =
+  match lx.peeked with
+  | Some (t, line) ->
+      lx.peeked <- None;
+      ignore line;
+      t
+  | None -> raw_next lx
+
+let peek lx : token =
+  match lx.peeked with
+  | Some (t, _) -> t
+  | None ->
+      let t = raw_next lx in
+      lx.peeked <- Some (t, lx.line);
+      t
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "%Ld" n
+  | FLOAT f -> Fmt.pf ppf "%g" f
+  | STR s -> Fmt.pf ppf "%S" s
+  | CHR c -> Fmt.pf ppf "'%c'" c
+  | IDENT s | KW s | PUNCT s -> Fmt.string ppf s
+  | EOF -> Fmt.string ppf "<eof>"

@@ -1,0 +1,296 @@
+(** The guest C runtime, written in mini-C itself (plus a few lines of
+    start-up assembly).
+
+    It matters for the reproduction that the allocator is a real
+    free-list allocator in guest code over [brk] (R8: "most programs use
+    a heap allocator from a library that hands out heap blocks from
+    larger chunks allocated with a system call ... each heap block
+    typically has book-keeping data attached"): Memcheck redirects
+    [malloc]/[free]/[calloc]/[realloc] away from this code, while native
+    runs and non-heap tools execute it as-is.
+
+    The [vg_*] functions are the guest-side client-request macros
+    (the valgrind.h equivalent, §3.11). *)
+
+let source = {|
+/* ---- syscall veneers ---------------------------------------------- */
+
+void exit(int code) { __syscall1(1, code); }
+int write(int fd, char *buf, int len) { return __syscall3(2, fd, (int)buf, len); }
+int read(int fd, char *buf, int len) { return __syscall3(3, fd, (int)buf, len); }
+int open(char *name, int flags) { return __syscall2(4, (int)name, flags); }
+int close(int fd) { return __syscall1(5, fd); }
+int brk(int addr) { return __syscall1(6, addr); }
+char *mmap(int len) { return (char *)__syscall2(7, 0, len); }
+int munmap(char *addr, int len) { return __syscall2(8, (int)addr, len); }
+char *mremap(char *addr, int oldlen, int newlen) {
+  return (char *)__syscall3(9, (int)addr, oldlen, newlen);
+}
+int gettimeofday(int *tv, int *tz) { return __syscall2(10, (int)tv, (int)tz); }
+int settimeofday(int *tv) { return __syscall1(11, (int)tv); }
+int sigaction(int sig, int handler) { return __syscall2(12, sig, handler); }
+int kill(int tid, int sig) { return __syscall2(13, tid, sig); }
+int thread_create(int entry, int stack, int arg) {
+  return __syscall3(15, entry, stack, arg);
+}
+void thread_exit() { __syscall0(16); }
+void yield() { __syscall0(17); }
+int getpid() { return __syscall0(18); }
+
+/* ---- heap allocator (free list over brk) -------------------------- */
+
+int __free_list = 0;
+int __heap_end = 0;
+
+char *__morecore(int n) {
+  int cur;
+  if (__heap_end == 0) { __heap_end = brk(0); }
+  cur = __heap_end;
+  __heap_end = cur + n;
+  brk(__heap_end);
+  return (char *)cur;
+}
+
+char *malloc(int n) {
+  int *p;
+  int *prev;
+  int *blk;
+  if (n < 1) { n = 1; }
+  n = (n + 7) & ~7;
+  prev = (int *)0;
+  p = (int *)__free_list;
+  while ((int)p != 0) {
+    if (p[0] >= n) {
+      if ((int)prev == 0) { __free_list = p[1]; } else { prev[1] = p[1]; }
+      return (char *)(p + 2);
+    }
+    prev = p;
+    p = (int *)p[1];
+  }
+  blk = (int *)__morecore(n + 8);
+  blk[0] = n;
+  blk[1] = 0;
+  return (char *)(blk + 2);
+}
+
+void free(char *cp) {
+  int *p;
+  if ((int)cp == 0) { return; }
+  p = (int *)cp - 2;
+  p[1] = __free_list;
+  __free_list = (int)p;
+}
+
+char *calloc(int nmemb, int size) {
+  int n;
+  char *p;
+  n = nmemb * size;
+  p = malloc(n);
+  memset(p, 0, n);
+  return p;
+}
+
+char *realloc(char *old, int n) {
+  int *hdr;
+  int oldsz;
+  char *np;
+  if ((int)old == 0) { return malloc(n); }
+  hdr = (int *)old - 2;
+  oldsz = hdr[0];
+  if (oldsz >= n) { return old; }
+  np = malloc(n);
+  memcpy(np, old, oldsz);
+  free(old);
+  return np;
+}
+
+/* ---- string / memory ---------------------------------------------- */
+
+int strlen(char *s) {
+  int n;
+  n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int strcmp(char *a, char *b) {
+  int i;
+  i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+  int i;
+  i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i = i + 1; }
+  dst[i] = 0;
+  return dst;
+}
+
+char *memcpy(char *dst, char *src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+  return dst;
+}
+
+char *memset(char *dst, int c, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = (char)c; }
+  return dst;
+}
+
+/* ---- formatted-ish output ----------------------------------------- */
+
+void print_str(char *s) { write(1, s, strlen(s)); }
+void putchar_(int c) {
+  char b[4];
+  b[0] = (char)c;
+  write(1, b, 1);
+}
+
+void print_int(int n) {
+  char buf[16];
+  int i;
+  int neg;
+  i = 15;
+  neg = 0;
+  if (n < 0) { neg = 1; n = -n; }
+  if (n == 0) { buf[i] = '0'; i = i - 1; }
+  while (n > 0) {
+    buf[i] = (char)('0' + n % 10);
+    n = n / 10;
+    i = i - 1;
+  }
+  if (neg) { buf[i] = '-'; i = i - 1; }
+  write(1, &buf[i + 1], 15 - i);
+}
+
+void print_double(double x) {
+  int whole;
+  int frac;
+  if (x < 0.0) { putchar_('-'); x = -x; }
+  whole = (int)x;
+  frac = (int)((x - (double)whole) * 1000000.0);
+  print_int(whole);
+  putchar_('.');
+  /* zero-pad the fraction */
+  if (frac < 100000) { putchar_('0'); }
+  if (frac < 10000) { putchar_('0'); }
+  if (frac < 1000) { putchar_('0'); }
+  if (frac < 100) { putchar_('0'); }
+  if (frac < 10) { putchar_('0'); }
+  print_int(frac);
+}
+
+/* ---- misc ---------------------------------------------------------- */
+
+int __rand_state = 123456789;
+
+void srand(int seed) { __rand_state = seed; }
+
+int rand() {
+  __rand_state = __rand_state * 1103515245 + 12345;
+  return (__rand_state >> 16) & 32767;
+}
+
+int abs(int n) { if (n < 0) { return -n; } return n; }
+
+/* ---- client requests (the valgrind.h equivalent) ------------------- */
+
+int vg_running_on_valgrind() {
+  int a[4];
+  return __clreq(1, a);
+}
+
+int vg_discard_translations(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(2, a);
+}
+
+void vg_print(char *s) { __clreq(3, (int *)s); }
+
+int vg_stack_register(int lo, int hi) {
+  int a[4];
+  a[0] = lo;
+  a[1] = hi;
+  return __clreq(4, a);
+}
+
+int vg_stack_deregister(int id) {
+  int a[4];
+  a[0] = id;
+  return __clreq(5, a);
+}
+
+int vg_make_mem_noaccess(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(4097, a);
+}
+
+int vg_make_mem_undefined(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(4098, a);
+}
+
+int vg_make_mem_defined(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(4099, a);
+}
+
+int vg_check_mem_is_defined(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(4101, a);
+}
+
+int vg_count_errors() {
+  int a[4];
+  return __clreq(4102, a);
+}
+
+int vg_do_leak_check() {
+  int a[4];
+  return __clreq(4103, a);
+}
+
+int vg_taint_mem(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(8193, a);
+}
+
+int vg_untaint_mem(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(8194, a);
+}
+
+int vg_check_taint(char *addr, int len) {
+  int a[4];
+  a[0] = (int)addr;
+  a[1] = len;
+  return __clreq(8195, a);
+}
+|}
+
+(** Start-up code: call main, pass its result to exit. *)
+let startup_asm = {|
+        .text
+        .global _start
+_start: call main
+        mov r1, r0
+        movi r0, 1
+        syscall
+|}

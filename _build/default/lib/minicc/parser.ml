@@ -1,0 +1,393 @@
+(** Recursive-descent parser for mini-C (precedence climbing for binary
+    operators). *)
+
+open Ast
+open Lexer
+
+exception Error of { line : int; msg : string }
+
+let perror lx fmt =
+  Fmt.kstr (fun msg -> raise (Error { line = lx.Lexer.line; msg })) fmt
+
+let expect_punct lx p =
+  match next lx with
+  | PUNCT q when q = p -> ()
+  | t -> perror lx "expected '%s', got %a" p pp_token t
+
+let accept_punct lx p =
+  match peek lx with
+  | PUNCT q when q = p ->
+      ignore (next lx);
+      true
+  | _ -> false
+
+let expect_ident lx =
+  match next lx with
+  | IDENT s -> s
+  | t -> perror lx "expected identifier, got %a" pp_token t
+
+(* base type: int / char / double / void *)
+let parse_base_ty lx : ty option =
+  match peek lx with
+  | KW "int" -> ignore (next lx); Some Tint
+  | KW "char" -> ignore (next lx); Some Tchar
+  | KW "double" -> ignore (next lx); Some Tdouble
+  | KW "void" -> ignore (next lx); Some Tvoid
+  | _ -> None
+
+let parse_ty lx : ty option =
+  match parse_base_ty lx with
+  | None -> None
+  | Some base ->
+      let t = ref base in
+      while accept_punct lx "*" do
+        t := Tptr !t
+      done;
+      Some !t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_punct = function
+  | "+" -> Some (Add, 10)
+  | "-" -> Some (Sub, 10)
+  | "*" -> Some (Mul, 11)
+  | "/" -> Some (Div, 11)
+  | "%" -> Some (Mod, 11)
+  | "<<" -> Some (Shl, 9)
+  | ">>" -> Some (Shr, 9)
+  | "<" -> Some (Lt, 8)
+  | "<=" -> Some (Le, 8)
+  | ">" -> Some (Gt, 8)
+  | ">=" -> Some (Ge, 8)
+  | "==" -> Some (Eq, 7)
+  | "!=" -> Some (Ne, 7)
+  | "&" -> Some (Band, 6)
+  | "^" -> Some (Bxor, 5)
+  | "|" -> Some (Bor, 4)
+  | "&&" -> Some (And, 3)
+  | "||" -> Some (Or, 2)
+  | _ -> None
+
+let rec parse_expr lx : expr = parse_assign lx
+
+and parse_assign lx : expr =
+  let lhs = parse_cond lx in
+  match peek lx with
+  | PUNCT "=" ->
+      ignore (next lx);
+      Assign (lhs, parse_assign lx)
+  | PUNCT "+=" -> ignore (next lx); OpAssign (Add, lhs, parse_assign lx)
+  | PUNCT "-=" -> ignore (next lx); OpAssign (Sub, lhs, parse_assign lx)
+  | PUNCT "*=" -> ignore (next lx); OpAssign (Mul, lhs, parse_assign lx)
+  | PUNCT "/=" -> ignore (next lx); OpAssign (Div, lhs, parse_assign lx)
+  | PUNCT "%=" -> ignore (next lx); OpAssign (Mod, lhs, parse_assign lx)
+  | _ -> lhs
+
+and parse_cond lx : expr =
+  let c = parse_bin lx 0 in
+  if accept_punct lx "?" then begin
+    let t = parse_expr lx in
+    expect_punct lx ":";
+    let e = parse_cond lx in
+    Cond (c, t, e)
+  end
+  else c
+
+and parse_bin lx min_prec : expr =
+  let lhs = ref (parse_unary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek lx with
+    | PUNCT p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            ignore (next lx);
+            let rhs = parse_bin lx (prec + 1) in
+            lhs := Bin (op, !lhs, rhs)
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary lx : expr =
+  match peek lx with
+  | PUNCT "-" ->
+      ignore (next lx);
+      Un (Neg, parse_unary lx)
+  | PUNCT "!" ->
+      ignore (next lx);
+      Un (Not, parse_unary lx)
+  | PUNCT "~" ->
+      ignore (next lx);
+      Un (Bnot, parse_unary lx)
+  | PUNCT "*" ->
+      ignore (next lx);
+      Deref (parse_unary lx)
+  | PUNCT "&" ->
+      ignore (next lx);
+      Addr (parse_unary lx)
+  | PUNCT "(" -> (
+      (* cast or parenthesised expression *)
+      ignore (next lx);
+      match parse_ty lx with
+      | Some t ->
+          expect_punct lx ")";
+          Cast (t, parse_unary lx)
+      | None ->
+          let e = parse_expr lx in
+          expect_punct lx ")";
+          parse_postfix lx e)
+  | KW "sizeof" ->
+      ignore (next lx);
+      expect_punct lx "(";
+      let t =
+        match parse_ty lx with
+        | Some t -> t
+        | None -> perror lx "sizeof expects a type"
+      in
+      expect_punct lx ")";
+      Sizeof t
+  | _ -> parse_primary lx
+
+and parse_primary lx : expr =
+  match next lx with
+  | INT n -> parse_postfix lx (Int n)
+  | FLOAT f -> parse_postfix lx (Float f)
+  | STR s -> parse_postfix lx (Str s)
+  | CHR c -> parse_postfix lx (Chr c)
+  | IDENT name ->
+      if accept_punct lx "(" then begin
+        let args = ref [] in
+        if not (accept_punct lx ")") then begin
+          let rec go () =
+            args := parse_expr lx :: !args;
+            if accept_punct lx "," then go () else expect_punct lx ")"
+          in
+          go ()
+        end;
+        parse_postfix lx (Call (name, List.rev !args))
+      end
+      else parse_postfix lx (Var name)
+  | t -> perror lx "unexpected token %a in expression" pp_token t
+
+and parse_postfix lx (e : expr) : expr =
+  if accept_punct lx "[" then begin
+    let idx = parse_expr lx in
+    expect_punct lx "]";
+    parse_postfix lx (Index (e, idx))
+  end
+  else
+    match peek lx with
+    | PUNCT "++" ->
+        ignore (next lx);
+        parse_postfix lx (PostIncr e)
+    | PUNCT "--" ->
+        ignore (next lx);
+        parse_postfix lx (PostDecr e)
+    | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* declarator suffix: [N][M]... *)
+let rec parse_array_suffix lx (base : ty) : ty =
+  if accept_punct lx "[" then begin
+    (* size: integer literal, optionally a product of literals (64*64) *)
+    let lit () =
+      match next lx with
+      | INT n -> Int64.to_int n
+      | t -> perror lx "expected array size, got %a" pp_token t
+    in
+    let n = ref (lit ()) in
+    while accept_punct lx "*" do
+      n := !n * lit ()
+    done;
+    expect_punct lx "]";
+    let inner = parse_array_suffix lx base in
+    Tarray (inner, !n)
+  end
+  else base
+
+let rec parse_stmt lx : stmt =
+  match peek lx with
+  | PUNCT "{" ->
+      ignore (next lx);
+      let body = parse_block lx in
+      Block body
+  | KW "if" ->
+      ignore (next lx);
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      let then_ = parse_stmt_as_block lx in
+      let else_ =
+        match peek lx with
+        | KW "else" ->
+            ignore (next lx);
+            parse_stmt_as_block lx
+        | _ -> []
+      in
+      If (c, then_, else_)
+  | KW "while" ->
+      ignore (next lx);
+      expect_punct lx "(";
+      let c = parse_expr lx in
+      expect_punct lx ")";
+      While (c, parse_stmt_as_block lx)
+  | KW "for" ->
+      ignore (next lx);
+      expect_punct lx "(";
+      let init =
+        if accept_punct lx ";" then None
+        else begin
+          let s = parse_simple_stmt lx in
+          expect_punct lx ";";
+          Some s
+        end
+      in
+      let cond = if accept_punct lx ";" then None
+        else begin
+          let e = parse_expr lx in
+          expect_punct lx ";";
+          Some e
+        end
+      in
+      let step =
+        if accept_punct lx ")" then None
+        else begin
+          let e = parse_expr lx in
+          expect_punct lx ")";
+          Some e
+        end
+      in
+      For (init, cond, step, parse_stmt_as_block lx)
+  | KW "return" ->
+      ignore (next lx);
+      if accept_punct lx ";" then Return None
+      else begin
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        Return (Some e)
+      end
+  | KW "break" ->
+      ignore (next lx);
+      expect_punct lx ";";
+      Break
+  | KW "continue" ->
+      ignore (next lx);
+      expect_punct lx ";";
+      Continue
+  | _ ->
+      let s = parse_simple_stmt lx in
+      expect_punct lx ";";
+      s
+
+and parse_simple_stmt lx : stmt =
+  match parse_ty lx with
+  | Some t ->
+      let name = expect_ident lx in
+      let t = parse_array_suffix lx t in
+      let init = if accept_punct lx "=" then Some (parse_expr lx) else None in
+      Decl (t, name, init)
+  | None -> Expr (parse_expr lx)
+
+and parse_stmt_as_block lx : stmt list =
+  match parse_stmt lx with Block b -> b | s -> [ s ]
+
+and parse_block lx : stmt list =
+  let stmts = ref [] in
+  while not (accept_punct lx "}") do
+    stmts := parse_stmt lx :: !stmts
+  done;
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ginit lx : ginit =
+  if accept_punct lx "{" then begin
+    let items = ref [] in
+    if not (accept_punct lx "}") then begin
+      let rec go () =
+        items := parse_ginit lx :: !items;
+        if accept_punct lx "," then
+          (if not (accept_punct lx "}") then go ())
+        else expect_punct lx "}"
+      in
+      go ()
+    end;
+    Garray (List.rev !items)
+  end
+  else
+    match next lx with
+    | INT n -> Gint n
+    | FLOAT f -> Gfloat f
+    | STR s -> Gstr s
+    | CHR c -> Gint (Int64.of_int (Char.code c))
+    | PUNCT "-" -> (
+        match next lx with
+        | INT n -> Gint (Int64.neg n)
+        | FLOAT f -> Gfloat (-.f)
+        | t -> perror lx "bad initialiser, got %a" pp_token t)
+    | t -> perror lx "bad initialiser, got %a" pp_token t
+
+let parse_program (src : string) : program =
+  let lx = Lexer.create src in
+  let decls = ref [] in
+  let rec go () =
+    match peek lx with
+    | EOF -> ()
+    | _ ->
+        let ty =
+          match parse_ty lx with
+          | Some t -> t
+          | None -> perror lx "expected a declaration"
+        in
+        let name = expect_ident lx in
+        if accept_punct lx "(" then begin
+          (* function definition or prototype *)
+          let params = ref [] in
+          if not (accept_punct lx ")") then begin
+            let rec go_params () =
+              let pt =
+                match parse_ty lx with
+                | Some t -> t
+                | None -> perror lx "expected parameter type"
+              in
+              let pn = expect_ident lx in
+              params := (pt, pn) :: !params;
+              if accept_punct lx "," then go_params () else expect_punct lx ")"
+            in
+            go_params ()
+          end;
+          if accept_punct lx ";" then
+            (* forward declaration: signature only, no body emitted *)
+            decls :=
+              Dproto
+                { f_name = name; f_ret = ty; f_params = List.rev !params;
+                  f_body = [] }
+              :: !decls
+          else begin
+            expect_punct lx "{";
+            let body = parse_block lx in
+            decls :=
+              Dfunc
+                { f_name = name; f_ret = ty; f_params = List.rev !params; f_body = body }
+              :: !decls
+          end
+        end
+        else begin
+          (* global *)
+          let ty = parse_array_suffix lx ty in
+          let init = if accept_punct lx "=" then Some (parse_ginit lx) else None in
+          expect_punct lx ";";
+          decls := Dglobal { g_name = name; g_ty = ty; g_init = init } :: !decls
+        end;
+        go ()
+  in
+  go ();
+  List.rev !decls

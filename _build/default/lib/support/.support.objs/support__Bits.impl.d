@@ -1,0 +1,1 @@
+lib/support/bits.ml: Fmt Int64

@@ -1,0 +1,1 @@
+lib/support/buf.ml: Bits Bytes Char Int64

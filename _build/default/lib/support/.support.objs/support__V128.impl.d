@@ -1,0 +1,1 @@
+lib/support/v128.ml: Bits Fmt Int64

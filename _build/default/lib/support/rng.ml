@@ -1,0 +1,24 @@
+(** Small deterministic PRNG (splitmix64) for workload generators.
+
+    Benchmarks must be reproducible run-to-run (the paper's Table 2 is a set
+    of deterministic SPEC runs), so none of the workload generators use
+    [Random]; they all take a seed and use this generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_u64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.unsigned_rem (next_u64 t) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_u64 t) 1L = 1L
+let float t = Int64.to_float (Int64.shift_right_logical (next_u64 t) 11) /. 9007199254740992.0

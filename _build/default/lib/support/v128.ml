@@ -1,0 +1,89 @@
+(** 128-bit SIMD values, represented as a pair of 64-bit halves.
+
+    The guest VG32 ISA has four V128 registers and the IR has a V128 type;
+    shadow-value tools must be able to shadow them bit-for-bit (requirement
+    R1 of the paper: Pin's lack of 128-bit virtual registers is called out
+    as preventing full Memcheck-style shadowing). *)
+
+type t = { lo : int64; hi : int64 }
+
+let zero = { lo = 0L; hi = 0L }
+let ones = { lo = -1L; hi = -1L }
+let make ~lo ~hi = { lo; hi }
+let lo t = t.lo
+let hi t = t.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+(** Build from a 16-bit pattern: bit [i] set means byte [i] is 0xFF.
+    This mirrors VEX's [Ico_V128] constant representation. *)
+let of_pattern16 p =
+  let byte i = if (p lsr i) land 1 = 1 then 0xFFL else 0L in
+  let word lo_bit =
+    let rec go acc i =
+      if i = 8 then acc
+      else go (Int64.logor acc (Int64.shift_left (byte (lo_bit + i)) (8 * i))) (i + 1)
+    in
+    go 0L 0
+  in
+  { lo = word 0; hi = word 8 }
+
+let logand a b = { lo = Int64.logand a.lo b.lo; hi = Int64.logand a.hi b.hi }
+let logor a b = { lo = Int64.logor a.lo b.lo; hi = Int64.logor a.hi b.hi }
+let logxor a b = { lo = Int64.logxor a.lo b.lo; hi = Int64.logxor a.hi b.hi }
+let lognot a = { lo = Int64.lognot a.lo; hi = Int64.lognot a.hi }
+
+(** [get_lane32 t i] extracts 32-bit lane [i] (0..3), zero-extended. *)
+let get_lane32 t i =
+  let half = if i < 2 then t.lo else t.hi in
+  Bits.trunc32 (Int64.shift_right_logical half (32 * (i land 1)))
+
+(** [set_lane32 t i v] replaces 32-bit lane [i]. *)
+let set_lane32 t i v =
+  let v = Bits.trunc32 v in
+  let upd half sh =
+    Int64.logor
+      (Int64.logand half (Int64.lognot (Int64.shift_left 0xFFFF_FFFFL sh)))
+      (Int64.shift_left v sh)
+  in
+  if i < 2 then { t with lo = upd t.lo (32 * i) }
+  else { t with hi = upd t.hi (32 * (i - 2)) }
+
+(** Lane-wise binary op over the four 32-bit lanes. *)
+let map2_32 f a b =
+  let lane i = Bits.trunc32 (f (get_lane32 a i) (get_lane32 b i)) in
+  {
+    lo = Int64.logor (lane 0) (Int64.shift_left (lane 1) 32);
+    hi = Int64.logor (lane 2) (Int64.shift_left (lane 3) 32);
+  }
+
+let add32x4 = map2_32 Int64.add
+let sub32x4 = map2_32 Int64.sub
+let cmpeq32x4 = map2_32 (fun a b -> if a = b then 0xFFFF_FFFFL else 0L)
+
+(** Lane-wise binary op over the sixteen 8-bit lanes. *)
+let map2_8 f a b =
+  let byte src i =
+    let half = if i < 8 then src.lo else src.hi in
+    Bits.trunc8 (Int64.shift_right_logical half (8 * (i land 7)))
+  in
+  let half base =
+    let rec go acc i =
+      if i = 8 then acc
+      else
+        let v = Bits.trunc8 (f (byte a (base + i)) (byte b (base + i))) in
+        go (Int64.logor acc (Int64.shift_left v (8 * i))) (i + 1)
+    in
+    go 0L 0
+  in
+  { lo = half 0; hi = half 8 }
+
+let add8x16 = map2_8 Int64.add
+let sub8x16 = map2_8 Int64.sub
+
+(** Broadcast the low 32 bits of [v] to all four lanes. *)
+let splat32 v =
+  let v = Bits.trunc32 v in
+  let w = Int64.logor v (Int64.shift_left v 32) in
+  { lo = w; hi = w }
+
+let pp ppf t = Fmt.pf ppf "0x%016LX:%016LX" t.hi t.lo

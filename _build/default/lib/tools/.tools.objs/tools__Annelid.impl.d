@@ -1,0 +1,1 @@
+lib/tools/annelid.ml: Array Aspace Guest Hashtbl Int64 Option Printf Support Vex_ir Vg_core

@@ -1,0 +1,1 @@
+lib/tools/cachegrind.ml: Array Cachesim Hashtbl Int64 List Support Vex_ir Vg_core

@@ -1,0 +1,1 @@
+lib/tools/icnt.ml: Aspace Int64 Printf Support Vex_ir Vg_core

@@ -1,0 +1,1 @@
+lib/tools/lackey.ml: Array Int64 List Printf Support Vex_ir Vg_core

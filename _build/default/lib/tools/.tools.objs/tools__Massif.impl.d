@@ -1,0 +1,1 @@
+lib/tools/massif.ml: Aspace Guest Hashtbl Int64 List Printf Vg_core

@@ -1,0 +1,1 @@
+lib/tools/memcheck.ml: Array Aspace Guest Hashtbl Int64 List Option Printf Queue Shadow_mem String Support Vex_ir Vg_core

@@ -1,0 +1,1 @@
+lib/tools/redux.ml: Array Buffer Guest Hashtbl Int64 List Printf Queue Support Vex_ir Vg_core

@@ -1,0 +1,1 @@
+lib/tools/shadow_mem.ml: Array Bytes Char Int64 Support

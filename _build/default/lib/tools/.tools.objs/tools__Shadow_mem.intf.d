@@ -1,0 +1,1 @@
+lib/tools/shadow_mem.mli: Bytes

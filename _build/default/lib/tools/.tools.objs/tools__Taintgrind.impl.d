@@ -1,0 +1,1 @@
+lib/tools/taintgrind.ml: Array Guest Hashtbl Int64 List Printf Shadow_mem Support Vex_ir Vg_core

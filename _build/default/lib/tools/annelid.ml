@@ -1,0 +1,330 @@
+(** Annelid: a bounds checker in the style of Nethercote & Fitzhardinge's
+    tool (paper §1.2, reference [16]): "tracks which word values are
+    array pointers, and from this can detect bounds errors".
+
+    Shadow value = a {e segment id}: zero for non-pointers, a unique tag
+    for every pointer derived from a heap block's base.  Pointer
+    arithmetic propagates the tag; a load or store through a tagged
+    pointer checks the address against the segment's live range and
+    reports out-of-range or use-after-free accesses.  (Like Annelid,
+    accesses through untagged pointers — globals, stack — are not
+    checked; that is the tool's published scope.) *)
+
+open Vex_ir.Ir
+module GA = Guest.Arch
+
+type segment = {
+  seg_id : int;
+  seg_base : int64;
+  seg_size : int;
+  mutable seg_live : bool;
+  seg_stack : int64 list;
+}
+
+type state = {
+  caps : Vg_core.Tool.caps;
+  segments : (int, segment) Hashtbl.t;  (** id -> segment *)
+  by_base : (int64, int) Hashtbl.t;  (** payload base -> id *)
+  word_shadow : (int64, int) Hashtbl.t;  (** aligned addr -> seg id *)
+  mutable next_seg : int;
+  mutable n_checks : int64;
+  mutable h_load : callee;
+  mutable h_store : callee;
+  mutable h_check : callee;  (** (addr, segid, size) *)
+}
+
+let report st msg =
+  ignore
+    (Vg_core.Errors.record st.caps.errors ~kind:"BoundsError" ~msg
+       ~stack:(st.caps.stack_trace ()))
+
+let check_access (st : state) (addr : int64) (segid : int) (size : int) =
+  st.n_checks <- Int64.add st.n_checks 1L;
+  match Hashtbl.find_opt st.segments segid with
+  | None -> ()
+  | Some seg ->
+      if not seg.seg_live then
+        report st
+          (Printf.sprintf
+             "Access of size %d through a pointer into a freed block (seg %d, \
+              base 0x%LX, %d bytes)"
+             size segid seg.seg_base seg.seg_size)
+      else if
+        Int64.unsigned_compare addr seg.seg_base < 0
+        || Int64.unsigned_compare
+             (Int64.add addr (Int64.of_int size))
+             (Int64.add seg.seg_base (Int64.of_int seg.seg_size))
+           > 0
+      then
+        report st
+          (Printf.sprintf
+             "Out-of-bounds access of size %d at 0x%LX (block: base 0x%LX, %d \
+              bytes)"
+             size addr seg.seg_base seg.seg_size)
+
+let register_helpers (st : state) =
+  let fx = [ (GA.off_eip, 4); (GA.off_reg GA.reg_fp, 4) ] in
+  let reg = st.caps.register_helper ~fx_reads:fx in
+  st.h_load <-
+    reg ~name:"an_load_shadow" ~cost:6 ~nargs:1 (fun args ->
+        let addr = Int64.logand args.(0) (Int64.lognot 3L) in
+        Int64.of_int (Option.value ~default:0 (Hashtbl.find_opt st.word_shadow addr)));
+  st.h_store <-
+    reg ~name:"an_store_shadow" ~cost:6 ~nargs:2 (fun args ->
+        let addr = Int64.logand args.(0) (Int64.lognot 3L) in
+        let v = Int64.to_int args.(1) in
+        if v = 0 then Hashtbl.remove st.word_shadow addr
+        else Hashtbl.replace st.word_shadow addr v;
+        0L);
+  st.h_check <-
+    reg ~name:"an_check_access" ~cost:6 ~nargs:3 (fun args ->
+        let segid = Int64.to_int args.(1) in
+        if segid <> 0 then
+          check_access st args.(0) segid (Int64.to_int args.(2));
+        0L)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation: shadow I32 values carry segment ids                 *)
+(* ------------------------------------------------------------------ *)
+
+type ictx = { st : state; nb : block; shadow : (tmp, tmp) Hashtbl.t }
+
+let emit c s = add_stmt c.nb s
+
+let assign c e =
+  let t = new_tmp c.nb (type_of c.nb e) in
+  emit c (WrTmp (t, e));
+  RdTmp t
+
+(* only I32 values can be pointers; everything else shadows as "not a
+   pointer" of a matching-size zero so the IR stays well-typed *)
+let shadow_ty = function F64 -> I64 | ty -> ty
+
+let zero_shadow = function
+  | I1 -> Const (CI1 false)
+  | I8 -> Const (CI8 0)
+  | I16 -> Const (CI16 0)
+  | I32 -> Const (CI32 0L)
+  | I64 | F64 -> Const (CI64 0L)
+  | V128 -> Const (CV128 0)
+
+let shadow_of_tmp c t =
+  match Hashtbl.find_opt c.shadow t with
+  | Some s -> s
+  | None ->
+      let s = new_tmp c.nb (shadow_ty (tmp_ty c.nb t)) in
+      Hashtbl.replace c.shadow t s;
+      emit c (WrTmp (s, zero_shadow (tmp_ty c.nb t)));
+      s
+
+let shadow_atom c = function
+  | Const k -> zero_shadow (type_of_const k)
+  | RdTmp t -> RdTmp (shadow_of_tmp c t)
+  | _ -> invalid_arg "shadow_atom"
+
+(* segment union: a pointer +/- an integer keeps its tag; two tagged
+   pointers combined give the left tag (Annelid's heuristic) *)
+let seg_merge c a b =
+  (* if a <> 0 then a else b *)
+  let nz = assign c (Unop (CmpNEZ32, a)) in
+  assign c (ITE (nz, a, b))
+
+let shadow_rhs c (e : expr) : expr =
+  match e with
+  | Const _ | RdTmp _ -> shadow_atom c e
+  | Get (off, ty) ->
+      if off >= GA.shadow_offset then zero_shadow ty
+      else Get (GA.shadow_of off, shadow_ty ty)
+  | Load (I32, addr) ->
+      let t = new_tmp c.nb I64 in
+      emit c
+        (Dirty
+           { d_guard = Const (CI1 true); d_callee = c.st.h_load;
+             d_args = [ addr ]; d_tmp = Some t; d_mfx = Mfx_none });
+      Unop (T64to32, RdTmp t)
+  | Load (ty, _) -> zero_shadow ty
+  | Unop (op, a) -> (
+      let _, rty = unop_sig op in
+      match op with
+      | Not32 | Neg32 -> shadow_atom c a (* tag survives bit games *)
+      | _ -> zero_shadow (shadow_ty rty))
+  | Binop ((Add32 | Sub32), a, b) ->
+      let va = assign c (shadow_atom c a) in
+      let vb = assign c (shadow_atom c b) in
+      seg_merge c va vb
+  | Binop (op, _, _) ->
+      let _, _, rty = binop_sig op in
+      zero_shadow (shadow_ty rty)
+  | ITE (cond, t, f) -> ITE (cond, shadow_atom c t, shadow_atom c f)
+  | CCall (_, ty, _) -> zero_shadow ty
+
+let check_mem c (addr : expr) (size : int) =
+  let seg = assign c (shadow_atom c addr) in
+  emit c
+    (Dirty
+       { d_guard = Const (CI1 true); d_callee = c.st.h_check;
+         d_args = [ addr; seg; i32 (Int64.of_int size) ]; d_tmp = None;
+         d_mfx = Mfx_none })
+
+let instrument (st : state) (b : block) : block =
+  let nb =
+    { tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind }
+  in
+  let c = { st; nb; shadow = Hashtbl.create 64 } in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | NoOp | IMark _ | AbiHint _ | Exit _ -> emit c s
+      | WrTmp (t, e) ->
+          (* loads: bounds-check the (possibly tagged) address first *)
+          (match e with
+          | Load (lty, addr) -> check_mem c addr (size_of_ty lty)
+          | _ -> ());
+          let se = shadow_rhs c e in
+          let sv = new_tmp nb (shadow_ty (tmp_ty nb t)) in
+          Hashtbl.replace c.shadow t sv;
+          emit c (WrTmp (sv, se));
+          emit c s
+      | Put (off, e) ->
+          if off < GA.shadow_offset then
+            emit c (Put (GA.shadow_of off, assign c (shadow_atom c e)));
+          emit c s
+      | Store (addr, d) ->
+          check_mem c addr (size_of_ty (type_of nb d));
+          (if type_of nb d = I32 then
+             let sd = assign c (shadow_atom c d) in
+             let sd64 = assign c (Unop (U32to64, sd)) in
+             emit c
+               (Dirty
+                  { d_guard = Const (CI1 true); d_callee = st.h_store;
+                    d_args = [ addr; sd64 ]; d_tmp = None; d_mfx = Mfx_none }));
+          emit c s
+      | Dirty d ->
+          emit c s;
+          (match d.d_tmp with
+          | Some t ->
+              let sv = new_tmp nb (shadow_ty (tmp_ty nb t)) in
+              Hashtbl.replace c.shadow t sv;
+              emit c (WrTmp (sv, zero_shadow (tmp_ty nb t)))
+          | None -> ()))
+    b.stmts;
+  nb
+
+(* ------------------------------------------------------------------ *)
+(* Heap tracking                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_stack_arg (st : state) (n : int) : int64 =
+  let sp = st.caps.read_guest GA.off_sp 4 in
+  Aspace.read st.caps.mem (Int64.add sp (Int64.of_int (4 * n))) 4
+
+let new_segment (st : state) (base : int64) (size : int) : segment =
+  st.caps.charge_cycles (150 + (size / 16));
+  let id = st.next_seg in
+  st.next_seg <- id + 1;
+  let seg =
+    { seg_id = id; seg_base = base; seg_size = size; seg_live = true;
+      seg_stack = st.caps.stack_trace () }
+  in
+  Hashtbl.replace st.segments id seg;
+  Hashtbl.replace st.by_base base id;
+  seg
+
+let install_heap (st : state) =
+  let set_result v = st.caps.write_guest (GA.off_reg 0) 4 v in
+  let tag_result segid =
+    (* the returned pointer (r0) is tagged in the shadow register file *)
+    st.caps.write_guest (GA.shadow_of (GA.off_reg 0)) 4 (Int64.of_int segid)
+  in
+  st.caps.replace_function ~symbol:"malloc"
+    ~handler:(fun () ->
+      let size = max 1 (Int64.to_int (read_stack_arg st 1)) in
+      let base = st.caps.client_alloc size in
+      let seg = new_segment st base size in
+      set_result base;
+      tag_result seg.seg_id);
+  st.caps.replace_function ~symbol:"calloc"
+    ~handler:(fun () ->
+      let n = Int64.to_int (read_stack_arg st 1) in
+      let sz = Int64.to_int (read_stack_arg st 2) in
+      let size = max 1 (n * sz) in
+      let base = st.caps.client_alloc size in
+      for i = 0 to size - 1 do
+        Aspace.write st.caps.mem (Int64.add base (Int64.of_int i)) 1 0L
+      done;
+      let seg = new_segment st base size in
+      set_result base;
+      tag_result seg.seg_id);
+  st.caps.replace_function ~symbol:"free"
+    ~handler:(fun () ->
+      let p = read_stack_arg st 1 in
+      (match Hashtbl.find_opt st.by_base p with
+      | Some id -> (
+          match Hashtbl.find_opt st.segments id with
+          | Some seg -> seg.seg_live <- false
+          | None -> ())
+      | None -> ());
+      set_result 0L);
+  st.caps.replace_function ~symbol:"realloc"
+    ~handler:(fun () ->
+      let old = read_stack_arg st 1 in
+      let size = max 1 (Int64.to_int (read_stack_arg st 2)) in
+      let base = st.caps.client_alloc size in
+      (match Hashtbl.find_opt st.by_base old with
+      | Some id -> (
+          match Hashtbl.find_opt st.segments id with
+          | Some seg ->
+              for i = 0 to min seg.seg_size size - 1 do
+                let b = Aspace.read st.caps.mem (Int64.add old (Int64.of_int i)) 1 in
+                Aspace.write st.caps.mem (Int64.add base (Int64.of_int i)) 1 b
+              done;
+              seg.seg_live <- false
+          | None -> ())
+      | None -> ());
+      let seg = new_segment st base size in
+      set_result base;
+      tag_result seg.seg_id)
+
+let the_state : state option ref = ref None
+
+let tool : Vg_core.Tool.t =
+  {
+    name = "annelid";
+    description = "a bounds checker (pointer segments, Annelid-style)";
+    create =
+      (fun caps ->
+        let dummy =
+          { c_name = ""; c_id = -1; c_cost = 0; c_fx_reads = []; c_fx_writes = [] }
+        in
+        let st =
+          {
+            caps;
+            segments = Hashtbl.create 64;
+            by_base = Hashtbl.create 64;
+            word_shadow = Hashtbl.create 256;
+            next_seg = 1;
+            n_checks = 0L;
+            h_load = dummy;
+            h_store = dummy;
+            h_check = dummy;
+          }
+        in
+        register_helpers st;
+        install_heap st;
+        the_state := Some st;
+        {
+          instrument = (fun b -> instrument st b);
+          fini =
+            (fun ~exit_code:_ ->
+              caps.output
+                (Printf.sprintf
+                   "==annelid== %d segments tracked, %Ld pointer accesses \
+                    checked\n"
+                   (st.next_seg - 1) st.n_checks);
+              caps.output (Vg_core.Errors.summary caps.errors));
+          client_request = (fun ~code:_ ~args:_ -> None);
+        });
+  }

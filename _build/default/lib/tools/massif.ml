@@ -1,0 +1,136 @@
+(** Massif: the heap profiler (1,764 lines of C in the paper's §5.1 size
+    table).  Replaces the guest allocator (like Memcheck) but instead of
+    shadowing anything it tracks live heap volume over time and records
+    peak usage and allocation-site totals. *)
+
+module GA = Guest.Arch
+
+type site = { mutable s_bytes : int64; mutable s_blocks : int }
+
+type state = {
+  caps : Vg_core.Tool.caps;
+  live : (int64, int * int64 list) Hashtbl.t;  (** addr -> size, alloc stack *)
+  sites : (int64 list, site) Hashtbl.t;
+  mutable cur_bytes : int64;
+  mutable peak_bytes : int64;
+  mutable n_allocs : int;
+  mutable snapshots : (int * int64) list;  (** (alloc ordinal, live bytes) *)
+  mutable snapshot_every : int;
+}
+
+let the_state : state option ref = ref None
+
+let read_stack_arg (st : state) (n : int) : int64 =
+  let sp = st.caps.read_guest GA.off_sp 4 in
+  Aspace.read st.caps.mem (Int64.add sp (Int64.of_int (4 * n))) 4
+
+let note_alloc (st : state) (addr : int64) (size : int) =
+  st.caps.charge_cycles (150 + (size / 16));
+  let stack = st.caps.stack_trace () in
+  Hashtbl.replace st.live addr (size, stack);
+  st.cur_bytes <- Int64.add st.cur_bytes (Int64.of_int size);
+  if Int64.compare st.cur_bytes st.peak_bytes > 0 then
+    st.peak_bytes <- st.cur_bytes;
+  st.n_allocs <- st.n_allocs + 1;
+  (match Hashtbl.find_opt st.sites stack with
+  | Some s ->
+      s.s_bytes <- Int64.add s.s_bytes (Int64.of_int size);
+      s.s_blocks <- s.s_blocks + 1
+  | None ->
+      Hashtbl.replace st.sites stack
+        { s_bytes = Int64.of_int size; s_blocks = 1 });
+  if st.n_allocs mod st.snapshot_every = 0 then
+    st.snapshots <- (st.n_allocs, st.cur_bytes) :: st.snapshots
+
+let note_free (st : state) (addr : int64) =
+  st.caps.charge_cycles 100;
+  match Hashtbl.find_opt st.live addr with
+  | None -> ()
+  | Some (size, _) ->
+      Hashtbl.remove st.live addr;
+      st.cur_bytes <- Int64.sub st.cur_bytes (Int64.of_int size)
+
+let tool : Vg_core.Tool.t =
+  {
+    name = "massif";
+    description = "a heap profiler";
+    create =
+      (fun caps ->
+        let st =
+          {
+            caps;
+            live = Hashtbl.create 64;
+            sites = Hashtbl.create 64;
+            cur_bytes = 0L;
+            peak_bytes = 0L;
+            n_allocs = 0;
+            snapshots = [];
+            snapshot_every = 16;
+          }
+        in
+        the_state := Some st;
+        let set_result v = caps.write_guest (GA.off_reg 0) 4 v in
+        caps.replace_function ~symbol:"malloc"
+          ~handler:(fun () ->
+            let size = Int64.to_int (read_stack_arg st 1) in
+            let addr = caps.client_alloc (max 1 size) in
+            note_alloc st addr (max 1 size);
+            set_result addr);
+        caps.replace_function ~symbol:"calloc"
+          ~handler:(fun () ->
+            let n = Int64.to_int (read_stack_arg st 1) in
+            let sz = Int64.to_int (read_stack_arg st 2) in
+            let size = max 1 (n * sz) in
+            let addr = caps.client_alloc size in
+            for i = 0 to size - 1 do
+              Aspace.write caps.mem (Int64.add addr (Int64.of_int i)) 1 0L
+            done;
+            note_alloc st addr size;
+            set_result addr);
+        caps.replace_function ~symbol:"free"
+          ~handler:(fun () ->
+            note_free st (read_stack_arg st 1);
+            set_result 0L);
+        caps.replace_function ~symbol:"realloc"
+          ~handler:(fun () ->
+            let old = read_stack_arg st 1 in
+            let size = max 1 (Int64.to_int (read_stack_arg st 2)) in
+            let naddr = caps.client_alloc size in
+            (match Hashtbl.find_opt st.live old with
+            | Some (osize, _) ->
+                for i = 0 to min osize size - 1 do
+                  let b = Aspace.read caps.mem (Int64.add old (Int64.of_int i)) 1 in
+                  Aspace.write caps.mem (Int64.add naddr (Int64.of_int i)) 1 b
+                done;
+                note_free st old
+            | None -> ());
+            note_alloc st naddr size;
+            set_result naddr);
+        {
+          instrument = (fun b -> b);
+          fini =
+            (fun ~exit_code:_ ->
+              caps.output
+                (Printf.sprintf
+                   "==massif== peak heap: %Ld bytes; %d allocations; live at exit: %Ld bytes\n"
+                   st.peak_bytes st.n_allocs st.cur_bytes);
+              let top =
+                Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.sites []
+                |> List.sort (fun (_, a) (_, b) -> compare b.s_bytes a.s_bytes)
+                |> List.filteri (fun i _ -> i < 5)
+              in
+              List.iter
+                (fun (stack, s) ->
+                  let where =
+                    match stack with
+                    | _ :: caller :: _ -> caps.symbolize caller
+                    | [ only ] -> caps.symbolize only
+                    | [] -> "?"
+                  in
+                  caps.output
+                    (Printf.sprintf "==massif==   %Ld bytes in %d blocks from %s\n"
+                       s.s_bytes s.s_blocks where))
+                top);
+          client_request = (fun ~code:_ ~args:_ -> None);
+        });
+  }

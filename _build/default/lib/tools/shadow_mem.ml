@@ -1,0 +1,212 @@
+(** Two-level shadow memory for Memcheck, after Nethercote & Seward,
+    "How to shadow every byte of memory used by a program" (VEE 2007,
+    reference [19] of the paper).
+
+    Every byte of the 32-bit guest address space has:
+    - one A (addressability) bit: may the client touch it at all (this is
+      the {e library-level} addressability of R8, finer than the kernel's
+      page-level mapping — e.g. red zones and freed heap blocks are
+      mapped but not addressable);
+    - eight V (validity) bits: bit [i] set means bit [i] of the byte is
+      {e undefined}.
+
+    The space is covered by a 64K-entry primary map of 64KB secondaries.
+    Three {e distinguished} secondaries (noaccess / defined / undefined)
+    are shared by all chunks in those uniform states and copied-on-write,
+    so shadowing 4GB costs almost nothing until memory is actually used
+    in interesting ways.  (The paper notes "shadow memory operations
+    account for close to half of Memcheck's overhead" — the helper costs
+    in {!Memcheck} model that.) *)
+
+type secondary = {
+  mutable vbits : Bytes.t;  (** 64K bytes; 0x00 = defined, 0xFF = undefined *)
+  mutable abits : Bytes.t;  (** 8K bitmap; bit set = addressable *)
+}
+
+type sm_state = Sm_noaccess | Sm_defined | Sm_undefined | Sm_real of secondary
+
+type t = {
+  primary : sm_state array;  (** 65536 entries *)
+  mutable n_cow : int;  (** copy-on-write materialisations *)
+}
+
+let chunk_size = 65536
+
+let create () = { primary = Array.make 65536 Sm_noaccess; n_cow = 0 }
+
+let fresh_secondary ~(a : bool) ~(vbyte : int) : secondary =
+  {
+    vbits = Bytes.make chunk_size (Char.chr (vbyte land 0xFF));
+    abits = Bytes.make (chunk_size / 8) (if a then '\xFF' else '\x00');
+  }
+
+let materialise (t : t) (idx : int) : secondary =
+  match t.primary.(idx) with
+  | Sm_real s -> s
+  | st ->
+      let s =
+        match st with
+        | Sm_noaccess -> fresh_secondary ~a:false ~vbyte:0xFF
+        | Sm_defined -> fresh_secondary ~a:true ~vbyte:0x00
+        | Sm_undefined -> fresh_secondary ~a:true ~vbyte:0xFF
+        | Sm_real _ -> assert false
+      in
+      t.n_cow <- t.n_cow + 1;
+      t.primary.(idx) <- Sm_real s;
+      s
+
+let chunk_of (addr : int64) = Int64.to_int (Int64.shift_right_logical (Support.Bits.trunc32 addr) 16)
+let off_of (addr : int64) = Int64.to_int (Int64.logand addr 0xFFFFL)
+
+(* ------------------------------------------------------------------ *)
+(* Per-byte access                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let get_abit (t : t) (addr : int64) : bool =
+  match t.primary.(chunk_of addr) with
+  | Sm_noaccess -> false
+  | Sm_defined | Sm_undefined -> true
+  | Sm_real s ->
+      let o = off_of addr in
+      Char.code (Bytes.unsafe_get s.abits (o lsr 3)) land (1 lsl (o land 7)) <> 0
+
+let get_vbyte (t : t) (addr : int64) : int =
+  match t.primary.(chunk_of addr) with
+  | Sm_noaccess -> 0xFF
+  | Sm_defined -> 0x00
+  | Sm_undefined -> 0xFF
+  | Sm_real s -> Char.code (Bytes.unsafe_get s.vbits (off_of addr))
+
+let set_byte (t : t) (addr : int64) ~(a : bool) ~(vbyte : int) =
+  let idx = chunk_of addr in
+  (* fast path: byte already in a matching distinguished state *)
+  match (t.primary.(idx), a, vbyte) with
+  | Sm_noaccess, false, _ -> ()
+  | Sm_defined, true, 0x00 -> ()
+  | Sm_undefined, true, 0xFF -> ()
+  | _ ->
+      let s = materialise t idx in
+      let o = off_of addr in
+      Bytes.unsafe_set s.vbits o (Char.unsafe_chr (vbyte land 0xFF));
+      let b = Char.code (Bytes.unsafe_get s.abits (o lsr 3)) in
+      let bit = 1 lsl (o land 7) in
+      Bytes.unsafe_set s.abits (o lsr 3)
+        (Char.unsafe_chr (if a then b lor bit else b land lnot bit))
+
+let set_vbyte (t : t) (addr : int64) (vbyte : int) =
+  set_byte t addr ~a:(get_abit t addr) ~vbyte
+
+(* ------------------------------------------------------------------ *)
+(* Range operations (the make_mem_* callbacks)                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_range (t : t) (addr : int64) (len : int) ~(a : bool) ~(vbyte : int) =
+  if len > 0 then begin
+    let addr = Support.Bits.trunc32 addr in
+    let first_chunk = chunk_of addr in
+    let last_chunk = chunk_of (Int64.add addr (Int64.of_int (len - 1))) in
+    if first_chunk = last_chunk || last_chunk - first_chunk < 2 then
+      for i = 0 to len - 1 do
+        set_byte t (Int64.add addr (Int64.of_int i)) ~a ~vbyte
+      done
+    else begin
+      (* whole middle chunks flip to a distinguished state cheaply *)
+      let state =
+        if not a then Sm_noaccess
+        else if vbyte = 0 then Sm_defined
+        else Sm_undefined
+      in
+      for c = first_chunk + 1 to last_chunk - 1 do
+        t.primary.(c) <- state
+      done;
+      let first_end = Int64.of_int ((first_chunk + 1) * chunk_size) in
+      let i = ref addr in
+      while Int64.unsigned_compare !i first_end < 0 do
+        set_byte t !i ~a ~vbyte;
+        i := Int64.add !i 1L
+      done;
+      let last_start = Int64.of_int (last_chunk * chunk_size) in
+      let fin = Int64.add addr (Int64.of_int len) in
+      let i = ref last_start in
+      while Int64.unsigned_compare !i fin < 0 do
+        set_byte t !i ~a ~vbyte;
+        i := Int64.add !i 1L
+      done
+    end
+  end
+
+let make_noaccess t addr len = set_range t addr len ~a:false ~vbyte:0xFF
+let make_undefined t addr len = set_range t addr len ~a:true ~vbyte:0xFF
+let make_defined t addr len = set_range t addr len ~a:true ~vbyte:0x00
+
+(** Copy addressability and validity (for mremap / realloc). *)
+let copy_range (t : t) ~(src : int64) ~(dst : int64) (len : int) =
+  (* copy via a temp so overlapping ranges behave like memmove *)
+  let tmp =
+    Array.init len (fun i ->
+        let a = Int64.add src (Int64.of_int i) in
+        (get_abit t a, get_vbyte t a))
+  in
+  Array.iteri
+    (fun i (a, v) -> set_byte t (Int64.add dst (Int64.of_int i)) ~a ~vbyte:v)
+    tmp
+
+(* ------------------------------------------------------------------ *)
+(* Word-wise access (the LOADV/STOREV helper backends)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [load t addr size] returns [(all_addressable, vbits)] where [vbits]
+    packs the V bits of the [size] bytes little-endian (bit set =
+    undefined). *)
+let load (t : t) (addr : int64) (size : int) : bool * int64 =
+  let ok = ref true in
+  let v = ref 0L in
+  for i = size - 1 downto 0 do
+    let a = Int64.add addr (Int64.of_int i) in
+    if not (get_abit t a) then ok := false;
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_vbyte t a))
+  done;
+  (!ok, !v)
+
+(** [store t addr size vbits] writes V bits; returns false if any byte
+    was unaddressable (the A bits are left unchanged — an invalid write
+    does not make the target addressable). *)
+let store (t : t) (addr : int64) (size : int) (vbits : int64) : bool =
+  let ok = ref true in
+  for i = 0 to size - 1 do
+    let a = Int64.add addr (Int64.of_int i) in
+    if get_abit t a then
+      set_vbyte t a
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical vbits (8 * i)) 0xFFL))
+    else ok := false
+  done;
+  !ok
+
+(** First unaddressable byte in [addr, addr+len), if any. *)
+let find_unaddressable (t : t) (addr : int64) (len : int) : int64 option =
+  let rec go i =
+    if i >= len then None
+    else
+      let a = Int64.add addr (Int64.of_int i) in
+      if not (get_abit t a) then Some a else go (i + 1)
+  in
+  go 0
+
+(** First byte with any undefined bit in [addr, addr+len), if any. *)
+let find_undefined (t : t) (addr : int64) (len : int) : int64 option =
+  let rec go i =
+    if i >= len then None
+    else
+      let a = Int64.add addr (Int64.of_int i) in
+      if get_vbyte t a <> 0 then Some a else go (i + 1)
+  in
+  go 0
+
+(** Statistics for the shadow-memory bench: (real secondaries, CoW count). *)
+let stats (t : t) : int * int =
+  let real =
+    Array.fold_left
+      (fun n s -> match s with Sm_real _ -> n + 1 | _ -> n)
+      0 t.primary
+  in
+  (real, t.n_cow)

@@ -1,0 +1,1 @@
+lib/vex_ir/eval.ml: Array Bits Float Fmt Helpers Int64 Ir List Support V128

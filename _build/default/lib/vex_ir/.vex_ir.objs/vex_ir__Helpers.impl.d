@@ -1,0 +1,1 @@
+lib/vex_ir/helpers.ml: Array Ir

@@ -1,0 +1,1 @@
+lib/vex_ir/ir.ml: Support

@@ -1,0 +1,1 @@
+lib/vex_ir/pp.ml: Fmt Ir List Support

@@ -1,0 +1,1 @@
+lib/vex_ir/typecheck.ml: Fmt Ir List Pp Support

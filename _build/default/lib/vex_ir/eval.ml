@@ -1,0 +1,239 @@
+(** Reference evaluator for IR blocks.
+
+    This is not on the execution fast path — the JIT's phases 5–8 compile
+    IR to host code for that.  The evaluator exists as a second, obviously-
+    correct semantics used for differential testing: the disassembler
+    (guest code → IR → this evaluator) must agree with the guest reference
+    interpreter, and the back-end (IR → host code → host interpreter) must
+    agree with this evaluator.  Any disagreement localises a JIT bug to one
+    side of the IR, which is the verifiability benefit of D&R the paper
+    describes in §3.5. *)
+
+open Ir
+
+type value = VI of int64 | VF of float | VV of Support.V128.t
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let as_i = function VI v -> v | _ -> err "expected integer value"
+let as_f = function VF f -> f | _ -> err "expected F64 value"
+let as_v = function VV v -> v | _ -> err "expected V128 value"
+
+(** Normalise an integer to its type's width (I1 -> 0/1). *)
+let norm ty v =
+  match ty with
+  | I1 -> if v = 0L then 0L else 1L
+  | I8 -> Support.Bits.trunc8 v
+  | I16 -> Support.Bits.trunc16 v
+  | I32 -> Support.Bits.trunc32 v
+  | I64 -> v
+  | F64 | V128 -> err "norm on non-integer type"
+
+let const_value = function
+  | CI1 b -> VI (if b then 1L else 0L)
+  | CI8 v -> VI (Int64.of_int (v land 0xFF))
+  | CI16 v -> VI (Int64.of_int (v land 0xFFFF))
+  | CI32 v -> VI (Support.Bits.trunc32 v)
+  | CI64 v -> VI v
+  | CF64 f -> VF f
+  | CV128 p -> VV (Support.V128.of_pattern16 p)
+
+let eval_unop op a : value =
+  let open Support in
+  match op with
+  | Not1 -> VI (Int64.logxor (as_i a) 1L)
+  | Not32 -> VI (Bits.trunc32 (Int64.lognot (as_i a)))
+  | Not64 -> VI (Int64.lognot (as_i a))
+  | Neg32 -> VI (Bits.trunc32 (Int64.neg (as_i a)))
+  | Neg64 -> VI (Int64.neg (as_i a))
+  | U1to32 | U8to32 | U16to32 -> VI (as_i a)
+  | S8to32 -> VI (Bits.trunc32 (Bits.sext8 (as_i a)))
+  | S16to32 -> VI (Bits.trunc32 (Bits.sext16 (as_i a)))
+  | U32to64 -> VI (as_i a)
+  | S32to64 -> VI (Bits.sext32 (as_i a))
+  | T64to32 -> VI (Bits.trunc32 (as_i a))
+  | T32to8 -> VI (Bits.trunc8 (as_i a))
+  | T32to16 -> VI (Bits.trunc16 (as_i a))
+  | T32to1 -> VI (Int64.logand (as_i a) 1L)
+  | CmpNEZ8 | CmpNEZ32 | CmpNEZ64 -> VI (Bits.bool64 (as_i a <> 0L))
+  | CmpwNEZ32 -> VI (if as_i a = 0L then 0L else 0xFFFF_FFFFL)
+  | CmpwNEZ64 -> VI (if as_i a = 0L then 0L else -1L)
+  | Left32 ->
+      let x = as_i a in
+      VI (Bits.trunc32 (Int64.logor x (Int64.neg x)))
+  | Left64 ->
+      let x = as_i a in
+      VI (Int64.logor x (Int64.neg x))
+  | Clz32 -> VI (Bits.clz32 (as_i a))
+  | Ctz32 -> VI (Bits.ctz32 (as_i a))
+  | NegF64 -> VF (-.as_f a)
+  | AbsF64 -> VF (Float.abs (as_f a))
+  | SqrtF64 -> VF (Float.sqrt (as_f a))
+  | I32StoF64 -> VF (Int64.to_float (Bits.sext32 (as_i a)))
+  | F64toI32S -> VI (Bits.trunc32 (Int64.of_float (Float.trunc (as_f a))))
+  | ReinterpF64asI64 -> VI (Bits.bits_of_float (as_f a))
+  | ReinterpI64asF64 -> VF (Bits.float_of_bits (as_i a))
+  | NotV128 -> VV (V128.lognot (as_v a))
+  | V128to64 -> VI (V128.lo (as_v a))
+  | V128HIto64 -> VI (V128.hi (as_v a))
+  | Dup32x4 -> VV (V128.splat32 (as_i a))
+  | CmpNEZ32x4 ->
+      let v = as_v a in
+      VV (V128.lognot (V128.cmpeq32x4 v V128.zero))
+
+let eval_binop op x y : value =
+  let open Support in
+  let xi () = as_i x and yi () = as_i y in
+  let xf () = as_f x and yf () = as_f y in
+  let xv () = as_v x and yv () = as_v y in
+  let b32 f = VI (Bits.trunc32 (f (xi ()) (yi ()))) in
+  let c b = VI (Bits.bool64 b) in
+  match op with
+  | Add32 -> b32 Int64.add
+  | Sub32 -> b32 Int64.sub
+  | Mul32 -> b32 Int64.mul
+  | MulHiS32 ->
+      let p = Int64.mul (Bits.sext32 (xi ())) (Bits.sext32 (yi ())) in
+      VI (Bits.trunc32 (Int64.shift_right p 32))
+  | DivS32 ->
+      let d = Bits.sext32 (yi ()) in
+      if d = 0L then err "integer division by zero"
+      else VI (Bits.trunc32 (Int64.div (Bits.sext32 (xi ())) d))
+  | DivU32 ->
+      let d = yi () in
+      if d = 0L then err "integer division by zero"
+      else VI (Bits.trunc32 (Int64.unsigned_div (xi ()) d))
+  | And32 -> b32 Int64.logand
+  | Or32 -> b32 Int64.logor
+  | Xor32 -> b32 Int64.logxor
+  | Shl32 -> VI (Bits.shl32 (xi ()) (yi ()))
+  | Shr32 -> VI (Bits.shr32 (xi ()) (yi ()))
+  | Sar32 -> VI (Bits.sar32 (xi ()) (yi ()))
+  | CmpEQ32 -> c (xi () = yi ())
+  | CmpNE32 -> c (xi () <> yi ())
+  | CmpLT32S -> c (Bits.cmp32s (xi ()) (yi ()) < 0)
+  | CmpLE32S -> c (Bits.cmp32s (xi ()) (yi ()) <= 0)
+  | CmpLT32U -> c (Bits.cmp32u (xi ()) (yi ()) < 0)
+  | CmpLE32U -> c (Bits.cmp32u (xi ()) (yi ()) <= 0)
+  | Add64 -> VI (Int64.add (xi ()) (yi ()))
+  | Sub64 -> VI (Int64.sub (xi ()) (yi ()))
+  | Mul64 -> VI (Int64.mul (xi ()) (yi ()))
+  | And64 -> VI (Int64.logand (xi ()) (yi ()))
+  | Or64 -> VI (Int64.logor (xi ()) (yi ()))
+  | Xor64 -> VI (Int64.logxor (xi ()) (yi ()))
+  | Shl64 -> VI (Bits.shl64 (xi ()) (yi ()))
+  | Shr64 -> VI (Bits.shr64 (xi ()) (yi ()))
+  | Sar64 -> VI (Bits.sar64 (xi ()) (yi ()))
+  | CmpEQ64 -> c (xi () = yi ())
+  | CmpNE64 -> c (xi () <> yi ())
+  | Cat32x2 ->
+      VI (Int64.logor (Int64.shift_left (xi ()) 32) (Bits.trunc32 (yi ())))
+  | AddF64 -> VF (xf () +. yf ())
+  | SubF64 -> VF (xf () -. yf ())
+  | MulF64 -> VF (xf () *. yf ())
+  | DivF64 -> VF (xf () /. yf ())
+  | MinF64 -> VF (Float.min (xf ()) (yf ()))
+  | MaxF64 -> VF (Float.max (xf ()) (yf ()))
+  | CmpEQF64 -> c (xf () = yf ())
+  | CmpLTF64 -> c (xf () < yf ())
+  | CmpLEF64 -> c (xf () <= yf ())
+  | AndV128 -> VV (V128.logand (xv ()) (yv ()))
+  | OrV128 -> VV (V128.logor (xv ()) (yv ()))
+  | XorV128 -> VV (V128.logxor (xv ()) (yv ()))
+  | Add32x4 -> VV (V128.add32x4 (xv ()) (yv ()))
+  | Sub32x4 -> VV (V128.sub32x4 (xv ()) (yv ()))
+  | CmpEQ32x4 -> VV (V128.cmpeq32x4 (xv ()) (yv ()))
+  | Add8x16 -> VV (V128.add8x16 (xv ()) (yv ()))
+  | Sub8x16 -> VV (V128.sub8x16 (xv ()) (yv ()))
+  | Cat64x2 -> VV (Support.V128.make ~hi:(xi ()) ~lo:(yi ()))
+
+(** How a block run terminated. *)
+type outcome = { next_pc : int64; jumpkind : jumpkind }
+
+(** Run block [b] against [env].  Guest-state accesses of width <= 8 go
+    through [env]; F64/V128 guest accesses are split into 64-bit pieces. *)
+let run (env : Helpers.env) (b : block) : outcome =
+  let tmps = Array.make (Support.Vec.length b.tyenv) (VI 0L) in
+  let get_state off ty =
+    match ty with
+    | V128 ->
+        VV
+          (Support.V128.make
+             ~lo:(env.he_get_guest off 8)
+             ~hi:(env.he_get_guest (off + 8) 8))
+    | F64 -> VF (Support.Bits.float_of_bits (env.he_get_guest off 8))
+    | I64 -> VI (env.he_get_guest off 8)
+    | ty -> VI (norm ty (env.he_get_guest off (size_of_ty ty)))
+  in
+  let put_state off v =
+    match v with
+    | VV x ->
+        env.he_put_guest off 8 (Support.V128.lo x);
+        env.he_put_guest (off + 8) 8 (Support.V128.hi x)
+    | VF f -> env.he_put_guest off 8 (Support.Bits.bits_of_float f)
+    | VI x -> env.he_put_guest off 8 x
+  in
+  (* a PUT of a narrow type must not clobber neighbours: redo with size *)
+  let put_state_ty off ty v =
+    match (ty, v) with
+    | (I8 | I16 | I32 | I64 | I1), VI x -> env.he_put_guest off (size_of_ty ty) x
+    | _ -> put_state off v
+  in
+  let rec eval (e : expr) : value =
+    match e with
+    | Get (off, ty) -> get_state off ty
+    | RdTmp t -> tmps.(t)
+    | Const c -> const_value c
+    | Load (ty, addr) -> (
+        let a = as_i (eval addr) in
+        match ty with
+        | V128 ->
+            VV
+              (Support.V128.make ~lo:(env.he_load a 8)
+                 ~hi:(env.he_load (Int64.add a 8L) 8))
+        | F64 -> VF (Support.Bits.float_of_bits (env.he_load a 8))
+        | ty -> VI (norm ty (env.he_load a (size_of_ty ty))))
+    | Unop (op, a) -> eval_unop op (eval a)
+    | Binop (op, x, y) -> eval_binop op (eval x) (eval y)
+    | ITE (c, t, e) -> if as_i (eval c) <> 0L then eval t else eval e
+    | CCall (callee, ty, args) ->
+        let args = Array.of_list (List.map (fun a -> as_i (eval a)) args) in
+        let r = Helpers.call callee.c_id env args in
+        VI (norm (match ty with I32 -> I32 | _ -> I64) r)
+  in
+  let n = Support.Vec.length b.stmts in
+  let result = ref None in
+  let i = ref 0 in
+  while !result = None && !i < n do
+    (match Support.Vec.get b.stmts !i with
+    | NoOp | IMark _ | AbiHint _ -> ()
+    | Put (off, e) ->
+        let ty = type_of b e in
+        put_state_ty off ty (eval e)
+    | WrTmp (t, e) -> tmps.(t) <- eval e
+    | Store (a, d) -> (
+        let addr = as_i (eval a) in
+        match eval d with
+        | VI v ->
+            let ty = type_of b d in
+            env.he_store addr (size_of_ty ty) v
+        | VF f -> env.he_store addr 8 (Support.Bits.bits_of_float f)
+        | VV v ->
+            env.he_store addr 8 (Support.V128.lo v);
+            env.he_store (Int64.add addr 8L) 8 (Support.V128.hi v))
+    | Dirty d ->
+        if as_i (eval d.d_guard) <> 0L then begin
+          let args = Array.of_list (List.map (fun a -> as_i (eval a)) d.d_args) in
+          let r = Helpers.call d.d_callee.c_id env args in
+          match d.d_tmp with Some t -> tmps.(t) <- VI r | None -> ()
+        end
+    | Exit (g, jk, dest) ->
+        if as_i (eval g) <> 0L then
+          result := Some { next_pc = dest; jumpkind = jk });
+    incr i
+  done;
+  match !result with
+  | Some o -> o
+  | None -> { next_pc = as_i (eval b.next); jumpkind = b.jumpkind }

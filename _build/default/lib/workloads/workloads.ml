@@ -1,0 +1,888 @@
+(** The benchmark suite: mini-C kernels shaped after the SPEC CPU2000
+    programs of Table 2 (DESIGN.md explains the substitution: the
+    paper's clients are GCC-compiled C programs; ours are
+    minicc-compiled mini-C programs exercising the same instruction
+    mixes — integer ALU + branches, pointer chasing, string handling,
+    heap churn, and FP loops).
+
+    Every workload is deterministic, prints a checksum (so tool
+    transparency can be asserted), and takes a [scale] factor. *)
+
+type category = Int_ | Fp
+
+type workload = {
+  w_name : string;
+  w_cat : category;
+  w_source : scale:int -> string;  (** mini-C source *)
+}
+
+let sprintf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* Integer programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* bzip2: run-length + move-to-front coding over a pseudo-random buffer *)
+let bzip2 ~scale =
+  sprintf
+    {|
+int buf[2048];
+int mtf[256];
+int main() {
+  int i; int r; int sum; int run; int prev; int j; int v; int pos;
+  srand(42);
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 2048; i++) { buf[i] = rand() %% 64; }
+    /* run-length pass */
+    run = 0; prev = -1;
+    for (i = 0; i < 2048; i++) {
+      if (buf[i] == prev) { run++; }
+      else { sum = sum + run * prev; run = 1; prev = buf[i]; }
+    }
+    /* move-to-front pass */
+    for (i = 0; i < 256; i++) { mtf[i] = i; }
+    for (i = 0; i < 2048; i++) {
+      v = buf[i]; pos = 0;
+      while (mtf[pos] != v) { pos++; }
+      for (j = pos; j > 0; j--) { mtf[j] = mtf[j-1]; }
+      mtf[0] = v;
+      sum = sum + pos;
+    }
+  }
+  print_str("bzip2 "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* crafty: bitboard-style shifting/masking/popcount *)
+let crafty ~scale =
+  sprintf
+    {|
+int popcount(int x) {
+  int n;
+  n = 0;
+  while (x != 0) { n = n + (x & 1); x = (x >> 1) & 2147483647; }
+  return n;
+}
+int main() {
+  int board; int moves; int i; int r; int att; int sum;
+  srand(7);
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    board = rand() * 65536 + rand();
+    moves = 0;
+    for (i = 0; i < 2000; i++) {
+      att = (board << 1) ^ (board >> 3) ^ (board << 7);
+      att = att & ~board;
+      moves = moves + popcount(att & 65535);
+      board = board ^ (att << 2) ^ i;
+    }
+    sum = sum + moves;
+  }
+  print_str("crafty "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (4 * scale)
+
+(* eon: FP ray-sphere intersection batches *)
+let eon ~scale =
+  sprintf
+    {|
+int main() {
+  int i; int r; int hits; double ox; double oy; double oz;
+  double dx; double dy; double dz; double b; double c; double disc;
+  double t; double acc;
+  srand(3);
+  hits = 0; acc = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 3000; i++) {
+      ox = (double)(rand() %% 100) / 10.0 - 5.0;
+      oy = (double)(rand() %% 100) / 10.0 - 5.0;
+      oz = -10.0;
+      dx = 0.0; dy = 0.0; dz = 1.0;
+      b = 2.0 * (ox*dx + oy*dy + oz*dz);
+      c = ox*ox + oy*oy + oz*oz - 9.0;
+      disc = b*b - 4.0*c;
+      if (disc >= 0.0) {
+        t = (0.0 - b - sqrt(disc)) / 2.0;
+        acc = acc + t;
+        hits++;
+      }
+    }
+  }
+  print_str("eon "); print_int(hits); print_str(" ");
+  print_double(acc / 1000.0); print_str("\n");
+  return 0;
+}
+|}
+    (2 * scale)
+
+(* gap: permutation-group composition and order computation *)
+let gap ~scale =
+  sprintf
+    {|
+int p[64]; int q[64]; int tmp[64];
+int main() {
+  int i; int r; int n; int ord; int sum; int ident;
+  srand(11);
+  n = 64; sum = 0;
+  for (r = 0; r < %d; r++) {
+    /* random permutation by swaps */
+    for (i = 0; i < n; i++) { p[i] = i; }
+    for (i = 0; i < n; i++) {
+      int j; int t;
+      j = rand() %% n;
+      t = p[i]; p[i] = p[j]; p[j] = t;
+    }
+    /* order of p by repeated composition (capped) */
+    for (i = 0; i < n; i++) { q[i] = p[i]; }
+    ord = 1;
+    ident = 0;
+    while (!ident && ord < 500) {
+      ident = 1;
+      for (i = 0; i < n; i++) { if (q[i] != i) { ident = 0; } }
+      if (!ident) {
+        for (i = 0; i < n; i++) { tmp[i] = q[p[i]]; }
+        for (i = 0; i < n; i++) { q[i] = tmp[i]; }
+        ord++;
+      }
+    }
+    sum = sum + ord;
+  }
+  print_str("gap "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (3 * scale)
+
+(* gcc: allocate, transform and fold expression trees (pointer heavy) *)
+let gcc ~scale =
+  sprintf
+    {|
+/* node: [0]=op, [1]=val, [2]=left, [3]=right */
+int *mknode(int op, int val, int *l, int *r) {
+  int *n;
+  n = (int*)malloc(16);
+  n[0] = op; n[1] = val; n[2] = (int)l; n[3] = (int)r;
+  return n;
+}
+int *build(int depth, int seed) {
+  if (depth == 0) { return mknode(0, seed %% 100, (int*)0, (int*)0); }
+  return mknode(1 + seed %% 3, 0,
+                build(depth - 1, seed * 7 + 1),
+                build(depth - 1, seed * 13 + 5));
+}
+int fold(int *n) {
+  int a; int b; int op;
+  op = n[0];
+  if (op == 0) { return n[1]; }
+  a = fold((int*)n[2]);
+  b = fold((int*)n[3]);
+  if (op == 1) { return a + b; }
+  if (op == 2) { return a - b; }
+  return a * b;
+}
+void freetree(int *n) {
+  if (n[0] != 0) { freetree((int*)n[2]); freetree((int*)n[3]); }
+  free((char*)n);
+}
+int main() {
+  int r; int sum; int *t;
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    t = build(9, r + 3);
+    sum = sum + fold(t);
+    freetree(t);
+  }
+  print_str("gcc "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (10 * scale)
+
+(* gzip: LZ77-style longest-match search in a sliding window *)
+let gzip ~scale =
+  sprintf
+    {|
+char data[8192];
+int main() {
+  int i; int j; int r; int pos; int best; int len; int start; int matched;
+  srand(5);
+  matched = 0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 8192; i++) { data[i] = (char)(rand() %% 16 + 'a'); }
+    pos = 128;
+    while (pos < 1600) {
+      best = 0;
+      for (start = pos - 128; start < pos; start++) {
+        len = 0;
+        while (len < 32 && data[start + len] == data[pos + len]) { len++; }
+        if (len > best) { best = len; }
+      }
+      if (best > 2) { pos = pos + best; matched = matched + best; }
+      else { pos = pos + 1; }
+    }
+  }
+  print_str("gzip "); print_int(matched); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* mcf: Bellman-Ford relaxation over a random sparse graph *)
+let mcf ~scale =
+  sprintf
+    {|
+int dist[512];
+int eu[2048]; int ev[2048]; int ew[2048];
+int main() {
+  int n; int m; int i; int k; int r; int changed; int sum;
+  srand(9);
+  n = 512; m = 2048; sum = 0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < m; i++) {
+      eu[i] = rand() %% n; ev[i] = rand() %% n; ew[i] = rand() %% 100 + 1;
+    }
+    for (i = 0; i < n; i++) { dist[i] = 1000000; }
+    dist[0] = 0;
+    changed = 1; k = 0;
+    while (changed && k < 30) {
+      changed = 0;
+      for (i = 0; i < m; i++) {
+        if (dist[eu[i]] + ew[i] < dist[ev[i]]) {
+          dist[ev[i]] = dist[eu[i]] + ew[i];
+          changed = 1;
+        }
+      }
+      k++;
+    }
+    for (i = 0; i < n; i++) { if (dist[i] < 1000000) { sum = sum + dist[i]; } }
+  }
+  print_str("mcf "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (2 * scale)
+
+(* parser: tokenise and evaluate generated arithmetic expressions *)
+let parser ~scale =
+  sprintf
+    {|
+char expr[256];
+int pos;
+int parse_term();
+int parse_factor() {
+  int v;
+  v = 0;
+  if (expr[pos] == '(') {
+    pos++;
+    v = parse_term();
+    pos++;           /* ')' */
+    return v;
+  }
+  while (expr[pos] >= '0' && expr[pos] <= '9') {
+    v = v * 10 + (expr[pos] - '0');
+    pos++;
+  }
+  return v;
+}
+int parse_prod() {
+  int v;
+  v = parse_factor();
+  while (expr[pos] == '*') { pos++; v = v * parse_factor(); }
+  return v;
+}
+int parse_term() {
+  int v;
+  v = parse_prod();
+  while (expr[pos] == '+' || expr[pos] == '-') {
+    if (expr[pos] == '+') { pos++; v = v + parse_prod(); }
+    else { pos++; v = v - parse_prod(); }
+  }
+  return v;
+}
+int main() {
+  int r; int i; int sum; int n;
+  srand(13);
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    /* generate: d op d op d ... *)  */
+    n = 0;
+    expr[n] = (char)('1' + rand() %% 9); n++;
+    for (i = 0; i < 40; i++) {
+      int op;
+      op = rand() %% 3;
+      if (op == 0) { expr[n] = '+'; }
+      if (op == 1) { expr[n] = '-'; }
+      if (op == 2) { expr[n] = '*'; }
+      n++;
+      expr[n] = (char)('1' + rand() %% 9); n++;
+    }
+    expr[n] = 0;
+    pos = 0;
+    sum = sum + parse_term();
+  }
+  print_str("parser "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (400 * scale)
+
+(* perlbmk: string hashing into chained hash tables *)
+let perlbmk ~scale =
+  sprintf
+    {|
+int heads[1024];
+int main() {
+  int r; int i; int j; int h; int sum; int found;
+  int *node; int *cur;
+  char key[16];
+  srand(17);
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 1024; i++) { heads[i] = 0; }
+    for (i = 0; i < 800; i++) {
+      /* make a key */
+      for (j = 0; j < 8; j++) { key[j] = (char)('a' + rand() %% 26); }
+      key[8] = 0;
+      h = 5381;
+      for (j = 0; key[j] != 0; j++) { h = h * 33 + key[j]; }
+      h = (h & 2147483647) %% 1024;
+      /* insert: node = [hash, next] */
+      node = (int*)malloc(8);
+      node[0] = h; node[1] = heads[h];
+      heads[h] = (int)node;
+    }
+    /* probe *)  */
+    found = 0;
+    for (i = 0; i < 1024; i++) {
+      cur = (int*)heads[i];
+      while ((int)cur != 0) {
+        found++;
+        cur = (int*)cur[1];
+      }
+    }
+    sum = sum + found;
+    /* teardown */
+    for (i = 0; i < 1024; i++) {
+      cur = (int*)heads[i];
+      while ((int)cur != 0) {
+        int *nxt;
+        nxt = (int*)cur[1];
+        free((char*)cur);
+        cur = nxt;
+      }
+    }
+  }
+  print_str("perlbmk "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (4 * scale)
+
+(* twolf: annealing-style swap acceptance over a placement grid *)
+let twolf ~scale =
+  sprintf
+    {|
+int cell[1024];
+int cost_at(int i) {
+  int c; int left; int right;
+  left = i - 1; right = i + 1;
+  if (left < 0) { left = 1023; }
+  if (right > 1023) { right = 0; }
+  c = abs(cell[i] - cell[left]) + abs(cell[i] - cell[right]);
+  return c;
+}
+int main() {
+  int r; int i; int a; int b; int t; int before; int after; int accepted;
+  srand(23);
+  accepted = 0;
+  for (i = 0; i < 1024; i++) { cell[i] = rand() %% 256; }
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 4000; i++) {
+      a = rand() %% 1024; b = rand() %% 1024;
+      before = cost_at(a) + cost_at(b);
+      t = cell[a]; cell[a] = cell[b]; cell[b] = t;
+      after = cost_at(a) + cost_at(b);
+      if (after > before + (rand() %% 8)) {
+        /* reject: swap back */
+        t = cell[a]; cell[a] = cell[b]; cell[b] = t;
+      } else { accepted++; }
+    }
+  }
+  print_str("twolf "); print_int(accepted); print_str("\n");
+  return 0;
+}
+|}
+    (2 * scale)
+
+(* vortex: object database — insert/lookup/delete with linked records *)
+let vortex ~scale =
+  sprintf
+    {|
+int index_[512];
+int n_live;
+int main() {
+  int r; int i; int id; int h; int sum; int *obj; int *cur; int *prev;
+  srand(29);
+  sum = 0; n_live = 0;
+  for (i = 0; i < 512; i++) { index_[i] = 0; }
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 2000; i++) {
+      id = rand() %% 4096;
+      h = id %% 512;
+      if (rand() %% 3 != 0) {
+        /* insert object [id, payload, next] */
+        obj = (int*)malloc(12);
+        obj[0] = id; obj[1] = id * 3 + 1; obj[2] = index_[h];
+        index_[h] = (int)obj;
+        n_live++;
+      } else {
+        /* delete first match */
+        prev = (int*)0;
+        cur = (int*)index_[h];
+        while ((int)cur != 0 && cur[0] != id) { prev = cur; cur = (int*)cur[2]; }
+        if ((int)cur != 0) {
+          if ((int)prev == 0) { index_[h] = cur[2]; }
+          else { prev[2] = cur[2]; }
+          sum = sum + cur[1];
+          free((char*)cur);
+          n_live = n_live - 1;
+        }
+      }
+    }
+  }
+  print_str("vortex "); print_int(sum + n_live); print_str("\n");
+  return 0;
+}
+|}
+    (4 * scale)
+
+(* vpr: BFS maze routing on a grid with obstacles *)
+let vpr ~scale =
+  sprintf
+    {|
+int grid[4096];     /* 64x64: 0 free, 1 blocked */
+int distm[4096];
+int queue[8192];
+int main() {
+  int r; int i; int head; int tail; int cur; int x; int y; int sum; int t;
+  srand(31);
+  sum = 0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 4096; i++) {
+      grid[i] = 0;
+      if (rand() %% 5 == 0) { grid[i] = 1; }
+      distm[i] = -1;
+    }
+    grid[0] = 0; grid[4095] = 0;
+    head = 0; tail = 0;
+    queue[tail] = 0; tail++;
+    distm[0] = 0;
+    while (head < tail) {
+      cur = queue[head]; head++;
+      x = cur %% 64; y = cur / 64;
+      if (x > 0) { t = cur - 1;
+        if (grid[t] == 0 && distm[t] < 0) { distm[t] = distm[cur] + 1; queue[tail] = t; tail++; } }
+      if (x < 63) { t = cur + 1;
+        if (grid[t] == 0 && distm[t] < 0) { distm[t] = distm[cur] + 1; queue[tail] = t; tail++; } }
+      if (y > 0) { t = cur - 64;
+        if (grid[t] == 0 && distm[t] < 0) { distm[t] = distm[cur] + 1; queue[tail] = t; tail++; } }
+      if (y < 63) { t = cur + 64;
+        if (grid[t] == 0 && distm[t] < 0) { distm[t] = distm[cur] + 1; queue[tail] = t; tail++; } }
+    }
+    sum = sum + distm[4095] + tail;
+  }
+  print_str("vpr "); print_int(sum); print_str("\n");
+  return 0;
+}
+|}
+    (4 * scale)
+
+(* ------------------------------------------------------------------ *)
+(* Floating-point programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* ammp: n-body force accumulation *)
+let ammp ~scale =
+  sprintf
+    {|
+double px[128]; double py[128]; double pz[128];
+double fx[128]; double fy[128]; double fz[128];
+int main() {
+  int r; int i; int j; double dx; double dy; double dz; double d2; double f;
+  double total;
+  srand(37);
+  for (i = 0; i < 128; i++) {
+    px[i] = (double)(rand() %% 1000) / 100.0;
+    py[i] = (double)(rand() %% 1000) / 100.0;
+    pz[i] = (double)(rand() %% 1000) / 100.0;
+  }
+  total = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 128; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+    for (i = 0; i < 128; i++) {
+      for (j = i + 1; j < 128; j++) {
+        dx = px[j] - px[i]; dy = py[j] - py[i]; dz = pz[j] - pz[i];
+        d2 = dx*dx + dy*dy + dz*dz + 0.1;
+        f = 1.0 / (d2 * sqrt(d2));
+        fx[i] = fx[i] + f*dx; fy[i] = fy[i] + f*dy; fz[i] = fz[i] + f*dz;
+        fx[j] = fx[j] - f*dx; fy[j] = fy[j] - f*dy; fz[j] = fz[j] - f*dz;
+      }
+    }
+    total = total + fx[0] + fy[64] + fz[127];
+  }
+  print_str("ammp "); print_double(total); print_str("\n");
+  return 0;
+}
+|}
+    (2 * scale)
+
+(* applu: successive over-relaxation sweeps on a 2D grid *)
+let applu ~scale =
+  sprintf
+    {|
+double u[4096];
+int main() {
+  int r; int it; int i; int j; double sum;
+  for (i = 0; i < 4096; i++) { u[i] = 0.0; }
+  for (i = 0; i < 64; i++) { u[i] = 1.0; }            /* top boundary */
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (it = 0; it < 12; it++) {
+      for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++) {
+          u[i*64+j] = 0.25 * (u[(i-1)*64+j] + u[(i+1)*64+j]
+                              + u[i*64+j-1] + u[i*64+j+1]);
+        }
+      }
+    }
+    sum = sum + u[32*64+32];
+  }
+  print_str("applu "); print_double(sum * 1000.0); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* art: neural-net style dot products with winner-take-all *)
+let art ~scale =
+  sprintf
+    {|
+double w[32*64];
+double input[64];
+int main() {
+  int r; int i; int j; int winner; int wins[32]; double act; double best;
+  srand(41);
+  for (i = 0; i < 2048; i++) { w[i] = (double)(rand() %% 100) / 100.0; }
+  for (i = 0; i < 32; i++) { wins[i] = 0; }
+  for (r = 0; r < %d; r++) {
+    for (j = 0; j < 64; j++) { input[j] = (double)(rand() %% 100) / 100.0; }
+    winner = 0; best = -1.0;
+    for (i = 0; i < 32; i++) {
+      act = 0.0;
+      for (j = 0; j < 64; j++) { act = act + w[i*64+j] * input[j]; }
+      if (act > best) { best = act; winner = i; }
+    }
+    wins[winner]++;
+    /* adapt winner towards input */
+    for (j = 0; j < 64; j++) {
+      w[winner*64+j] = 0.9 * w[winner*64+j] + 0.1 * input[j];
+    }
+  }
+  print_str("art "); print_int(wins[0] + wins[31] * 3); print_str("\n");
+  return 0;
+}
+|}
+    (60 * scale)
+
+(* equake: sparse matrix-vector products (indirection + FP) *)
+let equake ~scale =
+  sprintf
+    {|
+int col[8192];
+double val[8192];
+double x[1024]; double y[1024];
+int rowstart[1025];
+int main() {
+  int r; int i; int k; double acc; double sum;
+  srand(43);
+  /* 8 nonzeros per row */
+  for (i = 0; i <= 1024; i++) { rowstart[i] = i * 8; }
+  for (i = 0; i < 8192; i++) {
+    col[i] = rand() %% 1024;
+    val[i] = (double)(rand() %% 100) / 50.0 - 1.0;
+  }
+  for (i = 0; i < 1024; i++) { x[i] = 1.0; }
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 1024; i++) {
+      acc = 0.0;
+      for (k = rowstart[i]; k < rowstart[i+1]; k++) {
+        acc = acc + val[k] * x[col[k]];
+      }
+      y[i] = acc;
+    }
+    /* x = normalised y */
+    for (i = 0; i < 1024; i++) { x[i] = y[i] * 0.125; }
+    sum = sum + x[512];
+  }
+  print_str("equake "); print_double(sum); print_str("\n");
+  return 0;
+}
+|}
+    (15 * scale)
+
+(* lucas: Lucas-Lehmer-flavoured modular FP arithmetic *)
+let lucas ~scale =
+  sprintf
+    {|
+int main() {
+  int r; int i; double s; double m; double sum;
+  sum = 0.0;
+  m = 8191.0;
+  for (r = 0; r < %d; r++) {
+    s = 4.0;
+    for (i = 0; i < 20000; i++) {
+      s = s * s - 2.0;
+      /* fmod via trunc */
+      s = s - (double)((int)(s / m)) * m;
+      if (s < 0.0) { s = s + m; }
+    }
+    sum = sum + s;
+  }
+  print_str("lucas "); print_double(sum); print_str("\n");
+  return 0;
+}
+|}
+    (3 * scale)
+
+(* mesa: scanline interpolation (FP rasterising) *)
+let mesa ~scale =
+  sprintf
+    {|
+double zbuf[64*64];
+int fb[64*64];
+int main() {
+  int r; int t; int x; int y; int drawn; double z0; double dzx; double dzy;
+  double z;
+  srand(47);
+  drawn = 0;
+  for (r = 0; r < %d; r++) {
+    for (x = 0; x < 4096; x++) { zbuf[x] = 1000000.0; fb[x] = 0; }
+    for (t = 0; t < 40; t++) {
+      z0 = (double)(rand() %% 100);
+      dzx = (double)(rand() %% 10 - 5) / 10.0;
+      dzy = (double)(rand() %% 10 - 5) / 10.0;
+      for (y = 0; y < 64; y++) {
+        z = z0 + dzy * (double)y;
+        for (x = 0; x < 64; x++) {
+          if (z < zbuf[y*64+x]) {
+            zbuf[y*64+x] = z;
+            fb[y*64+x] = t;
+            drawn++;
+          }
+          z = z + dzx;
+        }
+      }
+    }
+  }
+  print_str("mesa "); print_int(drawn); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* mgrid: two-level multigrid-ish smoothing *)
+let mgrid ~scale =
+  sprintf
+    {|
+double fine[4096];
+double coarse[1024];
+int main() {
+  int r; int i; int j; int it; double sum;
+  srand(53);
+  for (i = 0; i < 4096; i++) { fine[i] = (double)(rand() %% 100) / 100.0; }
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    /* restrict */
+    for (i = 0; i < 32; i++) {
+      for (j = 0; j < 32; j++) {
+        coarse[i*32+j] = 0.25 * (fine[(2*i)*64+2*j] + fine[(2*i+1)*64+2*j]
+                                 + fine[(2*i)*64+2*j+1] + fine[(2*i+1)*64+2*j+1]);
+      }
+    }
+    /* smooth coarse */
+    for (it = 0; it < 6; it++) {
+      for (i = 1; i < 31; i++) {
+        for (j = 1; j < 31; j++) {
+          coarse[i*32+j] = 0.2 * (coarse[i*32+j] + coarse[(i-1)*32+j]
+                                  + coarse[(i+1)*32+j] + coarse[i*32+j-1]
+                                  + coarse[i*32+j+1]);
+        }
+      }
+    }
+    /* prolongate + relax fine */
+    for (i = 0; i < 64; i++) {
+      for (j = 0; j < 64; j++) {
+        fine[i*64+j] = 0.5 * fine[i*64+j] + 0.5 * coarse[(i/2)*32+(j/2)];
+      }
+    }
+    sum = sum + fine[2080];
+  }
+  print_str("mgrid "); print_double(sum); print_str("\n");
+  return 0;
+}
+|}
+    (3 * scale)
+
+(* swim: shallow-water style 2-array stencil update *)
+let swim ~scale =
+  sprintf
+    {|
+double h[4096]; double v[4096];
+int main() {
+  int r; int i; int j; int it; double sum;
+  for (i = 0; i < 4096; i++) { h[i] = 1.0; v[i] = 0.0; }
+  h[32*64+32] = 3.0;
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (it = 0; it < 6; it++) {
+      for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++) {
+          v[i*64+j] = v[i*64+j]
+            + 0.1 * (h[(i-1)*64+j] + h[(i+1)*64+j] + h[i*64+j-1] + h[i*64+j+1]
+                     - 4.0 * h[i*64+j]);
+        }
+      }
+      for (i = 1; i < 63; i++) {
+        for (j = 1; j < 63; j++) {
+          h[i*64+j] = h[i*64+j] + 0.1 * v[i*64+j];
+        }
+      }
+    }
+    sum = sum + h[40*64+40];
+  }
+  print_str("swim "); print_double(sum * 1000.0); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* wupwise: complex matrix-vector multiply-accumulate *)
+let wupwise ~scale =
+  sprintf
+    {|
+double ar[32*32]; double ai[32*32];
+double xr[32]; double xi[32];
+double yr[32]; double yi[32];
+int main() {
+  int r; int i; int j; double tr; double ti; double sum;
+  srand(59);
+  for (i = 0; i < 1024; i++) {
+    ar[i] = (double)(rand() %% 200 - 100) / 100.0;
+    ai[i] = (double)(rand() %% 200 - 100) / 100.0;
+  }
+  for (i = 0; i < 32; i++) { xr[i] = 1.0; xi[i] = 0.5; }
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (i = 0; i < 32; i++) {
+      tr = 0.0; ti = 0.0;
+      for (j = 0; j < 32; j++) {
+        tr = tr + ar[i*32+j]*xr[j] - ai[i*32+j]*xi[j];
+        ti = ti + ar[i*32+j]*xi[j] + ai[i*32+j]*xr[j];
+      }
+      yr[i] = tr; yi[i] = ti;
+    }
+    for (i = 0; i < 32; i++) {
+      xr[i] = yr[i] * 0.05; xi[i] = yi[i] * 0.05;
+    }
+    sum = sum + xr[7] + xi[21];
+  }
+  print_str("wupwise "); print_double(sum); print_str("\n");
+  return 0;
+}
+|}
+    (40 * scale)
+
+(* apsi: mixed advection/diffusion passes *)
+let apsi ~scale =
+  sprintf
+    {|
+double temp[4096]; double wind[4096];
+int main() {
+  int r; int i; int j; int it; double sum;
+  srand(61);
+  for (i = 0; i < 4096; i++) {
+    temp[i] = 20.0 + (double)(rand() %% 100) / 50.0;
+    wind[i] = (double)(rand() %% 40 - 20) / 10.0;
+  }
+  sum = 0.0;
+  for (r = 0; r < %d; r++) {
+    for (it = 0; it < 4; it++) {
+      /* advection along rows by wind sign */
+      for (i = 0; i < 64; i++) {
+        for (j = 1; j < 63; j++) {
+          if (wind[i*64+j] > 0.0) {
+            temp[i*64+j] = temp[i*64+j]
+              - 0.1 * wind[i*64+j] * (temp[i*64+j] - temp[i*64+j-1]);
+          } else {
+            temp[i*64+j] = temp[i*64+j]
+              - 0.1 * wind[i*64+j] * (temp[i*64+j+1] - temp[i*64+j]);
+          }
+        }
+      }
+      /* vertical diffusion */
+      for (i = 1; i < 63; i++) {
+        for (j = 0; j < 64; j++) {
+          temp[i*64+j] = temp[i*64+j]
+            + 0.05 * (temp[(i-1)*64+j] + temp[(i+1)*64+j] - 2.0*temp[i*64+j]);
+        }
+      }
+    }
+    sum = sum + temp[33*64+33];
+  }
+  print_str("apsi "); print_double(sum); print_str("\n");
+  return 0;
+}
+|}
+    (1 * scale)
+
+(* ------------------------------------------------------------------ *)
+(* The suite                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all : workload list =
+  [
+    { w_name = "bzip2"; w_cat = Int_; w_source = bzip2 };
+    { w_name = "crafty"; w_cat = Int_; w_source = crafty };
+    { w_name = "eon"; w_cat = Int_ (* C++/FP mix; listed with integer in the paper *); w_source = eon };
+    { w_name = "gap"; w_cat = Int_; w_source = gap };
+    { w_name = "gcc"; w_cat = Int_; w_source = gcc };
+    { w_name = "gzip"; w_cat = Int_; w_source = gzip };
+    { w_name = "mcf"; w_cat = Int_; w_source = mcf };
+    { w_name = "parser"; w_cat = Int_; w_source = parser };
+    { w_name = "perlbmk"; w_cat = Int_; w_source = perlbmk };
+    { w_name = "twolf"; w_cat = Int_; w_source = twolf };
+    { w_name = "vortex"; w_cat = Int_; w_source = vortex };
+    { w_name = "vpr"; w_cat = Int_; w_source = vpr };
+    { w_name = "ammp"; w_cat = Fp; w_source = ammp };
+    { w_name = "applu"; w_cat = Fp; w_source = applu };
+    { w_name = "apsi"; w_cat = Fp; w_source = apsi };
+    { w_name = "art"; w_cat = Fp; w_source = art };
+    { w_name = "equake"; w_cat = Fp; w_source = equake };
+    { w_name = "lucas"; w_cat = Fp; w_source = lucas };
+    { w_name = "mesa"; w_cat = Fp; w_source = mesa };
+    { w_name = "mgrid"; w_cat = Fp; w_source = mgrid };
+    { w_name = "swim"; w_cat = Fp; w_source = swim };
+    { w_name = "wupwise"; w_cat = Fp; w_source = wupwise };
+  ]
+
+let find name = List.find_opt (fun w -> w.w_name = name) all
+
+(** Compile a workload at a given scale. *)
+let compile ?(scale = 1) (w : workload) : Guest.Image.t =
+  Minicc.Driver.compile (w.w_source ~scale)

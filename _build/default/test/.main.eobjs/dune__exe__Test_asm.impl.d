@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Bytes Char Fmt Guest Int64 List String Support

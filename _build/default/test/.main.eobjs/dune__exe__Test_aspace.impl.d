@@ -1,0 +1,1 @@
+test/test_aspace.ml: Alcotest Aspace Bytes Fmt Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_caa.ml: Alcotest Caa Int64 Minicc Native Tools Vg_core

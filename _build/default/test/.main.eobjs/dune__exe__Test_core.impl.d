@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Aspace Guest Int64 List Minicc Native Test_guest Tools Vg_core

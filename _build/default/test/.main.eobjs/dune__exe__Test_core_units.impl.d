@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Bytes Int64 Jit Kernel List Minicc Option Tools Vg_core

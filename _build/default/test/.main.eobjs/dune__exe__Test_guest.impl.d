@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Aspace Bytes Char Float Fmt Guest Int64 List QCheck QCheck_alcotest Support

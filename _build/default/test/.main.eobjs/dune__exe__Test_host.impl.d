@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Aspace Fmt Host Int64 List QCheck QCheck_alcotest Support Test Vex_ir

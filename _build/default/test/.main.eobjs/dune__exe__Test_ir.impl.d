@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bytes Char Eval Fmt Hashtbl Helpers Int64 Jit Option Pp QCheck QCheck_alcotest String Support Typecheck Vex_ir

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Aspace Buffer Bytes Char Guest Host Int64 Jit List Native Printf String Support Tools Vex_ir Vg_core

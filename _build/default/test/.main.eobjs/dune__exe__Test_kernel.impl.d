@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Aspace Bytes Fmt Int64 Kernel List Support

@@ -1,0 +1,1 @@
+test/test_memcheck.ml: Alcotest List Minicc Native String Tools Vg_core

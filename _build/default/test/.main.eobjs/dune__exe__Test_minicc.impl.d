@@ -1,0 +1,1 @@
+test/test_minicc.ml: Alcotest Array Int64 Minicc Native Printf QCheck QCheck_alcotest Support Vg_core

@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Char Guest Kernel Native Printf

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Bits Buf Bytes Fmt Int64 QCheck QCheck_alcotest Rng Support V128

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Fmt Int64 List Minicc Printf QCheck QCheck_alcotest String Support Tools Vg_core

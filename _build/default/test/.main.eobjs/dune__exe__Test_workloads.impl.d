@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Guest List Native String Tools Vg_core Workloads

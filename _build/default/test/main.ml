@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "ovalgrind"
+    [
+      ("support", Test_support.tests);
+      ("ir", Test_ir.tests);
+      ("guest", Test_guest.tests);
+      ("asm", Test_asm.tests);
+      ("host", Test_host.tests);
+      ("aspace", Test_aspace.tests);
+      ("kernel", Test_kernel.tests);
+      ("jit", Test_jit.tests);
+      ("native", Test_native.tests);
+      ("minicc", Test_minicc.tests);
+      ("core", Test_core.tests);
+      ("core-units", Test_core_units.tests);
+      ("memcheck", Test_memcheck.tests);
+      ("tools", Test_tools.tests);
+      ("caa", Test_caa.tests);
+      ("workloads", Test_workloads.tests);
+    ]

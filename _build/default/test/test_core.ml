@@ -1,0 +1,434 @@
+(* End-to-end tests of the Valgrind core: a client program must behave
+   identically under Nulgrind (translated, dispatched, scheduled) and on
+   the native engine. *)
+
+let fact_src =
+  {|
+        .text
+        .global _start
+_start: movi r0, 10
+        push r0
+        call fact
+        addi sp, 4
+        ; print the result as exit code
+        mov r1, r0
+        movi r0, 1          ; sys_exit
+        syscall
+
+fact:   push fp
+        mov fp, sp
+        ldw r0, [fp+8]      ; n
+        cmpi r0, 1
+        jle base
+        dec r0
+        push r0
+        call fact
+        addi sp, 4
+        ldw r1, [fp+8]
+        mul r0, r1
+        pop fp
+        ret
+base:   movi r0, 1
+        pop fp
+        ret
+|}
+
+let hello_src =
+  {|
+        .text
+        .global _start
+_start: movi r1, msg
+        movi r2, 14
+        movi r0, 2          ; sys_write
+        mov r3, r2
+        mov r2, r1
+        movi r1, 1          ; fd 1
+        syscall
+        movi r0, 1
+        movi r1, 0
+        syscall
+        .data
+msg:    .ascii "hello, world!\n"
+|}
+
+let run_native src =
+  let img = Guest.Asm.assemble src in
+  let eng = Native.create img in
+  let reason = Native.run eng in
+  (reason, Native.stdout_contents eng)
+
+let run_valgrind ?(tool = Vg_core.Tool.nulgrind) ?options src =
+  let img = Guest.Asm.assemble src in
+  let s = Vg_core.Session.create ?options ~tool img in
+  let reason = Vg_core.Session.run s in
+  (s, reason, Vg_core.Session.client_stdout s)
+
+let check_exit what expected = function
+  | Native.Exited n -> Alcotest.(check int) what expected n
+  | Native.Fatal_signal n -> Alcotest.failf "%s: fatal signal %d" what n
+  | Native.Out_of_fuel -> Alcotest.failf "%s: out of fuel" what
+
+let check_vg_exit what expected = function
+  | Vg_core.Session.Exited n -> Alcotest.(check int) what expected n
+  | Vg_core.Session.Fatal_signal n -> Alcotest.failf "%s: fatal signal %d" what n
+  | Vg_core.Session.Out_of_fuel -> Alcotest.failf "%s: out of fuel" what
+
+let test_fact_native () =
+  let reason, _ = run_native fact_src in
+  check_exit "fact native exit" 3628800 reason
+
+let test_fact_nulgrind () =
+  let _, reason, _ = run_valgrind fact_src in
+  check_vg_exit "fact nulgrind exit" 3628800 reason
+
+let test_hello_both () =
+  let nr, nout = run_native hello_src in
+  check_exit "hello native" 0 nr;
+  Alcotest.(check string) "native stdout" "hello, world!\n" nout;
+  let _, vr, vout = run_valgrind hello_src in
+  check_vg_exit "hello nulgrind" 0 vr;
+  Alcotest.(check string) "nulgrind stdout" "hello, world!\n" vout
+
+let test_dispatcher_stats () =
+  let s, reason, _ = run_valgrind fact_src in
+  check_vg_exit "exit" 3628800 reason;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "made translations" true (st.st_translations > 0);
+  Alcotest.(check bool)
+    "ran blocks" true
+    (Int64.unsigned_compare st.st_blocks 10L > 0)
+
+(* ---- threads under the valgrind engine (serialised execution) ------- *)
+
+let threads_src =
+  {|
+        .text
+        .global _start
+_start: movi r0, 7            ; mmap a second stack
+        movi r1, 0
+        movi r2, 65536
+        syscall
+        mov r2, r0
+        addi r2, 65532
+        movi r0, 15           ; thread_create(entry=worker, sp, arg=300)
+        movi r1, worker
+        movi r3, 300
+        syscall
+main_loop:
+        movi r3, counter
+        ldw r4, [r3]
+        inc r4
+        stw [r3], r4
+        movi r0, 17           ; yield
+        syscall
+        movi r3, done_flag
+        ldw r4, [r3]
+        cmpi r4, 1
+        jne main_loop
+        movi r3, counter
+        ldw r1, [r3]
+        movi r0, 1
+        syscall
+worker: mov r5, r1
+wloop:  movi r3, counter
+        ldw r4, [r3]
+        inc r4
+        stw [r3], r4
+        movi r0, 17
+        syscall
+        dec r5
+        jne wloop
+        movi r3, done_flag
+        movi r4, 1
+        stw [r3], r4
+        movi r0, 16           ; thread_exit
+        syscall
+        .data
+counter:   .word 0
+done_flag: .word 0
+|}
+
+let test_threads_serialised () =
+  let nr, _ = run_native threads_src in
+  let s, vr, _ = run_valgrind threads_src in
+  (match (nr, vr) with
+  | Native.Exited n, Vg_core.Session.Exited v ->
+      Alcotest.(check bool) "native counter >= 600" true (n >= 600);
+      Alcotest.(check bool) "vg counter >= 600" true (v >= 600)
+  | _ -> Alcotest.fail "thread programs failed");
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "the lock changed hands" true
+    (Int64.to_int st.st_lock_handoffs > 100)
+
+(* ---- signals under the valgrind engine ------------------------------ *)
+
+let signal_src =
+  {|
+        .text
+        .global _start
+_start: movi r0, 12          ; sigaction(SIGUSR1, handler)
+        movi r1, 10
+        movi r2, handler
+        syscall
+        movi r0, 13          ; kill(1, SIGUSR1)
+        movi r1, 1
+        movi r2, 10
+        syscall
+        movi r3, flag        ; sigreturn restored the registers, so the
+        ldw r4, [r3]         ; handler reports through memory
+        cmpi r4, 99
+        jne bad
+        movi r0, 1
+        movi r1, 42
+        syscall
+bad:    movi r0, 1
+        movi r1, 13
+        syscall
+handler: ldw r3, [sp+4]
+        cmpi r3, 10
+        jne hbad
+        movi r3, flag
+        movi r4, 99
+        stw [r3], r4
+        ret
+hbad:   ret
+        .data
+flag:   .word 0
+|}
+
+let test_signals_vg () =
+  let _, vr, _ = run_valgrind signal_src in
+  check_vg_exit "handler ran, sigreturn resumed" 42 vr;
+  let nr, _ = run_native signal_src in
+  check_exit "same natively" 42 nr
+
+(* ---- self-modifying code (the §3.16 hash mechanism) ------------------ *)
+
+let test_smc_on_stack () =
+  let src = Test_guest.smc_stack_src in
+  let nr, _ = run_native src in
+  check_exit "native smc" 1077 nr;
+  let s, vr, _ = run_valgrind src in
+  check_vg_exit "vg smc" 1077 vr;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "retranslated after hash mismatch" true
+    (st.st_retranslations_smc >= 1)
+
+let test_smc_mode_none_misses_it () =
+  (* with --smc-check=none the stale translation keeps running: the
+     second call must still see the FIRST patched value *)
+  let options =
+    { Vg_core.Session.default_options with smc_mode = Vg_core.Session.Smc_none }
+  in
+  let _, vr, _ = run_valgrind ~options Test_guest.smc_stack_src in
+  match vr with
+  | Vg_core.Session.Exited n ->
+      Alcotest.(check int) "stale translation result" 154 n (* 77 + 77 *)
+  | _ -> Alcotest.fail "unexpected termination"
+
+(* ---- discard-translations client request (JIT-style codegen) -------- *)
+
+let test_discard_translations () =
+  (* same self-modifying program, smc-check=none, but with an explicit
+     discard client request between the patches — the dynamic-code-
+     generator protocol of §3.16 *)
+  let src =
+    {|
+        .text
+_start: mov r2, sp
+        subi r2, 256
+        movi r1, template
+        movi r3, 16
+cploop: ldb r4, [r1]
+        stb [r2], r4
+        inc r1
+        inc r2
+        dec r3
+        jne cploop
+        mov r2, sp
+        subi r2, 256
+        movi r4, 77
+        stw [r2+2], r4
+        call* r2
+        mov r5, r0
+        movi r4, 1000
+        stw [r2+2], r4
+        ; tell the core the code changed: args block = [addr, len]
+        mov r3, sp
+        subi r3, 512
+        stw [r3], r2
+        movi r4, 16
+        stw [r3+4], r4
+        movi r0, 2           ; CR discard_translations
+        mov r1, r3
+        clreq
+        mov r2, sp
+        subi r2, 256
+        call* r2
+        add r5, r0
+        mov r0, r5
+        mov r1, r5
+        movi r0, 1
+        syscall
+template:
+        movi r0, 11
+        ret
+|}
+  in
+  let options =
+    { Vg_core.Session.default_options with smc_mode = Vg_core.Session.Smc_none }
+  in
+  let _, vr, _ = run_valgrind ~options src in
+  check_vg_exit "discard request forces retranslation" 1077 vr
+
+(* ---- function wrapping (§3.13) --------------------------------------- *)
+
+let test_function_wrapping () =
+  let src =
+    {| int compute(int x) { return x * x + 1; }
+       int main() {
+         int r;
+         r = compute(6);     /* 37 */
+         r = r + compute(3); /* + 10 = 47 */
+         return r;
+       } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let enters = ref [] in
+  let exits = ref [] in
+  let wrapping_tool : Vg_core.Tool.t =
+    {
+      name = "wraptest";
+      description = "wraps compute";
+      create =
+        (fun caps ->
+          caps.wrap_function ~symbol:"compute"
+            ~on_enter:(fun () ->
+              (* args at [sp+4] inside the wrapper stub *)
+              let sp = caps.read_guest Guest.Arch.off_sp 4 in
+              let arg = Aspace.read caps.mem (Int64.add sp 4L) 4 in
+              enters := Int64.to_int arg :: !enters)
+            ~on_exit:(fun () ->
+              (* original's result in r1; transparent: write it to r0 *)
+              let v = caps.read_guest (Guest.Arch.off_reg 1) 4 in
+              exits := Int64.to_int v :: !exits;
+              caps.write_guest (Guest.Arch.off_reg 0) 4 v);
+          {
+            instrument = (fun b -> b);
+            fini = (fun ~exit_code:_ -> ());
+            client_request = (fun ~code:_ ~args:_ -> None);
+          });
+    }
+  in
+  let s = Vg_core.Session.create ~tool:wrapping_tool img in
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 47 -> ()
+  | Vg_core.Session.Exited n -> Alcotest.failf "wrapped result %d, wanted 47" n
+  | _ -> Alcotest.fail "bad termination");
+  Alcotest.(check (list int)) "arguments observed" [ 3; 6 ] !enters;
+  Alcotest.(check (list int)) "results observed" [ 10; 37 ] !exits
+
+(* ---- suppressions ----------------------------------------------------- *)
+
+let test_suppressions () =
+  let src =
+    {| int main() {
+         int x[2];
+         if (x[0] > 3) { return 1; }
+         return 0;
+       } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool:Tools.Memcheck.tool img in
+  List.iter
+    (Vg_core.Errors.add_suppression s.errors)
+    (Vg_core.Errors.parse_suppressions
+       {|
+{
+  ignore-main-uninit
+  UninitValue
+  fun:main*
+}
+|});
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited _ -> ()
+  | _ -> Alcotest.fail "bad termination");
+  Alcotest.(check int) "error suppressed" 0
+    (Vg_core.Errors.total_errors s.errors);
+  Alcotest.(check bool) "counted as suppressed" true (s.errors.n_suppressed > 0)
+
+(* ---- client requests / transparency of RUNNING_ON_VALGRIND ---------- *)
+
+let test_running_on_valgrind () =
+  let src =
+    {| int main() { return vg_running_on_valgrind(); } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let eng = Native.create img in
+  (match Native.run eng with
+  | Native.Exited 0 -> () (* natively: clreq is a no-op returning 0 *)
+  | _ -> Alcotest.fail "native run failed");
+  let s = Vg_core.Session.create ~tool:Vg_core.Tool.nulgrind img in
+  match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 1 -> ()
+  | _ -> Alcotest.fail "RUNNING_ON_VALGRIND not 1 under the core"
+
+(* ---- the core protects itself (§3.10) -------------------------------- *)
+
+let test_mmap_precheck () =
+  (* a client mmap cannot land inside the core's address range; the
+     kernel hook makes it fail cleanly rather than corrupting the core *)
+  let src =
+    {| int main() {
+         char *p;
+         int i;
+         /* exhaust... no: just check a big pile of mmaps never lands in
+            the valgrind range */
+         for (i = 0; i < 50; i++) {
+           p = mmap(1048576);
+           if ((int)p == -12) { return 2; }   /* ENOMEM: also fine */
+           if ((int)p >= (int)0x38000000 && (int)p < (int)0x70000000) {
+             return 1;                        /* intruded! *)  */
+           }
+         }
+         return 0;
+       } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool:Vg_core.Tool.nulgrind img in
+  match Vg_core.Session.run s with
+  | Vg_core.Session.Exited n ->
+      Alcotest.(check bool) "never intrudes" true (n = 0 || n = 2)
+  | _ -> Alcotest.fail "bad termination"
+
+(* ---- chaining is semantics-preserving -------------------------------- *)
+
+let test_chaining_equivalent () =
+  let options = { Vg_core.Session.default_options with chaining = true } in
+  let _, r1, out1 = run_valgrind fact_src in
+  let _, r2, out2 = run_valgrind ~options fact_src in
+  (match (r1, r2) with
+  | Vg_core.Session.Exited a, Vg_core.Session.Exited b ->
+      Alcotest.(check int) "same result" a b
+  | _ -> Alcotest.fail "bad termination");
+  Alcotest.(check string) "same output" out1 out2
+
+let tests =
+  [
+    Alcotest.test_case "fact native" `Quick test_fact_native;
+    Alcotest.test_case "fact nulgrind" `Quick test_fact_nulgrind;
+    Alcotest.test_case "hello native+nulgrind" `Quick test_hello_both;
+    Alcotest.test_case "dispatcher stats" `Quick test_dispatcher_stats;
+    Alcotest.test_case "threads serialised" `Quick test_threads_serialised;
+    Alcotest.test_case "signals between blocks" `Quick test_signals_vg;
+    Alcotest.test_case "smc on stack retranslates" `Quick test_smc_on_stack;
+    Alcotest.test_case "smc-check=none goes stale" `Quick
+      test_smc_mode_none_misses_it;
+    Alcotest.test_case "discard-translations request" `Quick
+      test_discard_translations;
+    Alcotest.test_case "function wrapping" `Quick test_function_wrapping;
+    Alcotest.test_case "suppressions" `Quick test_suppressions;
+    Alcotest.test_case "RUNNING_ON_VALGRIND" `Quick test_running_on_valgrind;
+    Alcotest.test_case "mmap pre-check" `Quick test_mmap_precheck;
+    Alcotest.test_case "chaining equivalent" `Quick test_chaining_equivalent;
+  ]

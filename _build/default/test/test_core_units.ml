@@ -1,0 +1,197 @@
+(* Unit tests for the core's data structures: translation table,
+   dispatcher cache, error recording/suppressions, and the stack-pointer
+   change classifier (2MB heuristic + registered stacks). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* a dummy translation for table tests *)
+let dummy_trans key : Jit.Pipeline.translation =
+  {
+    t_guest_addr = key;
+    t_code = Bytes.create 4;
+    t_decoded = [||];
+    t_guest_insns = 1;
+    t_guest_bytes = 4;
+    t_guest_ranges = [ (key, 4) ];
+    t_smc_check = false;
+    t_code_hash = 0L;
+    t_ir_stmts_pre = 1;
+    t_ir_stmts_post = 1;
+  }
+
+let test_transtab_basics () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  for i = 0 to 29 do
+    Vg_core.Transtab.insert tt (Int64.of_int (i * 16)) (dummy_trans (Int64.of_int (i * 16)))
+  done;
+  (match Vg_core.Transtab.find tt 160L with
+  | Some tr -> Alcotest.(check int64) "found right entry" 160L tr.t_guest_addr
+  | None -> Alcotest.fail "entry lost");
+  Alcotest.(check (option reject)) "missing key" None
+    (Option.map ignore (Vg_core.Transtab.find tt 12345L))
+
+let test_transtab_fifo_eviction () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  (* push past 80%: eviction drops the OLDEST 1/8 *)
+  for i = 0 to 59 do
+    Vg_core.Transtab.insert tt (Int64.of_int i) (dummy_trans (Int64.of_int i))
+  done;
+  Alcotest.(check bool) "evictions happened" true (tt.n_evicted > 0);
+  (* the newest entries survive *)
+  Alcotest.(check bool) "newest survives" true
+    (Vg_core.Transtab.find tt 59L <> None);
+  (* the very first insert was FIFO-evicted *)
+  Alcotest.(check bool) "oldest evicted" true (Vg_core.Transtab.find tt 0L = None)
+
+let test_transtab_discard_range () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  List.iter
+    (fun k -> Vg_core.Transtab.insert tt k (dummy_trans k))
+    [ 0x1000L; 0x2000L; 0x3000L ];
+  let n = Vg_core.Transtab.discard_range tt 0x2000L 4096 in
+  Alcotest.(check int) "one discarded" 1 n;
+  Alcotest.(check bool) "0x1000 kept" true (Vg_core.Transtab.find tt 0x1000L <> None);
+  Alcotest.(check bool) "0x2000 gone" true (Vg_core.Transtab.find tt 0x2000L = None)
+
+let test_dispatch_cache () =
+  let d = Vg_core.Dispatch.create ~size:16 () in
+  Alcotest.(check bool) "miss on empty" true (Vg_core.Dispatch.lookup d 5L = None);
+  Vg_core.Dispatch.update d 5L (dummy_trans 5L);
+  (match Vg_core.Dispatch.lookup d 5L with
+  | Some tr -> Alcotest.(check int64) "hit" 5L tr.t_guest_addr
+  | None -> Alcotest.fail "expected hit");
+  (* conflicting key (same slot in a 16-entry direct map) evicts *)
+  Vg_core.Dispatch.update d 21L (dummy_trans 21L);
+  Alcotest.(check bool) "conflict evicts" true (Vg_core.Dispatch.lookup d 5L = None);
+  Alcotest.(check bool) "hit rate computed" true
+    (Vg_core.Dispatch.hit_rate d > 0.0 && Vg_core.Dispatch.hit_rate d < 1.0)
+
+let test_errors_dedup () =
+  let e = Vg_core.Errors.create ~output:(fun _ -> ()) () in
+  let fresh1 = Vg_core.Errors.record e ~kind:"K" ~msg:"m" ~stack:[ 1L; 2L ] in
+  let fresh2 = Vg_core.Errors.record e ~kind:"K" ~msg:"m" ~stack:[ 1L; 2L ] in
+  let fresh3 = Vg_core.Errors.record e ~kind:"K" ~msg:"m" ~stack:[ 9L ] in
+  Alcotest.(check bool) "first is fresh" true fresh1;
+  Alcotest.(check bool) "repeat deduplicated" false fresh2;
+  Alcotest.(check bool) "different stack fresh" true fresh3;
+  Alcotest.(check int) "distinct" 2 (Vg_core.Errors.distinct_errors e);
+  Alcotest.(check int) "total counts repeats" 3 (Vg_core.Errors.total_errors e)
+
+let test_suppression_parsing () =
+  let supps =
+    Vg_core.Errors.parse_suppressions
+      {|
+# a comment-free format
+{
+  first
+  UninitValue
+  fun:main*
+  fun:*
+}
+{
+  second
+  *
+  fun:libfunc
+}
+|}
+  in
+  Alcotest.(check int) "two suppressions" 2 (List.length supps);
+  let e = Vg_core.Errors.create ~output:(fun _ -> ()) () in
+  e.symbolize <- (fun a -> if a = 1L then "main+0x10" else "other");
+  List.iter (Vg_core.Errors.add_suppression e) supps;
+  Alcotest.(check bool) "matches prefix+wildcard" true
+    (Vg_core.Errors.suppressed e ~kind:"UninitValue" ~stack:[ 1L; 2L ]);
+  Alcotest.(check bool) "kind mismatch not suppressed" false
+    (Vg_core.Errors.suppressed e ~kind:"InvalidRead" ~stack:[ 1L; 2L ])
+
+let test_sp_classifier () =
+  let regs = Vg_core.Stack_events.make_registered_stacks () in
+  let threshold = 0x20_0000L in
+  let classify = Vg_core.Stack_events.classify_sp_change ~threshold regs in
+  (* small growth: allocation *)
+  (match classify ~old_sp:0x1000L ~new_sp:0xFF0L with
+  | Some (base, 16, true) -> Alcotest.(check int64) "alloc base" 0xFF0L base
+  | _ -> Alcotest.fail "small growth misclassified");
+  (* small shrink: death *)
+  (match classify ~old_sp:0xFF0L ~new_sp:0x1000L with
+  | Some (base, 16, false) -> Alcotest.(check int64) "die base" 0xFF0L base
+  | _ -> Alcotest.fail "small shrink misclassified");
+  (* beyond 2MB: a stack switch, no events *)
+  Alcotest.(check bool) "2MB heuristic" true
+    (classify ~old_sp:0x1000_0000L ~new_sp:0x100_0000L = None);
+  (* but a registered stack overrides the heuristic *)
+  regs.stacks <- [ (1, 0x100_0000L, 0x1800_0000L) ];
+  (match classify ~old_sp:0x1000_0000L ~new_sp:0xFF0_0000L with
+  | Some (_, _, true) -> ()
+  | _ -> Alcotest.fail "registered stack should allow big moves");
+  (* moving between two different registered stacks is a switch *)
+  regs.stacks <- (2, 0x2000_0000L, 0x2100_0000L) :: regs.stacks;
+  Alcotest.(check bool) "cross-stack move is a switch" true
+    (classify ~old_sp:0x1080_0000L ~new_sp:0x2080_0000L = None)
+
+let test_shadow_mem_word_ops () =
+  (* extra shadow-memory stress: mixed stores and distinguished states *)
+  let sm = Tools.Shadow_mem.create () in
+  Tools.Shadow_mem.make_defined sm 0x100000L 1024;
+  ignore (Tools.Shadow_mem.store sm 0x100100L 8 0xFF00FF00FF00FF00L);
+  let ok, v = Tools.Shadow_mem.load sm 0x100100L 8 in
+  Alcotest.(check bool) "addressable" true ok;
+  Alcotest.(check int64) "vbits roundtrip" 0xFF00FF00FF00FF00L v;
+  let ok2, v2 = Tools.Shadow_mem.load sm 0x100104L 4 in
+  Alcotest.(check bool) "addressable2" true ok2;
+  Alcotest.(check int64) "unaligned slice" 0xFF00FF00L v2
+
+let test_all_events_fire () =
+  (* a compact client touching every Table-1 event source; every event
+     slot must have fired at least once under Memcheck *)
+  let src =
+    {| int deep(int n) {
+         int local[32];
+         local[0] = n;
+         if (n <= 0) { return local[0]; }
+         return deep(n - 1) + local[0];
+       }
+       int main() {
+         int tv[2]; int tz[2];
+         char *m; char *m2;
+         int fd; char buf[8]; int sum;
+         sum = 0;
+         gettimeofday(tv, tz);
+         settimeofday(tv);
+         fd = open("f.txt", 0);
+         if (fd >= 0) { read(fd, buf, 8); close(fd); }
+         write(1, "x\n", 2);
+         m = mmap(65536);
+         m[0] = 'a';
+         m2 = mremap(m, 65536, 131072);
+         sum = sum + m2[0];
+         munmap(m2, 131072);
+         sum = sum + brk(brk(0) + 8192);
+         sum = sum + brk(brk(0) - 4096);
+         sum = sum + deep(12);
+         return sum * 0;
+       } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool:Tools.Memcheck.tool img in
+  Kernel.add_file s.kern "f.txt" "contents";
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 0 -> ()
+  | _ -> Alcotest.fail "events client failed");
+  List.iter
+    (fun (name, _site, count) ->
+      Alcotest.(check bool) (name ^ " fired") true (count > 0L))
+    (Vg_core.Events.table1_rows s.events)
+
+let tests =
+  [
+    t "all fourteen events fire" test_all_events_fire;
+    t "transtab: insert/find" test_transtab_basics;
+    t "transtab: FIFO chunk eviction" test_transtab_fifo_eviction;
+    t "transtab: discard range" test_transtab_discard_range;
+    t "dispatch: direct-mapped cache" test_dispatch_cache;
+    t "errors: dedup" test_errors_dedup;
+    t "errors: suppression parsing/matching" test_suppression_parsing;
+    t "stack events: SP-change classifier" test_sp_classifier;
+    t "shadow memory: word slices" test_shadow_mem_word_ops;
+  ]

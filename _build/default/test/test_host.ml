@@ -1,0 +1,199 @@
+(* VH64 host machine tests: encode/decode roundtrip, ALU semantics
+   (property-tested against Int64), helper calls, exits. *)
+
+open Host.Arch
+
+let t name f = Alcotest.test_case name `Quick f
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let sample =
+  [
+    Movi (3, 0x123456789ABCDEF0L);
+    Mov (1, 2);
+    Alu (W32, Add, 0, 1, 2);
+    Alu (W64, Mulhs, 5, 6, 7);
+    Alui (W32, Xor, 3, 3, -1L);
+    Alui (W64, Sar, 4, 4, 63L);
+    Ld (4, true, 2, 15, 1024);
+    Ld (1, false, 2, 3, -8);
+    St (8, 1, 15, 640);
+    Cmov (0, 1, 2);
+    Falu (FMul, 3, 4, 5);
+    Fun1 (I32StoF64, 1, 2);
+    Fun1 (Clz32, 1, 2);
+    Vld (3, 15, 96);
+    Vst (2, 0, 0);
+    Vmov (1, 2);
+    Valu (VAdd32, 0, 1, 2);
+    Vnot (3, 3);
+    Vsplat32 (2, 9);
+    Vpack (1, 3, 4);
+    Vunpack (5, 1, 1);
+    Call (3, 2, 8);
+    ExitIf (2, ek_boring, 0x1234L);
+    Goto (ek_ret, 7);
+    GotoI (ek_syscall, 0xFFFFL);
+  ]
+
+let test_roundtrip () =
+  (* jumps need labels; test them separately below *)
+  let bytes = Host.Encode.assemble sample in
+  let decoded = Host.Encode.decode bytes in
+  Alcotest.(check int) "count" (List.length sample) (Array.length decoded);
+  List.iteri
+    (fun i orig ->
+      Alcotest.(check string)
+        (Fmt.str "insn %d" i)
+        (Fmt.str "%a" pp_insn orig)
+        (Fmt.str "%a" pp_insn decoded.(i)))
+    sample
+
+let test_labels () =
+  let code =
+    [ Movi (0, 1L); Jnz (0, 7); Movi (1, 111L); Label 7; GotoI (ek_boring, 0L) ]
+  in
+  let decoded = Host.Encode.decode (Host.Encode.assemble code) in
+  (* after decoding, the branch target is an instruction index; Label
+     occupies no bytes, so in the decoded array (which has no Label) the
+     target is the GotoI at index 3 *)
+  match decoded.(1) with
+  | Jnz (0, 3) -> ()
+  | i -> Alcotest.failf "bad branch rewrite: %a" pp_insn i
+
+let null_env : Vex_ir.Helpers.env =
+  {
+    he_get_guest = (fun _ _ -> 0L);
+    he_put_guest = (fun _ _ _ -> ());
+    he_load = (fun _ _ -> 0L);
+    he_store = (fun _ _ _ -> ());
+  }
+
+let run_host ?(setup = fun _ -> ()) (code : insn list) : Host.Interp.cpu * int64 =
+  let mem = Aspace.create () in
+  Aspace.map mem ~addr:0x1000L ~len:8192 ~perm:Aspace.perm_rw;
+  let cpu = Host.Interp.create mem in
+  setup cpu;
+  let decoded = Host.Encode.decode (Host.Encode.assemble code) in
+  let _, dest, _ = Host.Interp.run cpu ~env:null_env decoded in
+  (cpu, dest)
+
+let test_alu_widths () =
+  let cpu, _ =
+    run_host
+      [
+        Movi (1, 0xFFFFFFFFL);
+        Movi (2, 1L);
+        Alu (W32, Add, 3, 1, 2);
+        (* wraps to 0 *)
+        Alu (W64, Add, 4, 1, 2);
+        (* 0x100000000 *)
+        Alui (W32, Sar, 5, 1, 1L);
+        (* sign bit set in W32 view -> stays 0x7FFFFFFF? no: sar of
+           0xFFFFFFFF as signed 32 = -1 -> 0xFFFFFFFF *)
+        GotoI (ek_boring, 0L);
+      ]
+  in
+  Alcotest.check i64 "w32 wrap" 0L cpu.hregs.(3);
+  Alcotest.check i64 "w64 no wrap" 0x100000000L cpu.hregs.(4);
+  Alcotest.check i64 "w32 sar" 0xFFFFFFFFL cpu.hregs.(5)
+
+let test_memory_and_exits () =
+  let cpu, dest =
+    run_host
+      [
+        Movi (1, 0x1100L);
+        Movi (2, 0xCAFEBABE12345678L);
+        St (8, 2, 1, 0);
+        Ld (4, false, 3, 1, 0);
+        Ld (4, true, 4, 1, 4);
+        Ld (2, false, 5, 1, 6);
+        ExitIf (0, ek_boring, 0x9999L);
+        (* h0=0: not taken *)
+        Goto (ek_ret, 3);
+      ]
+  in
+  Alcotest.check i64 "zext load" 0x12345678L cpu.hregs.(3);
+  Alcotest.check i64 "sext load" 0xFFFFFFFFCAFEBABEL cpu.hregs.(4);
+  Alcotest.check i64 "halfword" 0xCAFEL cpu.hregs.(5);
+  Alcotest.check i64 "goto truncates to 32" 0x12345678L dest
+
+let test_fp_on_gprs () =
+  let cpu, _ =
+    run_host
+      [
+        Movi (1, Int64.bits_of_float 2.5);
+        Movi (2, Int64.bits_of_float 4.0);
+        Falu (FMul, 3, 1, 2);
+        Fun1 (F64toI32S, 4, 3);
+        Movi (5, 9L);
+        Fun1 (I32StoF64, 6, 5);
+        Fun1 (FSqrt, 7, 6);
+        GotoI (ek_boring, 0L);
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "fmul" 10.0 (Int64.float_of_bits cpu.hregs.(3));
+  Alcotest.check i64 "f2i" 10L cpu.hregs.(4);
+  Alcotest.(check (float 1e-9)) "sqrt" 3.0 (Int64.float_of_bits cpu.hregs.(7))
+
+let test_helper_call () =
+  let callee =
+    Vex_ir.Helpers.register ~name:"host_test_mul" ~cost:2 (fun _env args ->
+        Int64.mul args.(0) args.(1))
+  in
+  let cpu, _ =
+    run_host
+      [
+        Movi (0, 6L);
+        Movi (1, 7L);
+        Call (callee.c_id, 2, callee.c_cost);
+        GotoI (ek_boring, 0L);
+      ]
+  in
+  Alcotest.check i64 "result in h0" 42L cpu.hregs.(0)
+
+let test_div_trap () =
+  try
+    ignore
+      (run_host [ Movi (1, 1L); Movi (2, 0L); Alu (W32, Divs, 3, 1, 2) ]);
+    Alcotest.fail "expected Host_sigfpe"
+  with Host.Interp.Host_sigfpe -> ()
+
+let test_cost_accounting () =
+  let cpu, _ =
+    run_host [ Movi (0, 1L); Movi (1, 2L); GotoI (ek_boring, 0L) ]
+  in
+  Alcotest.check i64 "3 cycles for 3 single-cycle insns" 3L cpu.cycles;
+  Alcotest.check i64 "3 insns" 3L cpu.insns
+
+(* property: W32 ALU ops match the reference semantics of Bits *)
+let prop_alu32 =
+  let open QCheck in
+  Test.make ~count:300 ~name:"host W32 alu = Bits semantics"
+    (triple (oneofl [ Add; Sub; And; Or; Xor; Mul ]) int64 int64)
+    (fun (op, a, b) ->
+      let a = Support.Bits.trunc32 a and b = Support.Bits.trunc32 b in
+      let expected =
+        Support.Bits.trunc32
+          (match op with
+          | Add -> Int64.add a b
+          | Sub -> Int64.sub a b
+          | And -> Int64.logand a b
+          | Or -> Int64.logor a b
+          | Xor -> Int64.logxor a b
+          | Mul -> Int64.mul a b
+          | _ -> assert false)
+      in
+      Host.Interp.alu_eval W32 op a b = expected)
+
+let tests =
+  [
+    t "encode/decode roundtrip" test_roundtrip;
+    t "label resolution" test_labels;
+    t "alu widths" test_alu_widths;
+    t "memory + exits" test_memory_and_exits;
+    t "fp on gprs" test_fp_on_gprs;
+    t "helper calls" test_helper_call;
+    t "div traps" test_div_trap;
+    t "cycle accounting" test_cost_accounting;
+    QCheck_alcotest.to_alcotest prop_alu32;
+  ]

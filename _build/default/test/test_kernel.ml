@@ -1,0 +1,147 @@
+(* Simulated-kernel tests: file descriptors, brk, mmap family, signals,
+   and the syscall dispatcher itself. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let make () =
+  let mem = Aspace.create () in
+  let k = Kernel.create mem in
+  Aspace.map mem ~addr:0x10000L ~len:65536 ~perm:Aspace.perm_rw;
+  (mem, k)
+
+(* a fake register file for driving Kernel.syscall *)
+let regs_of (arr : int64 array) : Kernel.regs =
+  { get = (fun r -> arr.(r)); set = (fun r v -> arr.(r) <- v) }
+
+let syscall k args =
+  let arr = Array.make 8 0L in
+  List.iteri (fun i v -> arr.(i) <- v) args;
+  let action = Kernel.syscall k ~tid:1 (regs_of arr) in
+  (action, arr.(0))
+
+let test_write_read_console () =
+  let mem, k = make () in
+  Aspace.write_bytes mem 0x10000L (Bytes.of_string "hello!");
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_write; 1L; 0x10000L; 6L ]
+  in
+  Alcotest.check i64 "wrote 6" 6L r;
+  Alcotest.(check string) "captured" "hello!" (Kernel.stdout_contents k)
+
+let test_files () =
+  let mem, k = make () in
+  Kernel.add_file k "data.txt" "abcdef";
+  Aspace.write_bytes mem 0x10000L (Bytes.of_string "data.txt\000");
+  let _, fd = syscall k [ Int64.of_int Kernel.Num.sys_open; 0x10000L; 0L ] in
+  Alcotest.(check bool) "fd >= 3" true (Int64.to_int fd >= 3);
+  let _, n = syscall k [ Int64.of_int Kernel.Num.sys_read; fd; 0x10100L; 4L ] in
+  Alcotest.check i64 "read 4" 4L n;
+  Alcotest.(check string) "contents" "abcd"
+    (Bytes.to_string (Aspace.read_bytes mem 0x10100L 4));
+  let _, n2 = syscall k [ Int64.of_int Kernel.Num.sys_read; fd; 0x10100L; 10L ] in
+  Alcotest.check i64 "remaining 2" 2L n2;
+  let _, c = syscall k [ Int64.of_int Kernel.Num.sys_close; fd ] in
+  Alcotest.check i64 "close ok" 0L c;
+  let _, e = syscall k [ Int64.of_int Kernel.Num.sys_read; fd; 0x10100L; 1L ] in
+  Alcotest.(check bool) "EBADF after close" true (Int64.to_int (Support.Bits.sext32 e) < 0)
+
+let test_open_missing () =
+  let mem, k = make () in
+  Aspace.write_bytes mem 0x10000L (Bytes.of_string "nope\000");
+  let _, fd = syscall k [ Int64.of_int Kernel.Num.sys_open; 0x10000L; 0L ] in
+  Alcotest.(check int) "ENOENT" (-2) (Int64.to_int (Support.Bits.sext32 fd))
+
+let test_brk () =
+  let _mem, k = make () in
+  Kernel.set_brk_base k 0x100000L;
+  let _, cur = syscall k [ Int64.of_int Kernel.Num.sys_brk; 0L ] in
+  Alcotest.check i64 "initial brk" 0x100000L cur;
+  let _, grown = syscall k [ Int64.of_int Kernel.Num.sys_brk; 0x110000L ] in
+  Alcotest.check i64 "grown" 0x110000L grown;
+  Aspace.write k.mem 0x10FFF0L 4 7L;
+  (* shrink *)
+  let _, shrunk = syscall k [ Int64.of_int Kernel.Num.sys_brk; 0x101000L ] in
+  Alcotest.check i64 "shrunk" 0x101000L shrunk;
+  try
+    ignore (Aspace.read k.mem 0x10F000L 4);
+    Alcotest.fail "freed brk memory still mapped"
+  with Aspace.Fault _ -> ()
+
+let test_mmap_family () =
+  let _mem, k = make () in
+  let _, addr = syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; 65536L ] in
+  Alcotest.(check bool) "mmap in arena" true
+    (Int64.unsigned_compare addr 0x2000_0000L >= 0);
+  Aspace.write k.mem addr 4 0x1234L;
+  let _, naddr =
+    syscall k [ Int64.of_int Kernel.Num.sys_mremap; addr; 65536L; 262144L ]
+  in
+  Alcotest.(check bool) "mremap moved" true (naddr <> addr);
+  Alcotest.check i64 "contents copied" 0x1234L (Aspace.read k.mem naddr 4);
+  let _, r = syscall k [ Int64.of_int Kernel.Num.sys_munmap; naddr; 262144L ] in
+  Alcotest.check i64 "munmap" 0L r
+
+let test_map_allowed_hook () =
+  let _mem, k = make () in
+  k.map_allowed <- (fun _ _ -> false);
+  let _, addr = syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; 4096L ] in
+  Alcotest.(check int) "denied -> ENOMEM" (-12)
+    (Int64.to_int (Support.Bits.sext32 addr))
+
+let test_gettimeofday () =
+  let mem, k = make () in
+  k.now_cycles <- (fun () -> 2_500_000_000L) (* 2.5 simulated seconds *);
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_gettimeofday; 0x10000L; 0L ]
+  in
+  Alcotest.check i64 "ok" 0L r;
+  Alcotest.check i64 "seconds" 2L (Aspace.read mem 0x10000L 4);
+  Alcotest.check i64 "microseconds" 500000L (Aspace.read mem 0x10004L 4)
+
+let test_signals () =
+  let _mem, k = make () in
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_sigaction; 10L; 0x4000L ]
+  in
+  Alcotest.check i64 "sigaction ok" 0L r;
+  (match Kernel.handler_for k 10 with
+  | Some h -> Alcotest.check i64 "handler addr" 0x4000L h.sh_addr
+  | None -> Alcotest.fail "handler not registered");
+  let _, r2 = syscall k [ Int64.of_int Kernel.Num.sys_kill; 1L; 10L ] in
+  Alcotest.check i64 "kill ok" 0L r2;
+  (match Kernel.take_pending_signal k with
+  | Some (1, 10) -> ()
+  | _ -> Alcotest.fail "signal not queued");
+  Alcotest.(check bool) "queue drained" true (Kernel.take_pending_signal k = None)
+
+let test_actions () =
+  let _mem, k = make () in
+  (match syscall k [ Int64.of_int Kernel.Num.sys_exit; 7L ] with
+  | Kernel.Exit_process 7, _ -> ()
+  | _ -> Alcotest.fail "exit action");
+  (match syscall k [ Int64.of_int Kernel.Num.sys_thread_create; 0x100L; 0x200L; 3L ] with
+  | Kernel.Thread_create { entry = 0x100L; sp = 0x200L; arg = 3L }, _ -> ()
+  | _ -> Alcotest.fail "thread_create action");
+  match syscall k [ Int64.of_int Kernel.Num.sys_yield ] with
+  | Kernel.Yield, _ -> ()
+  | _ -> Alcotest.fail "yield action"
+
+let test_unknown_syscall () =
+  let _mem, k = make () in
+  let _, r = syscall k [ 9999L ] in
+  Alcotest.(check int) "ENOSYS" (-38) (Int64.to_int (Support.Bits.sext32 r))
+
+let tests =
+  [
+    t "write to console" test_write_read_console;
+    t "open/read/close files" test_files;
+    t "open missing file" test_open_missing;
+    t "brk grow/shrink" test_brk;
+    t "mmap/mremap/munmap" test_mmap_family;
+    t "map_allowed pre-check hook" test_map_allowed_hook;
+    t "gettimeofday" test_gettimeofday;
+    t "signals" test_signals;
+    t "thread/exit/yield actions" test_actions;
+    t "unknown syscall" test_unknown_syscall;
+  ]

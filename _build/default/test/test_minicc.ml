@@ -1,0 +1,270 @@
+(* mini-C compiler tests: programs compiled and run on the native engine
+   (and spot-checked under Nulgrind for agreement). *)
+
+let run ?(stdin = "") src =
+  let img = Minicc.Driver.compile src in
+  let eng = Native.create img in
+  let reason = Native.run ~stdin eng in
+  let code = match reason with
+    | Native.Exited n -> n
+    | Native.Fatal_signal s -> Alcotest.failf "fatal signal %d" s
+    | Native.Out_of_fuel -> Alcotest.fail "out of fuel"
+  in
+  (code, Native.stdout_contents eng)
+
+let run_vg src =
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool:Vg_core.Tool.nulgrind img in
+  let reason = Vg_core.Session.run s in
+  let code = match reason with
+    | Vg_core.Session.Exited n -> n
+    | Vg_core.Session.Fatal_signal sg -> Alcotest.failf "fatal signal %d" sg
+    | Vg_core.Session.Out_of_fuel -> Alcotest.fail "out of fuel"
+  in
+  (code, Vg_core.Session.client_stdout s)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check_prog name src expected_code expected_out =
+  let code, out = run src in
+  Alcotest.(check int) (name ^ " exit") expected_code code;
+  Alcotest.(check string) (name ^ " stdout") expected_out out
+
+let test_arith () =
+  check_prog "arith"
+    {| int main() { return (2 + 3 * 4 - 1) / 2 % 5; } |}
+    1 "" (* (2+12-1)/2 = 6; 6 % 5 = 1 *)
+
+let test_loops () =
+  check_prog "loops"
+    {| int main() {
+         int s; int i;
+         s = 0;
+         for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+         while (s > 50) { s = s - 1; }
+         return s;
+       } |}
+    50 ""
+
+let test_recursion () =
+  check_prog "recursion"
+    {| int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+       int main() { return fib(15); } |}
+    610 ""
+
+let test_pointers_arrays () =
+  check_prog "ptr/array"
+    {| int g[10];
+       int sum(int *p, int n) {
+         int s; int i;
+         s = 0;
+         for (i = 0; i < n; i++) { s = s + p[i]; }
+         return s;
+       }
+       int main() {
+         int i;
+         for (i = 0; i < 10; i++) { g[i] = i * i; }
+         return sum(g, 10);
+       } |}
+    285 ""
+
+let test_strings () =
+  check_prog "strings"
+    {| int main() { print_str("hi "); print_int(42); print_str("\n"); return 0; } |}
+    0 "hi 42\n"
+
+let test_heap () =
+  check_prog "heap"
+    {| int main() {
+         int *a; int *b; int i; int s;
+         a = (int*)malloc(40);
+         for (i = 0; i < 10; i++) { a[i] = i; }
+         b = (int*)malloc(20);
+         for (i = 0; i < 5; i++) { b[i] = a[i] * 10; }
+         s = b[4];
+         free((char*)a);
+         free((char*)b);
+         a = (int*)malloc(16);   /* reuses a freed block */
+         s = s + a[0] * 0;
+         return s;
+       } |}
+    40 ""
+
+let test_doubles () =
+  check_prog "doubles"
+    {| int main() {
+         double x; double y;
+         x = 1.5;
+         y = x * 4.0 + 1.0;   /* 7.0 */
+         if (sqrt(y * y) != y) { return 1; }
+         return (int)y;
+       } |}
+    7 ""
+
+let test_char_ops () =
+  check_prog "chars"
+    {| int main() {
+         char buf[8];
+         strcpy(buf, "abc");
+         if (strcmp(buf, "abc") != 0) { return 1; }
+         if (strlen(buf) != 3) { return 2; }
+         buf[0] = 'A';
+         return (int)buf[0];
+       } |}
+    65 ""
+
+let test_logical () =
+  check_prog "logical"
+    {| int side = 0;
+       int bump() { side = side + 1; return 1; }
+       int main() {
+         int a;
+         a = 0 && bump();       /* short-circuit: no bump */
+         a = a + (1 || bump()); /* short-circuit: no bump */
+         a = a + (1 && bump()); /* bump once */
+         return side * 10 + a;
+       } |}
+    12 ""
+
+let test_native_vs_valgrind () =
+  let src =
+    {| int main() {
+         int i; int s; double d;
+         s = 0; d = 0.0;
+         for (i = 0; i < 1000; i++) {
+           s = s + i * 3 - (i / 7);
+           d = d + (double)i * 0.5;
+         }
+         print_int(s); print_str(" ");
+         print_double(d); print_str("\n");
+         return s % 251;
+       } |}
+  in
+  let nc, nout = run src in
+  let vc, vout = run_vg src in
+  Alcotest.(check int) "exit codes agree" nc vc;
+  Alcotest.(check string) "stdout agrees" nout vout
+
+let test_ternary_mod () =
+  check_prog "ternary"
+    {| int main() {
+         int x;
+         x = 17;
+         return (x % 2 == 1) ? x * 2 : x / 2;
+       } |}
+    34 ""
+
+(* ------------------------------------------------------------------ *)
+(* Differential expression fuzzing: random integer expressions are
+   compiled by minicc and run natively; the exit code must match an
+   OCaml reference evaluation with C-on-VG32 semantics (32-bit wrap,
+   truncating division, arithmetic >>). *)
+
+type rexpr =
+  | RVar of int  (* a, b, c *)
+  | RConst of int
+  | RBin of string * rexpr * rexpr
+  | RNeg of rexpr
+  | RNot of rexpr
+
+let var_values = [| 123456789L; -987654L; 42L |]
+
+let rec render = function
+  | RVar i -> [| "a"; "b"; "c" |].(i)
+  | RConst n -> string_of_int n
+  | RBin (op, l, r) -> Printf.sprintf "(%s %s %s)" (render l) op (render r)
+  | RNeg e -> Printf.sprintf "(- %s)" (render e)
+  | RNot e -> Printf.sprintf "(~%s)" (render e)
+
+let rec eval (e : rexpr) : int64 =
+  let open Support.Bits in
+  let s32 x = sext32 (trunc32 x) in
+  match e with
+  | RVar i -> s32 var_values.(i)
+  | RConst n -> s32 (Int64.of_int n)
+  | RNeg e -> s32 (Int64.neg (eval e))
+  | RNot e -> s32 (Int64.lognot (eval e))
+  | RBin (op, l, r) -> (
+      let a = eval l and b = eval r in
+      match op with
+      | "+" -> s32 (Int64.add a b)
+      | "-" -> s32 (Int64.sub a b)
+      | "*" -> s32 (Int64.mul a b)
+      | "/" -> s32 (Int64.div a b) (* rhs is a nonzero literal *)
+      | "%" -> s32 (Int64.rem a b)
+      | "&" -> Int64.logand a b
+      | "|" -> Int64.logor a b
+      | "^" -> Int64.logxor a b
+      | "<<" -> s32 (shl32 a b) (* rhs is a small literal *)
+      | ">>" -> s32 (sar32 a b)
+      | "==" -> if a = b then 1L else 0L
+      | "!=" -> if a <> b then 1L else 0L
+      | "<" -> if a < b then 1L else 0L
+      | "<=" -> if a <= b then 1L else 0L
+      | ">" -> if a > b then 1L else 0L
+      | ">=" -> if a >= b then 1L else 0L
+      | _ -> assert false)
+
+let gen_rexpr : rexpr QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof [ map (fun i -> RVar i) (int_bound 2);
+                map (fun c -> RConst (c - 500)) (int_bound 1000) ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            (let* op =
+               oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "=="; "!="; "<"; "<=";
+                        ">"; ">=" ]
+             in
+             let* l = sub in
+             let* r = sub in
+             return (RBin (op, l, r)));
+            (* division/modulus by a nonzero literal *)
+            (let* op = oneofl [ "/"; "%" ] in
+             let* l = sub in
+             let* d = int_range 1 9 in
+             return (RBin (op, l, RConst d)));
+            (* shift by a small literal *)
+            (let* op = oneofl [ "<<"; ">>" ] in
+             let* l = sub in
+             let* d = int_bound 31 in
+             return (RBin (op, l, RConst d)));
+            map (fun e -> RNeg e) sub;
+            map (fun e -> RNot e) sub;
+          ])
+
+let prop_expr_differential =
+  QCheck.Test.make ~count:60 ~name:"compiled expressions match reference"
+    (QCheck.make gen_rexpr ~print:render)
+    (fun e ->
+      let src =
+        Printf.sprintf
+          {| int main() {
+               int a; int b; int c;
+               a = 123456789; b = -987654; c = 42;
+               return (%s) & 127;
+             } |}
+          (render e)
+      in
+      let expected = Int64.to_int (Int64.logand (eval e) 127L) in
+      let code, _ = run src in
+      code = expected)
+
+let tests =
+  [
+    t "arith" test_arith;
+    QCheck_alcotest.to_alcotest prop_expr_differential;
+    t "loops" test_loops;
+    t "recursion" test_recursion;
+    t "pointers/arrays" test_pointers_arrays;
+    t "strings" test_strings;
+    t "heap" test_heap;
+    t "doubles" test_doubles;
+    t "chars" test_char_ops;
+    t "logical short-circuit" test_logical;
+    t "ternary" test_ternary_mod;
+    t "native vs nulgrind agree" test_native_vs_valgrind;
+  ]

@@ -1,0 +1,195 @@
+(* Native engine tests: signals (installation, delivery, sigreturn),
+   threads, and fatal faults. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let run ?(stdin = "") src =
+  let img = Guest.Asm.assemble src in
+  let eng = Native.create img in
+  let reason = Native.run ~stdin eng in
+  (reason, eng)
+
+let check_exit what expected reason =
+  match reason with
+  | Native.Exited n -> Alcotest.(check int) what expected n
+  | Native.Fatal_signal s -> Alcotest.failf "%s: fatal signal %d" what s
+  | Native.Out_of_fuel -> Alcotest.failf "%s: out of fuel" what
+
+let test_signal_handler () =
+  (* install a handler for SIGUSR1, raise it with kill, observe the
+     handler run and normal flow resume after sigreturn *)
+  let reason, _ =
+    run
+      {|
+        .text
+        .global _start
+_start: movi r0, 12          ; sys_sigaction
+        movi r1, 10          ; SIGUSR1
+        movi r2, handler
+        syscall
+        movi r5, 1
+        movi r0, 13          ; sys_kill
+        movi r1, 1           ; tid 1
+        movi r2, 10          ; SIGUSR1
+        syscall
+        ; after delivery + sigreturn we continue here; registers are
+        ; restored by sigreturn, so the handler reports through memory
+        cmpi r5, 1
+        jne bad
+        movi r3, flag
+        ldw r4, [r3]
+        cmpi r4, 99          ; handler must have run
+        jne bad
+        movi r0, 1
+        movi r1, 42
+        syscall
+bad:    movi r0, 1
+        movi r1, 13
+        syscall
+
+handler:
+        ; argument (signal number) is at [sp+4]
+        ldw r3, [sp+4]
+        cmpi r3, 10
+        jne hbad
+        movi r3, flag
+        movi r4, 99
+        stw [r3], r4
+        ret                  ; returns into the sigreturn trampoline
+hbad:   ret
+        .data
+flag:   .word 0
+|}
+  in
+  check_exit "signal handler ran and resumed" 42 reason
+
+let test_fatal_sigsegv () =
+  let reason, _ =
+    run {|
+        .text
+_start: movi r1, 0x40
+        ldw r0, [r1]
+|}
+  in
+  match reason with
+  | Native.Fatal_signal s ->
+      Alcotest.(check int) "SIGSEGV" Kernel.Sig.sigsegv s
+  | _ -> Alcotest.fail "expected fatal signal"
+
+let test_fatal_sigfpe_handler () =
+  (* a SIGFPE handler can observe the fault (it cannot resume the insn —
+     our handler exits cleanly instead) *)
+  let reason, _ =
+    run
+      {|
+        .text
+_start: movi r0, 12
+        movi r1, 8           ; SIGFPE
+        movi r2, handler
+        syscall
+        movi r0, 9
+        movi r1, 0
+        divs r0, r1          ; boom
+        movi r0, 1
+        movi r1, 1           ; not reached
+        syscall
+handler: movi r0, 1
+        movi r1, 55
+        syscall
+|}
+  in
+  check_exit "sigfpe handler exits" 55 reason
+
+let test_threads () =
+  (* two threads increment a shared counter with yields in between; the
+     serialised scheduler must interleave them to completion *)
+  let reason, eng =
+    run
+      {|
+        .text
+        .global _start
+_start: movi r0, 7            ; mmap a second stack
+        movi r1, 0
+        movi r2, 65536
+        syscall
+        mov r2, r0
+        addi r2, 65532        ; top of new stack
+        movi r0, 15           ; sys_thread_create
+        movi r1, worker
+        movi r3, 500          ; arg: iterations
+        syscall
+main_loop:
+        movi r3, counter
+        ldw r4, [r3]
+        inc r4
+        stw [r3], r4
+        movi r0, 17           ; yield
+        syscall
+        movi r3, done_flag
+        ldw r4, [r3]
+        cmpi r4, 1
+        jne main_loop
+        movi r3, counter
+        ldw r1, [r3]
+        movi r0, 1
+        syscall
+
+worker: ; r1 = iterations
+        mov r5, r1
+wloop:  movi r3, counter
+        ldw r4, [r3]
+        inc r4
+        stw [r3], r4
+        movi r0, 17           ; yield
+        syscall
+        dec r5
+        jne wloop
+        movi r3, done_flag
+        movi r4, 1
+        stw [r3], r4
+        movi r0, 16           ; thread_exit
+        syscall
+
+        .data
+counter:   .word 0
+done_flag: .word 0
+|}
+  in
+  ignore eng;
+  match reason with
+  | Native.Exited n ->
+      (* worker did 500; main did at least 500 interleaved + a few more *)
+      Alcotest.(check bool)
+        (Printf.sprintf "counter %d >= 1000" n)
+        true (n >= 1000)
+  | _ -> Alcotest.fail "thread program failed"
+
+let test_stdin () =
+  let reason, eng =
+    run ~stdin:"AB"
+      {|
+        .text
+_start: movi r0, 3           ; read
+        movi r1, 0
+        movi r2, buf
+        movi r3, 2
+        syscall
+        movi r1, buf
+        ldb r1, [r1]
+        movi r0, 1
+        syscall
+        .data
+buf:    .space 4
+|}
+  in
+  ignore eng;
+  check_exit "read first stdin byte" (Char.code 'A') reason
+
+let tests =
+  [
+    t "signal install/deliver/sigreturn" test_signal_handler;
+    t "fatal SIGSEGV" test_fatal_sigsegv;
+    t "SIGFPE handler" test_fatal_sigfpe_handler;
+    t "threads with yields" test_threads;
+    t "stdin read" test_stdin;
+  ]

@@ -1,0 +1,301 @@
+(* Tests for the remaining tools (Lackey, Cachegrind, Massif, Taintgrind)
+   and for Memcheck's shadow-memory substrate. *)
+
+let t name f = Alcotest.test_case name `Quick f
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let run_tool tool src =
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool img in
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 0 -> ()
+  | Vg_core.Session.Exited n -> Alcotest.failf "exit %d" n
+  | _ -> Alcotest.fail "bad termination");
+  s
+
+(* ---- shadow memory -------------------------------------------------- *)
+
+let test_shadow_mem_basic () =
+  let sm = Tools.Shadow_mem.create () in
+  Alcotest.(check bool) "initially noaccess" false
+    (Tools.Shadow_mem.get_abit sm 0x1000L);
+  Tools.Shadow_mem.make_undefined sm 0x1000L 64;
+  Alcotest.(check bool) "addressable" true (Tools.Shadow_mem.get_abit sm 0x1000L);
+  Alcotest.(check int) "undefined" 0xFF (Tools.Shadow_mem.get_vbyte sm 0x1000L);
+  ignore (Tools.Shadow_mem.store sm 0x1000L 4 0L);
+  Alcotest.(check int) "defined after store" 0
+    (Tools.Shadow_mem.get_vbyte sm 0x1002L);
+  Alcotest.(check int) "neighbour still undefined" 0xFF
+    (Tools.Shadow_mem.get_vbyte sm 0x1004L);
+  let ok, v = Tools.Shadow_mem.load sm 0x1002L 4 in
+  Alcotest.(check bool) "load addressable" true ok;
+  Alcotest.check i64 "partial definedness" 0xFFFF0000L v
+
+let test_shadow_mem_ranges () =
+  let sm = Tools.Shadow_mem.create () in
+  (* a range spanning multiple 64K chunks exercises the distinguished-
+     secondary fast path *)
+  Tools.Shadow_mem.make_defined sm 0x10000L (5 * 65536);
+  Alcotest.(check int) "middle defined" 0
+    (Tools.Shadow_mem.get_vbyte sm 0x30123L);
+  Tools.Shadow_mem.make_noaccess sm 0x20000L 65536;
+  Alcotest.(check bool) "hole" false (Tools.Shadow_mem.get_abit sm 0x28000L);
+  Alcotest.(check bool) "after hole" true (Tools.Shadow_mem.get_abit sm 0x30000L);
+  (match Tools.Shadow_mem.find_unaddressable sm 0x10000L (3 * 65536) with
+  | Some a -> Alcotest.check i64 "first bad byte" 0x20000L a
+  | None -> Alcotest.fail "hole not found");
+  Tools.Shadow_mem.copy_range sm ~src:0x10000L ~dst:0x20000L 16;
+  Alcotest.(check bool) "copied abit" true (Tools.Shadow_mem.get_abit sm 0x20008L)
+
+let prop_shadow_vs_model =
+  QCheck.Test.make ~count:100 ~name:"shadow memory matches a naive model"
+    QCheck.(list (pair (int_bound 2) (pair (int_bound 500) (int_bound 40))))
+    (fun ops ->
+      let sm = Tools.Shadow_mem.create () in
+      let model = Array.make 600 (false, 0xFF) in
+      List.iter
+        (fun (op, (off, len)) ->
+          let addr = Int64.of_int (0x5000 + off) in
+          (match op with
+          | 0 -> Tools.Shadow_mem.make_noaccess sm addr len
+          | 1 -> Tools.Shadow_mem.make_undefined sm addr len
+          | _ -> Tools.Shadow_mem.make_defined sm addr len);
+          for i = off to min 599 (off + len - 1) do
+            model.(i) <-
+              (match op with
+              | 0 -> (false, 0xFF)
+              | 1 -> (true, 0xFF)
+              | _ -> (true, 0x00))
+          done)
+        ops;
+      let ok = ref true in
+      Array.iteri
+        (fun i (a, v) ->
+          let addr = Int64.of_int (0x5000 + i) in
+          if
+            Tools.Shadow_mem.get_abit sm addr <> a
+            || Tools.Shadow_mem.get_vbyte sm addr <> v
+          then ok := false)
+        model;
+      !ok)
+
+(* ---- lackey ---------------------------------------------------------- *)
+
+let test_lackey_counts () =
+  let src =
+    {| int a[100];
+       int main() {
+         int i; int s;
+         s = 0;
+         for (i = 0; i < 100; i++) { a[i] = i; }      /* 100 stores */
+         for (i = 0; i < 100; i++) { s = s + a[i]; }  /* 100 loads */
+         return 0;
+       } |}
+  in
+  let s = run_tool Tools.Lackey.tool src in
+  ignore s;
+  match Tools.Lackey.(!the_state) with
+  | None -> Alcotest.fail "no lackey state"
+  | Some st ->
+      (* at least the array traffic, plus stack traffic *)
+      Alcotest.(check bool) "loads >= 100" true
+        (Int64.to_int st.n_loads >= 100);
+      Alcotest.(check bool) "stores >= 100" true
+        (Int64.to_int st.n_stores >= 100);
+      Alcotest.(check bool) "instructions counted" true
+        (Int64.to_int st.n_instrs > 1000)
+
+(* ---- cachegrind ------------------------------------------------------ *)
+
+let test_cachegrind_counts () =
+  let src =
+    {| int main() {
+         int i; int s;
+         s = 0;
+         for (i = 0; i < 5000; i++) { s = s + i; }
+         return 0;
+       } |}
+  in
+  let s = run_tool Tools.Cachegrind.tool src in
+  ignore s;
+  match Tools.Cachegrind.(!the_state) with
+  | None -> Alcotest.fail "no cachegrind state"
+  | Some st ->
+      Alcotest.(check bool) "Ir counted" true (Int64.to_int st.h.ir > 30000);
+      (* a tight loop has an excellent I1 hit rate *)
+      Alcotest.(check bool) "I1 miss rate tiny" true
+        (Int64.to_float st.h.i1_misses /. Int64.to_float st.h.ir < 0.01)
+
+let test_cachegrind_stride_effect () =
+  let prog stride =
+    Printf.sprintf
+      {| int a[65536];
+         int main() {
+           int i; int s;
+           s = 0;
+           for (i = 0; i < 65536; i = i + %d) { s = s + a[i]; }
+           return 0;
+         } |}
+      stride
+  in
+  let miss_rate stride =
+    ignore (run_tool Tools.Cachegrind.tool (prog stride));
+    match Tools.Cachegrind.(!the_state) with
+    | Some st -> Int64.to_float st.h.d1r_misses /. Int64.to_float st.h.dr
+    | None -> 0.0
+  in
+  let unit_stride = miss_rate 1 in
+  let big_stride = miss_rate 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stride 16 (%.4f) misses more than stride 1 (%.4f)"
+       big_stride unit_stride)
+    true
+    (big_stride > unit_stride *. 2.0)
+
+(* ---- massif ---------------------------------------------------------- *)
+
+let test_massif_peak () =
+  let src =
+    {| int main() {
+         char *a; char *b; char *c;
+         a = malloc(1000);
+         b = malloc(2000);       /* peak: 3000 */
+         free(a);
+         c = malloc(500);        /* 2500 < peak */
+         free(b);
+         free(c);
+         return 0;
+       } |}
+  in
+  ignore (run_tool Tools.Massif.tool src);
+  match Tools.Massif.(!the_state) with
+  | None -> Alcotest.fail "no massif state"
+  | Some st ->
+      Alcotest.check i64 "peak" 3000L st.peak_bytes;
+      Alcotest.check i64 "live at exit" 0L st.cur_bytes;
+      Alcotest.(check int) "allocs" 3 st.n_allocs
+
+(* ---- taintgrind ------------------------------------------------------ *)
+
+let test_taint_propagation () =
+  let src =
+    {| int main() {
+         int secret[2];
+         int derived; int clean; int cleared;
+         secret[0] = 7;
+         vg_taint_mem((char*)secret, 4);
+         derived = secret[0] * 100 + 5;      /* tainted */
+         clean = 12345;                      /* untainted */
+         cleared = secret[0];
+         cleared = 0;                        /* overwritten by constant */
+         if (vg_check_taint((char*)&derived, 4) == 0) { return 1; }
+         if (vg_check_taint((char*)&clean, 4) != 0) { return 2; }
+         if (vg_check_taint((char*)&cleared, 4) != 0) { return 3; }
+         vg_untaint_mem((char*)secret, 8);
+         derived = secret[0];
+         if (vg_check_taint((char*)&derived, 4) != 0) { return 4; }
+         return 0;
+       } |}
+  in
+  ignore (run_tool Tools.Taintgrind.tool src)
+
+(* ---- annelid --------------------------------------------------------- *)
+
+let kinds (errors : Vg_core.Errors.t) =
+  List.map (fun e -> e.Vg_core.Errors.err_kind) errors.errors
+
+let test_annelid_bounds () =
+  let src =
+    {| int main() {
+         int *p; int v;
+         p = (int*)malloc(10 * sizeof(int));
+         p[9] = 1;            /* in bounds: fine */
+         v = p[10];           /* out of bounds: caught via the tagged ptr */
+         free((char*)p);
+         return v * 0;
+       } |}
+  in
+  let s = run_tool Tools.Annelid.tool src in
+  Alcotest.(check bool) "bounds error reported" true
+    (List.mem "BoundsError" (kinds s.errors))
+
+let test_annelid_clean () =
+  let src =
+    {| int main() {
+         int *p; int i; int s;
+         p = (int*)malloc(20 * sizeof(int));
+         s = 0;
+         for (i = 0; i < 20; i++) { p[i] = i; }
+         for (i = 0; i < 20; i++) { s = s + p[i]; }
+         free((char*)p);
+         return s * 0;
+       } |}
+  in
+  let s = run_tool Tools.Annelid.tool src in
+  Alcotest.(check (list string)) "no false positives" [] (kinds s.errors)
+
+let test_annelid_use_after_free () =
+  let src =
+    {| int main() {
+         int *p; int v;
+         p = (int*)malloc(8);
+         p[0] = 4;
+         free((char*)p);
+         v = p[0];           /* through a tagged pointer into a dead seg */
+         return v * 0;
+       } |}
+  in
+  let s = run_tool Tools.Annelid.tool src in
+  Alcotest.(check bool) "use-after-free reported" true
+    (List.mem "BoundsError" (kinds s.errors))
+
+(* ---- redux ------------------------------------------------------------ *)
+
+let test_redux_dag () =
+  let src =
+    {| int main() {
+         int a; int b;
+         a = 6;
+         b = 7;
+         return a * b;        /* provenance: const 6, const 7, mul */
+       } |}
+  in
+  let img = Minicc.Driver.compile src in
+  let s = Vg_core.Session.create ~tool:Tools.Redux.tool img in
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 42 -> ()
+  | _ -> Alcotest.fail "redux client should exit 42");
+  ignore s;
+  match Tools.Redux.(!the_state) with
+  | None -> Alcotest.fail "no redux state"
+  | Some st ->
+      Alcotest.(check bool) "built a dag" true
+        (Support.Vec.length st.nodes > 10);
+      let root = Tools.Redux.reg_node st 1 in
+      let dot = Tools.Redux.dot_of st root () in
+      let contains sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length dot && (String.sub dot i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "dot mentions mul" true (contains "mul");
+      Alcotest.(check bool) "dot mentions a constant" true (contains "0x")
+
+let tests =
+  [
+    t "shadow memory: bytes" test_shadow_mem_basic;
+    t "shadow memory: ranges + distinguished secondaries"
+      test_shadow_mem_ranges;
+    QCheck_alcotest.to_alcotest prop_shadow_vs_model;
+    t "lackey counts accesses" test_lackey_counts;
+    t "cachegrind counts" test_cachegrind_counts;
+    t "cachegrind sees stride effects" test_cachegrind_stride_effect;
+    t "massif peak tracking" test_massif_peak;
+    t "taint propagation and clearing" test_taint_propagation;
+    t "annelid catches out-of-bounds" test_annelid_bounds;
+    t "annelid clean run" test_annelid_clean;
+    t "annelid use-after-free" test_annelid_use_after_free;
+    t "redux builds a provenance dag" test_redux_dag;
+  ]

@@ -1,0 +1,62 @@
+(* The benchmark suite must be healthy: every workload compiles, runs
+   natively, and behaves identically under the Valgrind engine. *)
+
+let t name speed f = Alcotest.test_case name speed f
+
+let native_result (img : Guest.Image.t) =
+  let eng = Native.create img in
+  match Native.run ~max_insns:200_000_000L eng with
+  | Native.Exited 0 -> Native.stdout_contents eng
+  | Native.Exited n -> Alcotest.failf "native exit %d" n
+  | Native.Fatal_signal s -> Alcotest.failf "native signal %d" s
+  | Native.Out_of_fuel -> Alcotest.fail "native out of fuel"
+
+let vg_result tool (img : Guest.Image.t) =
+  let s = Vg_core.Session.create ~tool img in
+  match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 0 -> Vg_core.Session.client_stdout s
+  | Vg_core.Session.Exited n -> Alcotest.failf "vg exit %d" n
+  | Vg_core.Session.Fatal_signal s -> Alcotest.failf "vg signal %d" s
+  | Vg_core.Session.Out_of_fuel -> Alcotest.fail "vg out of fuel"
+
+let test_native_all () =
+  List.iter
+    (fun (w : Workloads.workload) ->
+      let img = Workloads.compile ~scale:1 w in
+      let out = native_result img in
+      Alcotest.(check bool)
+        (w.w_name ^ " prints its name")
+        true
+        (String.length out > String.length w.w_name
+        && String.sub out 0 (String.length w.w_name) = w.w_name))
+    Workloads.all
+
+(* nulgrind transparency over the whole suite (slow-ish) *)
+let test_nulgrind_all () =
+  List.iter
+    (fun (w : Workloads.workload) ->
+      let img = Workloads.compile ~scale:1 w in
+      let nout = native_result img in
+      let vout = vg_result Vg_core.Tool.nulgrind img in
+      Alcotest.(check string) (w.w_name ^ " output") nout vout)
+    Workloads.all
+
+(* memcheck transparency on a representative subset *)
+let test_memcheck_subset () =
+  List.iter
+    (fun name ->
+      match Workloads.find name with
+      | None -> Alcotest.failf "missing workload %s" name
+      | Some w ->
+          let img = Workloads.compile ~scale:1 w in
+          let nout = native_result img in
+          let vout = vg_result Tools.Memcheck.tool img in
+          Alcotest.(check string) (name ^ " under memcheck") nout vout)
+    [ "gcc"; "mcf"; "perlbmk"; "ammp"; "vortex" ]
+
+let tests =
+  [
+    t "all workloads run natively" `Slow test_native_all;
+    t "all workloads transparent under nulgrind" `Slow test_nulgrind_all;
+    t "subset transparent under memcheck" `Slow test_memcheck_subset;
+  ]
