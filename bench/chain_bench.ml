@@ -1,0 +1,215 @@
+(** Translation-chaining benchmark (§3.9 extension).
+
+    Runs a set of loop-heavy workloads under Nulgrind twice — chaining on
+    (the default) and off (the paper's configuration) — and reports the
+    reduction in dispatcher entries and modelled cycles, checking that
+    client output is bit-identical either way.
+
+    Doubles as the CI bench-regression gate: [write_json] dumps the
+    deterministic metrics to a flat JSON file and [check] compares a
+    fresh run against the committed baseline, failing on any cycle
+    metric that regresses by more than 10%. *)
+
+let suite = [ "mcf"; "swim"; "mgrid"; "gzip" ]
+
+type row = {
+  b_name : string;
+  b_entries_on : int64;  (** dispatcher entries, chaining on *)
+  b_entries_off : int64;
+  b_cycles_on : int64;  (** modelled total cycles, chaining on *)
+  b_cycles_off : int64;
+  b_chained : int64;  (** transfers that bypassed the dispatcher *)
+  b_outputs_equal : bool;
+}
+
+let run_one ?(scale = 1) (name : string) : row option =
+  match Workloads.find name with
+  | None ->
+      Printf.printf "!! unknown workload %s\n" name;
+      None
+  | Some w ->
+      let img = Workloads.compile ~scale w in
+      let with_chaining c =
+        Harness.run_tool
+          ~options:{ Vg_core.Session.default_options with chaining = c }
+          Vg_core.Tool.nulgrind img
+      in
+      let on = with_chaining true in
+      let off = with_chaining false in
+      Some
+        {
+          b_name = name;
+          b_entries_on = on.tr_stats.st_dispatch_entries;
+          b_entries_off = off.tr_stats.st_dispatch_entries;
+          b_cycles_on = on.tr_cycles;
+          b_cycles_off = off.tr_cycles;
+          b_chained = on.tr_stats.st_chained;
+          b_outputs_equal = on.tr_stdout = off.tr_stdout;
+        }
+
+let rows ?scale () : row list = List.filter_map (run_one ?scale) suite
+
+let pct_less (now : int64) (before : int64) : float =
+  if before = 0L then 0.0
+  else 100.0 *. (1.0 -. (Int64.to_float now /. Int64.to_float before))
+
+let run ?scale () =
+  Harness.section
+    "Translation chaining: dispatcher entries and cycles, on vs off";
+  Printf.printf "%-9s %12s %12s %7s %13s %13s %6s %5s\n" "program"
+    "entries(on)" "entries(off)" "cut%" "cycles(on)" "cycles(off)" "cut%"
+    "out=";
+  Harness.hr ();
+  let rs = rows ?scale () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %12Ld %12Ld %6.1f%% %13Ld %13Ld %5.1f%% %5b\n%!"
+        r.b_name r.b_entries_on r.b_entries_off
+        (pct_less r.b_entries_on r.b_entries_off)
+        r.b_cycles_on r.b_cycles_off
+        (pct_less r.b_cycles_on r.b_cycles_off)
+        r.b_outputs_equal)
+    rs;
+  Harness.hr ();
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  let eon = sum (fun r -> r.b_entries_on)
+  and eoff = sum (fun r -> r.b_entries_off) in
+  Printf.printf "%-9s %12Ld %12Ld %6.1f%%  (target: >= 30%% fewer entries)\n"
+    "total" eon eoff (pct_less eon eoff);
+  if pct_less eon eoff < 30.0 then
+    print_endline "!! chaining cut dispatcher entries by less than 30%";
+  if not (List.for_all (fun r -> r.b_outputs_equal) rs) then
+    print_endline "!! chained and unchained outputs differ"
+
+(* ------------------------------------------------------------------ *)
+(* The CI regression gate                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat JSON, one "program.metric" per line: trivially diffable and
+   parseable without a JSON library. *)
+let metrics_of_row (r : row) : (string * int64) list =
+  [
+    (r.b_name ^ ".entries_on", r.b_entries_on);
+    (r.b_name ^ ".entries_off", r.b_entries_off);
+    (r.b_name ^ ".cycles_on", r.b_cycles_on);
+    (r.b_name ^ ".cycles_off", r.b_cycles_off);
+    (r.b_name ^ ".chained", r.b_chained);
+    (r.b_name ^ ".outputs_equal", if r.b_outputs_equal then 1L else 0L);
+  ]
+
+let all_metrics (rs : row list) : (string * int64) list =
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  List.concat_map metrics_of_row rs
+  @ [
+      ("total.entries_on", sum (fun r -> r.b_entries_on));
+      ("total.entries_off", sum (fun r -> r.b_entries_off));
+      ("total.cycles_on", sum (fun r -> r.b_cycles_on));
+      ("total.cycles_off", sum (fun r -> r.b_cycles_off));
+      ( "total.outputs_equal",
+        if List.for_all (fun r -> r.b_outputs_equal) rs then 1L else 0L );
+    ]
+
+let write_json ~(path : string) ?scale () =
+  let ms = all_metrics (rows ?scale ()) in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %Ld%s\n" k v
+        (if i = List.length ms - 1 then "" else ","))
+    ms;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %d metrics to %s\n" (List.length ms) path
+
+(* Parse the flat format back: lines of the shape  "key": 123[,] *)
+let read_json (path : string) : (string * int64) list =
+  let ic = open_in path in
+  let out = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       match String.index_opt line '"' with
+       | Some 0 -> (
+           match String.index_from_opt line 1 '"' with
+           | Some close -> (
+               let key = String.sub line 1 (close - 1) in
+               match String.index_from_opt line close ':' with
+               | Some colon ->
+                   let rest =
+                     String.sub line (colon + 1)
+                       (String.length line - colon - 1)
+                   in
+                   let num =
+                     String.trim
+                       (match String.index_opt rest ',' with
+                       | Some c -> String.sub rest 0 c
+                       | None -> rest)
+                   in
+                   (match Int64.of_string_opt num with
+                   | Some v -> out := (key, v) :: !out
+                   | None -> ())
+               | None -> ())
+           | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+(** Compare [current] against [baseline]; any [*.cycles_*] metric more
+    than 10% above its baseline value, or a current
+    [*.outputs_equal = 0], fails the gate.  Exits non-zero on failure so
+    CI can gate on it. *)
+let check ~(baseline : string) ~(current : string) =
+  let read_or_die path =
+    try read_json path
+    with Sys_error m ->
+      Printf.printf "bench gate FAILED: cannot read %s (%s)\n" path m;
+      exit 1
+  in
+  let base = read_or_die baseline and cur = read_or_die current in
+  if base = [] then failwith ("no metrics parsed from " ^ baseline);
+  if cur = [] then failwith ("no metrics parsed from " ^ current);
+  let failures = ref 0 in
+  let is_cycles k =
+    match String.index_opt k '.' with
+    | Some d ->
+        String.length k > d + 7 && String.sub k (d + 1) 7 = "cycles_"
+    | None -> false
+  in
+  List.iter
+    (fun (k, v) ->
+      if is_cycles k then
+        match List.assoc_opt k base with
+        | None -> Printf.printf "?? %s: no baseline (new metric)\n" k
+        | Some b ->
+            let limit =
+              Int64.of_float (Int64.to_float b *. 1.10)
+            in
+            if Int64.unsigned_compare v limit > 0 then begin
+              incr failures;
+              Printf.printf "!! %s regressed: %Ld -> %Ld (>+10%%)\n" k b v
+            end
+            else Printf.printf "ok %s: %Ld vs baseline %Ld\n" k v b
+      else if
+        String.length k >= 13
+        && String.sub k (String.length k - 13) 13 = "outputs_equal"
+        && v = 0L
+      then begin
+        incr failures;
+        Printf.printf "!! %s: chained and unchained outputs differ\n" k
+      end)
+    cur;
+  List.iter
+    (fun (k, _) ->
+      if is_cycles k && List.assoc_opt k cur = None then begin
+        incr failures;
+        Printf.printf "!! %s: present in baseline but missing now\n" k
+      end)
+    base;
+  if !failures > 0 then begin
+    Printf.printf "bench gate FAILED: %d regression(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "bench gate passed"

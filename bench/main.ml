@@ -10,14 +10,18 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig1|fig2|fig3|table1|table2|dispatch|caa|transtab|loc|micro|all]*";
+    "usage: main.exe [fig1|fig2|fig3|table1|table2|dispatch|chain|chainjson|chaincheck|caa|transtab|loc|micro|all]*";
   print_endline "       table2 options: --scale N --programs a,b,c";
+  print_endline "       chainjson options: --out FILE";
+  print_endline "       chaincheck options: --baseline FILE --out FILE";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1 in
   let programs = ref [] in
+  let out = ref "BENCH_pr.json" in
+  let baseline = ref "BENCH_baseline.json" in
   let cmds = ref [] in
   let rec parse = function
     | [] -> ()
@@ -26,6 +30,12 @@ let () =
         parse rest
     | "--programs" :: ps :: rest ->
         programs := String.split_on_char ',' ps;
+        parse rest
+    | "--out" :: p :: rest ->
+        out := p;
+        parse rest
+    | "--baseline" :: p :: rest ->
+        baseline := p;
         parse rest
     | "--help" :: _ | "-h" :: _ -> usage ()
     | cmd :: rest ->
@@ -41,6 +51,9 @@ let () =
     | "table1" -> Table1.run ()
     | "table2" -> Table2.run ~scale:!scale ~programs:!programs ()
     | "dispatch" -> Dispatch_bench.run ()
+    | "chain" -> Chain_bench.run ~scale:!scale ()
+    | "chainjson" -> Chain_bench.write_json ~path:!out ~scale:!scale ()
+    | "chaincheck" -> Chain_bench.check ~baseline:!baseline ~current:!out
     | "caa" -> Caa_bench.run ()
     | "transtab" -> Transtab_bench.run ()
     | "loc" -> Loc_bench.run ()
@@ -52,6 +65,7 @@ let () =
         Table1.run ();
         Table2.run ~scale:!scale ~programs:!programs ();
         Dispatch_bench.run ();
+        Chain_bench.run ~scale:!scale ();
         Caa_bench.run ();
         Transtab_bench.run ();
         Loc_bench.run ();

@@ -7,7 +7,15 @@
     dispatch + JIT + SMC checks).  Absolute numbers are simulator
     artefacts; the claims under test are the ordering and rough
     magnitudes: Nulgrind a few x, inline counting cheaper than C-call
-    counting, Memcheck ~5x Nulgrind (paper: 4.3 / 8.8 / 13.5 / 22.1). *)
+    counting, Memcheck ~5x Nulgrind (paper: 4.3 / 8.8 / 13.5 / 22.1).
+
+    All runs here pin [chaining = false]: the paper's Valgrind does not
+    chain translations (§3.9), so Table 2's published slow-downs were
+    measured with every block transfer going through the dispatcher.
+    The chaining extension is measured separately by chain_bench. *)
+
+(* the paper's dispatcher configuration, without the chaining extension *)
+let paper_options = { Vg_core.Session.default_options with chaining = false }
 
 (* the paper's Table 2 per-program slow-downs, for side-by-side output *)
 let paper_numbers =
@@ -57,7 +65,7 @@ let run_program ?(scale = 1) (w : Workloads.workload) : row =
   let img = Workloads.compile ~scale w in
   let native = Harness.run_native img in
   let sd tool =
-    let tr = Harness.run_tool tool img in
+    let tr = Harness.run_tool ~options:paper_options tool img in
     if tr.tr_stdout <> native.nr_stdout then
       Printf.printf "!! %s under %s produced different output\n" w.w_name
         tool.Vg_core.Tool.name;
@@ -132,8 +140,11 @@ let run ?(scale = 1) ?(programs = []) () =
         | Some w ->
             let img = Workloads.compile ~scale w in
             let native = Harness.run_native img in
-            let mc = Harness.run_tool Tools.Memcheck.tool img in
-            let mo = Harness.run_tool Tools.Memcheck.tool_origins img in
+            let mc = Harness.run_tool ~options:paper_options Tools.Memcheck.tool img in
+            let mo =
+              Harness.run_tool ~options:paper_options Tools.Memcheck.tool_origins
+                img
+            in
             Some (Harness.slowdown native mc, Harness.slowdown native mo))
       subset
   in

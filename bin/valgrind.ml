@@ -3,7 +3,7 @@
     {v
     valgrind --tool=memcheck prog.c       # mini-C source, compiled on the fly
     valgrind --tool=cachegrind prog.s     # VG32 assembly
-    valgrind --tool=nulgrind --chaining --smc-check=all prog.c
+    valgrind --tool=nulgrind --no-chaining --smc-check=all prog.c
     v} *)
 
 open Cmdliner
@@ -35,7 +35,7 @@ let load_image (path : string) : Guest.Image.t =
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
-let run tool_name chaining smc_mode stats stdin_file supp_file path =
+let run tool_name no_chaining smc_mode stats stdin_file supp_file path =
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -63,7 +63,11 @@ let run tool_name chaining smc_mode stats stdin_file supp_file path =
     | _ -> Vg_core.Session.Smc_stack
   in
   let options =
-    { Vg_core.Session.default_options with chaining; smc_mode = smc }
+    {
+      Vg_core.Session.default_options with
+      chaining = not no_chaining;
+      smc_mode = smc;
+    }
   in
   let s = Vg_core.Session.create ~options ~tool img in
   s.echo_output <- true;
@@ -93,7 +97,10 @@ let run tool_name chaining smc_mode stats stdin_file supp_file path =
       st.st_blocks st.st_translations st.st_host_cycles;
     Printf.eprintf "==vg== dispatcher hit rate: %.2f%%  total cycles: %Ld\n"
       (100.0 *. st.st_dispatch_hit_rate)
-      st.st_total_cycles
+      st.st_total_cycles;
+    Printf.eprintf
+      "==vg== chained transfers: %Ld  (chains patched %d, unlinked %d)\n"
+      st.st_chained st.st_chain_patched st.st_chain_unlinked
   end;
   match reason with
   | Vg_core.Session.Exited n -> exit (n land 0xFF)
@@ -106,8 +113,13 @@ let cmd =
   let tool =
     Arg.(value & opt string "memcheck" & info [ "tool" ] ~doc:"Tool plug-in to run.")
   in
-  let chaining =
-    Arg.(value & flag & info [ "chaining" ] ~doc:"Enable translation chaining.")
+  let no_chaining =
+    Arg.(
+      value & flag
+      & info [ "no-chaining" ]
+          ~doc:
+            "Disable translation chaining (the paper's configuration: every \
+             block transfer goes through the dispatcher).")
   in
   let smc =
     Arg.(
@@ -136,6 +148,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
-    Term.(const run $ tool $ chaining $ smc $ stats $ stdin_file $ supp $ path)
+    Term.(
+      const run $ tool $ no_chaining $ smc $ stats $ stdin_file $ supp $ path)
 
 let () = exit (Cmd.eval cmd)

@@ -111,6 +111,10 @@ let () =
      rate %.1f%%)\n"
     st.st_blocks st.st_translations
     (100.0 *. st.st_dispatch_hit_rate);
+  Printf.printf
+    "(translation chaining: %Ld transfers bypassed the dispatcher via %d \
+     patched exit sites, %d unlinked)\n"
+    st.st_chained st.st_chain_patched st.st_chain_unlinked;
   match reason with
   | Vg_core.Session.Exited 0 -> ()
   | _ -> print_endline "client did not exit cleanly!"

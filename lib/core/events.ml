@@ -47,6 +47,12 @@ type t = {
   c_new_mem_stack : counted;
   mutable die_mem_stack : (addr:int64 -> len:int -> unit) option;
   c_die_mem_stack : counted;
+  (* Core-internal observability: the translation-chaining lifecycle
+     (§3.9 extension).  Not tool events — counters only, surfaced via
+     session stats, the quickstart example and chain_bench. *)
+  c_chain_patched : counted;  (** exit sites patched to a successor *)
+  c_chain_unlinked : counted;  (** slots unlinked on evict/discard/SMC *)
+  c_chain_followed : counted;  (** transfers that bypassed the dispatcher *)
 }
 
 let create () =
@@ -79,6 +85,9 @@ let create () =
     c_new_mem_stack = { count = 0L };
     die_mem_stack = None;
     c_die_mem_stack = { count = 0L };
+    c_chain_patched = { count = 0L };
+    c_chain_unlinked = { count = 0L };
+    c_chain_followed = { count = 0L };
   }
 
 (* Firing helpers used by the core. *)
@@ -180,6 +189,11 @@ let fire_die_mem_stack t ~addr ~len =
   | Some f ->
       tick t.c_die_mem_stack;
       f ~addr ~len
+
+(* Chaining lifecycle ticks (no callbacks: counters only). *)
+let tick_chain_patched t = tick t.c_chain_patched
+let tick_chain_unlinked t = tick t.c_chain_unlinked
+let tick_chain_followed t = tick t.c_chain_followed
 
 (** (event name, trigger site, observed count) rows for the Table-1
     harness. *)

@@ -17,8 +17,12 @@ type smc_mode = Smc_none | Smc_stack | Smc_all
 
 type options = {
   chaining : bool;
-      (** simulate translation chaining (the real Valgrind of the paper
-          does not chain; this exists for the ablation benchmarks) *)
+      (** direct translation chaining (on by default): patch a
+          translation's constant-target exit sites to transfer straight
+          to the successor translation, bypassing the dispatcher.  The
+          paper's Valgrind deliberately does not chain (§3.9); pass
+          [--no-chaining] / [chaining = false] to reproduce its baseline
+          dispatcher behaviour. *)
   chain_cost : int;  (** cycles for a chained transfer *)
   smc_mode : smc_mode;  (** default [Smc_stack], like Valgrind *)
   timeslice_blocks : int;  (** thread-switch period (paper: 100,000) *)
@@ -36,7 +40,7 @@ type options = {
 
 let default_options =
   {
-    chaining = false;
+    chaining = true;
     chain_cost = 2;
     smc_mode = Smc_stack;
     timeslice_blocks = 100_000;
@@ -82,9 +86,10 @@ type t = {
   mutable exit_reason : exit_reason option;
   (* stack-event helpers (registered lazily per session) *)
   mutable stack_helpers : Stack_events.helpers option;
-  (* chaining memo: guest dest -> translation *)
-  chain_memo : (int64, Jit.Pipeline.translation) Hashtbl.t;
-  mutable last_exit_direct : bool;
+  (* chaining: the chainable exit site the previous block left through
+     (with its owning translation), if any *)
+  mutable last_exit :
+    (Jit.Pipeline.translation * Jit.Pipeline.chain_slot) option;
   mutable chained_transfers : int64;
   (* core client-space allocator arena *)
   mutable arena_next : int64;
@@ -125,15 +130,17 @@ let create ?(options = default_options) ~(tool : Tool.t)
   kern.map_allowed <- Layout.client_map_allowed;
   let threads = Threads.create mem in
   let errors = Errors.create () in
+  let events = Events.create () in
   let s =
     {
       opts = options;
       mem;
       kern;
-      events = Events.create ();
+      events;
       errors;
       threads;
-      transtab = Transtab.create ~capacity:options.transtab_capacity ();
+      transtab =
+        Transtab.create ~events ~capacity:options.transtab_capacity ();
       dispatch =
         Dispatch.create ~size:options.dispatch_size
           ~fast_cost:options.dispatch_fast_cost
@@ -154,8 +161,7 @@ let create ?(options = default_options) ~(tool : Tool.t)
       retranslations_smc = 0;
       exit_reason = None;
       stack_helpers = None;
-      chain_memo = Hashtbl.create 4096;
-      last_exit_direct = false;
+      last_exit = None;
       chained_transfers = 0L;
       arena_next = 0x1900_0000L;
       arena_limit = 0x1A00_0000L;
@@ -208,11 +214,10 @@ let client_alloc (s : t) (size : int) : int64 =
   addr
 
 let on_discard (s : t) (addr : int64) (len : int) =
+  (* discard_range also unlinks every chain into the dropped
+     translations (the correctness-critical §3.16 path) *)
   let n = Transtab.discard_range s.transtab addr len in
-  if n > 0 then begin
-    Dispatch.flush s.dispatch;
-    Hashtbl.reset s.chain_memo
-  end
+  if n > 0 then Dispatch.flush s.dispatch
 
 let charge (s : t) c =
   s.overhead_cycles <- Int64.add s.overhead_cycles (Int64.of_int c)
@@ -495,38 +500,39 @@ let smc_ok (s : t) (t : Jit.Pipeline.translation) : bool =
   s.smc_cycles <- Int64.add s.smc_cycles (Int64.of_int (2 * t.t_guest_bytes));
   h = t.t_code_hash
 
+(* Dispatcher entry: fast-lookup cache, then the scheduler (§3.9). *)
+let lookup_via_dispatcher (s : t) (pc : int64) : Jit.Pipeline.translation =
+  match Dispatch.lookup s.dispatch pc with
+  | Some t ->
+      charge s s.dispatch.fast_cost;
+      t
+  | None ->
+      charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
+      let t = scheduler_find s pc in
+      Dispatch.update s.dispatch pc t;
+      t
+
 let find_translation (s : t) (pc : int64) : Jit.Pipeline.translation =
-  (* chaining shortcut: a direct exit from the previous translation *)
-  if s.opts.chaining && s.last_exit_direct then
-    match Hashtbl.find_opt s.chain_memo pc with
-    | Some t ->
-        charge s s.opts.chain_cost;
-        s.chained_transfers <- Int64.add s.chained_transfers 1L;
-        t
-    | None ->
-        let t =
-          match Dispatch.lookup s.dispatch pc with
-          | Some t ->
-              charge s s.dispatch.fast_cost;
-              t
-          | None ->
-              charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
-              let t = scheduler_find s pc in
-              Dispatch.update s.dispatch pc t;
-              t
-        in
-        Hashtbl.replace s.chain_memo pc t;
-        t
-  else
-    match Dispatch.lookup s.dispatch pc with
-    | Some t ->
-        charge s s.dispatch.fast_cost;
-        t
-    | None ->
-        charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
-        let t = scheduler_find s pc in
-        Dispatch.update s.dispatch pc t;
-        t
+  match s.last_exit with
+  | Some (src, slot) when s.opts.chaining && slot.cs_target = pc -> (
+      (* the previous block left through a chainable (constant-target)
+         exit site whose target is where we are going *)
+      match slot.cs_next with
+      | Some t ->
+          (* patched: control transfers straight to the successor *)
+          charge s s.opts.chain_cost;
+          s.chained_transfers <- Int64.add s.chained_transfers 1L;
+          Events.tick_chain_followed s.events;
+          t
+      | None ->
+          (* first warm transit of this exit: dispatch normally, then
+             patch the site so the dispatcher is bypassed from now on.
+             [Transtab.link] refuses if either translation is no longer
+             resident (nothing would unlink the chain later). *)
+          let t = lookup_via_dispatcher s pc in
+          ignore (Transtab.link s.transtab ~src ~slot ~dst:t);
+          t)
+  | _ -> lookup_via_dispatcher s pc
 
 let do_thread_create (s : t) ~entry ~sp ~arg =
   let th = Threads.spawn s.threads in
@@ -549,10 +555,10 @@ let run_block (s : t) =
   let t = find_translation s pc in
   let t =
     if t.t_smc_check && not (smc_ok s t) then begin
-      (* §3.16: hash mismatch -> discard and retranslate *)
+      (* §3.16: hash mismatch -> discard and retranslate.  discard_key
+         unlinks every chain pointing into the stale translation. *)
       Transtab.discard_key s.transtab pc;
       Dispatch.flush s.dispatch;
-      Hashtbl.reset s.chain_memo;
       s.retranslations_smc <- s.retranslations_smc + 1;
       let t' = translate s pc in
       Dispatch.update s.dispatch pc t';
@@ -564,17 +570,22 @@ let run_block (s : t) =
   let env = helper_env s in
   match Host.Interp.run s.cpu ~env t.t_decoded with
   | exception Aspace.Fault f ->
-      s.last_exit_direct <- false;
+      s.last_exit <- None;
       output s
         (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
            (Fmt.str "%a" Aspace.pp_access_kind f.kind)
            f.addr);
       deliver_signal s Kernel.Sig.sigsegv
   | exception Host.Interp.Host_sigfpe ->
-      s.last_exit_direct <- false;
+      s.last_exit <- None;
       deliver_signal s Kernel.Sig.sigfpe
-  | ek, dest, direct -> (
-      s.last_exit_direct <- direct;
+  | ek, dest, exit_site -> (
+      s.last_exit <-
+        (if s.opts.chaining then
+           match Jit.Pipeline.find_chain_slot t exit_site with
+           | Some slot -> Some (t, slot)
+           | None -> None
+         else None);
       Threads.put_eip s.threads th dest;
       s.blocks_executed <- Int64.add s.blocks_executed 1L;
       th.blocks_run <- Int64.add th.blocks_run 1L;
@@ -668,7 +679,11 @@ type stats = {
   st_dispatch_hits : int64;
   st_dispatch_misses : int64;
   st_dispatch_hit_rate : float;
-  st_chained : int64;
+  st_dispatch_entries : int64;  (** lookups = hits + misses *)
+  st_chained : int64;  (** transfers that bypassed the dispatcher *)
+  st_chain_patched : int;  (** exit sites patched (cumulative) *)
+  st_chain_unlinked : int;  (** slots unlinked on evict/discard/SMC *)
+  st_chain_live : int;  (** currently-patched slots *)
   st_transtab_used : int;
   st_transtab_evictions : int;
   st_lock_handoffs : int64;
@@ -688,7 +703,11 @@ let stats (s : t) : stats =
     st_dispatch_hits = s.dispatch.hits;
     st_dispatch_misses = s.dispatch.misses;
     st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;
+    st_dispatch_entries = Dispatch.entries s.dispatch;
     st_chained = s.chained_transfers;
+    st_chain_patched = s.transtab.n_chain_links;
+    st_chain_unlinked = s.transtab.n_chain_unlinks;
+    st_chain_live = s.transtab.live_chains;
     st_transtab_used = s.transtab.used;
     st_transtab_evictions = s.transtab.n_evicted;
     st_lock_handoffs = s.threads.lock_handoffs;

@@ -4,7 +4,18 @@
     using a FIFO policy ("chosen over the more obvious LRU because it is
     simpler and still does a fairly good job").  Translations are also
     evicted when client code is unmapped or discarded by the
-    self-modifying-code machinery. *)
+    self-modifying-code machinery.
+
+    The table additionally owns the {b chain index} for direct
+    translation chaining (§3.9 extension): a reverse map from a resident
+    translation's key to every chain slot (in other translations) that
+    has been patched to jump straight into it.  The invariant is that a
+    patched slot only ever points at a translation currently resident in
+    this table; every removal path — FIFO chunk eviction, range discard
+    (munmap / discard-translations client request), single-key discard
+    (SMC invalidation) and [flush] — unlinks all chains into the removed
+    translations first, so a stale jump into retired code can never be
+    followed. *)
 
 type entry = {
   e_key : int64;
@@ -17,23 +28,35 @@ type t = {
   capacity : int;
   mutable used : int;
   mutable seq : int;
+  (* reverse chain index: key of a resident translation -> the
+     (source key, slot) pairs patched to jump straight into it *)
+  chains_in : (int64, (int64 * Jit.Pipeline.chain_slot) list) Hashtbl.t;
+  events : Events.t option;  (** chain lifecycle counters, if plumbed *)
   (* statistics *)
   mutable n_inserts : int;
   mutable n_evict_chunks : int;
   mutable n_evicted : int;
   mutable n_discards : int;
+  mutable n_chain_links : int;  (** cumulative slots patched *)
+  mutable n_chain_unlinks : int;  (** cumulative slots unlinked *)
+  mutable live_chains : int;  (** currently-patched slots *)
 }
 
-let create ?(capacity = 32768) () =
+let create ?events ?(capacity = 32768) () =
   {
     slots = Array.make capacity None;
     capacity;
     used = 0;
     seq = 0;
+    chains_in = Hashtbl.create 1024;
+    events;
     n_inserts = 0;
     n_evict_chunks = 0;
     n_evicted = 0;
     n_discards = 0;
+    n_chain_links = 0;
+    n_chain_unlinks = 0;
+    live_chains = 0;
   }
 
 let hash t (key : int64) =
@@ -51,6 +74,98 @@ let find (t : t) (key : int64) : Jit.Pipeline.translation option =
       | Some _ -> probe ((i + 1) mod t.capacity) (n + 1)
   in
   probe (hash t key) 0
+
+(* ------------------------------------------------------------------ *)
+(* Chaining                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [tr] is the live translation for [key] (physical equality: a
+   retranslation under the same key is a different residency). *)
+let resident t (key : int64) (tr : Jit.Pipeline.translation) : bool =
+  match find t key with Some tr' -> tr' == tr | None -> false
+
+(** Patch [slot] (an exit site of resident translation [src]) to
+    transfer straight to [dst], registering the chain in the reverse
+    index.  Refuses — returning [false] — if the slot is already
+    patched or if either end is not resident (a translation evicted from
+    the table must not become a chain target: nothing would ever unlink
+    it). *)
+let link (t : t) ~(src : Jit.Pipeline.translation)
+    ~(slot : Jit.Pipeline.chain_slot) ~(dst : Jit.Pipeline.translation) :
+    bool =
+  if
+    slot.cs_next <> None
+    || (not (resident t src.t_guest_addr src))
+    || not (resident t dst.t_guest_addr dst)
+  then false
+  else begin
+    slot.cs_next <- Some dst;
+    let key = dst.t_guest_addr in
+    let prev =
+      Option.value ~default:[] (Hashtbl.find_opt t.chains_in key)
+    in
+    Hashtbl.replace t.chains_in key ((src.t_guest_addr, slot) :: prev);
+    t.n_chain_links <- t.n_chain_links + 1;
+    t.live_chains <- t.live_chains + 1;
+    (match t.events with
+    | Some e -> Events.tick_chain_patched e
+    | None -> ());
+    true
+  end
+
+let unlink_slot t (slot : Jit.Pipeline.chain_slot) =
+  if slot.cs_next <> None then begin
+    slot.cs_next <- None;
+    t.n_chain_unlinks <- t.n_chain_unlinks + 1;
+    t.live_chains <- t.live_chains - 1;
+    match t.events with
+    | Some e -> Events.tick_chain_unlinked e
+    | None -> ()
+  end
+
+(* Unlink every chain jumping INTO [key] (its translation is being
+   removed). *)
+let unlink_into t (key : int64) =
+  match Hashtbl.find_opt t.chains_in key with
+  | None -> ()
+  | Some pairs ->
+      List.iter (fun (_, slot) -> unlink_slot t slot) pairs;
+      Hashtbl.remove t.chains_in key
+
+(* Drop reverse-index records whose SOURCE translation is being removed:
+   the slot dies with its owner, so the chain it carried is gone too. *)
+let purge_sources t (dropped : (int64, unit) Hashtbl.t) =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.chains_in [] in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.chains_in k with
+      | None -> ()
+      | Some pairs ->
+          let keep, drop =
+            List.partition
+              (fun (src, _) -> not (Hashtbl.mem dropped src))
+              pairs
+          in
+          if drop <> [] then begin
+            List.iter (fun (_, slot) -> unlink_slot t slot) drop;
+            if keep = [] then Hashtbl.remove t.chains_in k
+            else Hashtbl.replace t.chains_in k keep
+          end)
+    keys
+
+(* Chain maintenance for a batch of removed entries: unlink everything
+   into them, then purge chains owned by them. *)
+let on_removed t (removed : entry list) =
+  if removed <> [] then begin
+    let dropped = Hashtbl.create (List.length removed) in
+    List.iter (fun e -> Hashtbl.replace dropped e.e_key ()) removed;
+    Hashtbl.iter (fun k () -> unlink_into t k) dropped;
+    purge_sources t dropped
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Insertion and removal                                                *)
+(* ------------------------------------------------------------------ *)
 
 (* Rebuild the table from a list of entries (preserving seq). *)
 let rebuild t (entries : entry list) =
@@ -77,14 +192,15 @@ let evict_chunk t =
     all_entries t |> List.sort (fun a b -> compare a.e_seq b.e_seq)
   in
   let n_drop = max 1 (t.capacity / 8) in
-  let rec split n = function
-    | [] -> []
-    | _ :: rest when n > 0 -> split (n - 1) rest
-    | keep -> keep
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | e :: rest -> split (n - 1) (e :: acc) rest
   in
-  let kept = split n_drop entries in
+  let dropped, kept = split n_drop [] entries in
   t.n_evict_chunks <- t.n_evict_chunks + 1;
-  t.n_evicted <- t.n_evicted + (List.length entries - List.length kept);
+  t.n_evicted <- t.n_evicted + List.length dropped;
+  on_removed t dropped;
   rebuild t kept
 
 let insert (t : t) (key : int64) (trans : Jit.Pipeline.translation) =
@@ -97,14 +213,19 @@ let insert (t : t) (key : int64) (trans : Jit.Pipeline.translation) =
     | None ->
         t.slots.(i) <- Some e;
         t.used <- t.used + 1
-    | Some old when old.e_key = key -> t.slots.(i) <- Some e
+    | Some old when old.e_key = key ->
+        (* replacing a resident translation: chains into the old one
+           must not survive onto the new one *)
+        on_removed t [ old ];
+        t.slots.(i) <- Some e
     | Some _ -> probe ((i + 1) mod t.capacity)
   in
   probe (hash t key)
 
 (** Discard translations whose covered guest ranges intersect
     [addr, addr+len) — used by munmap and the discard client request
-    (§3.8, §3.16). Returns how many were discarded. *)
+    (§3.8, §3.16).  Unlinks every chain into (and out of) the discarded
+    translations.  Returns how many were discarded. *)
 let discard_range (t : t) (addr : int64) (len : int) : int =
   let hi = Int64.add addr (Int64.of_int len) in
   let intersects (a, l) =
@@ -119,14 +240,30 @@ let discard_range (t : t) (addr : int64) (len : int) : int =
   let n = List.length drop in
   if n > 0 then begin
     t.n_discards <- t.n_discards + n;
+    on_removed t drop;
     rebuild t keep
   end;
   n
 
-(** Discard a single entry by key (SMC retranslation). *)
+(** Discard a single entry by key (SMC retranslation), unlinking every
+    chain that jumps into it. *)
 let discard_key (t : t) (key : int64) =
-  let keep = List.filter (fun e -> e.e_key <> key) (all_entries t) in
+  let keep, drop =
+    List.partition (fun e -> e.e_key <> key) (all_entries t)
+  in
   t.n_discards <- t.n_discards + 1;
+  on_removed t drop;
   rebuild t keep
+
+(** Empty the table completely, unlinking every chain and resetting the
+    live-chain state (cumulative counters are preserved). *)
+let flush (t : t) =
+  Hashtbl.iter
+    (fun _ pairs -> List.iter (fun (_, slot) -> unlink_slot t slot) pairs)
+    t.chains_in;
+  Hashtbl.reset t.chains_in;
+  t.live_chains <- 0;
+  t.slots <- Array.make t.capacity None;
+  t.used <- 0
 
 let occupancy t = float_of_int t.used /. float_of_int t.capacity

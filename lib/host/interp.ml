@@ -124,12 +124,15 @@ let valu_eval op a b =
   | VSub8 -> V128.sub8x16 a b
 
 (** Execute decoded translation [code] until an exit instruction fires.
-    Returns the exit kind, the next guest PC, and whether the exit target
-    was a constant (a "direct" exit — the kind translation chaining could
-    patch).  [env] is the helper environment (built by the core around
-    the current ThreadState). *)
+    Returns the exit kind, the next guest PC, and the index in [code] of
+    the exit instruction that fired — the "exit site".  A site whose
+    target is a constant ([ExitIf]/[GotoI]) is the kind of jump
+    translation chaining patches: the core maps the index back to the
+    translation's chain slot to decide whether the transfer can bypass
+    the dispatcher.  [env] is the helper environment (built by the core
+    around the current ThreadState). *)
 let run (cpu : cpu) ~(env : Vex_ir.Helpers.env) (code : insn array) :
-    exit_kind * int64 * bool =
+    exit_kind * int64 * int =
   let r = cpu.hregs and v = cpu.hvregs in
   let mem = cpu.mem in
   let pc = ref 0 in
@@ -186,9 +189,10 @@ let run (cpu : cpu) ~(env : Vex_ir.Helpers.env) (code : insn array) :
     | Jnz (c, l) -> if r.(c) <> 0L then pc := l
     | Jmp l -> pc := l
     | Label _ -> ()
-    | ExitIf (c, ek, dest) -> if r.(c) <> 0L then result := Some (ek, dest, true)
-    | Goto (ek, s) -> result := Some (ek, Bits.trunc32 r.(s), false)
-    | GotoI (ek, dest) -> result := Some (ek, dest, true));
+    | ExitIf (c, ek, dest) ->
+        if r.(c) <> 0L then result := Some (ek, dest, !pc - 1)
+    | Goto (ek, s) -> result := Some (ek, Bits.trunc32 r.(s), !pc - 1)
+    | GotoI (ek, dest) -> result := Some (ek, dest, !pc - 1));
     if !result = None && !pc >= n then
       (* fell off the end of a translation: a JIT bug *)
       invalid_arg "Host.Interp.run: translation fell through"

@@ -29,12 +29,63 @@ type translation = {
   t_code_hash : int64;  (** hash of the original guest bytes (for SMC) *)
   t_ir_stmts_pre : int;  (** flat statements before instrumentation *)
   t_ir_stmts_post : int;  (** after instrumentation + opt2 *)
+  t_exits : chain_slot array;  (** chainable (constant-target) exit sites *)
+}
+
+(** A chainable exit site: a host exit instruction whose guest target is
+    a compile-time constant.  The paper's Valgrind deliberately returns
+    to the dispatcher on every such exit (§3.9); with chaining enabled
+    the core patches [cs_next] so control transfers straight to the
+    successor translation.  The slot is the unit the translation table's
+    reverse chain index tracks — when the successor is evicted or
+    discarded, every slot pointing at it is unlinked (set back to
+    [None]) so no stale jump survives. *)
+and chain_slot = {
+  cs_index : int;  (** index of the exit insn in [t_decoded] *)
+  cs_target : int64;  (** the constant guest destination *)
+  cs_kind : Host.Arch.exit_kind;
+  mutable cs_next : translation option;  (** patched successor, if any *)
 }
 
 (** Cycle cost charged for making one translation (the JIT itself runs on
     the host CPU; D&R "will probably translate code more slowly" — this
     surfaces in total cycle counts for short runs). *)
 let translation_cost (t : translation) = 60 * t.t_ir_stmts_post
+
+(* Exit kinds eligible for chaining: plain transfers.  Syscalls, client
+   requests, yields and faults must return to the core between blocks. *)
+let chainable_ek (ek : Host.Arch.exit_kind) =
+  ek = Host.Arch.ek_boring || ek = Host.Arch.ek_call || ek = Host.Arch.ek_ret
+
+(** Scan decoded host code for chainable exit sites (constant-target
+    exits of plain jump kinds). *)
+let chain_slots_of (code : Host.Arch.insn array) : chain_slot array =
+  let slots = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Host.Arch.ExitIf (_, ek, dest) when chainable_ek ek ->
+          slots :=
+            { cs_index = i; cs_target = dest; cs_kind = ek; cs_next = None }
+            :: !slots
+      | Host.Arch.GotoI (ek, dest) when chainable_ek ek ->
+          slots :=
+            { cs_index = i; cs_target = dest; cs_kind = ek; cs_next = None }
+            :: !slots
+      | _ -> ())
+    code;
+  Array.of_list (List.rev !slots)
+
+(** The chain slot whose exit instruction sits at [idx] in [t_decoded]
+    (the index {!Host.Interp.run} reports), if that exit is chainable. *)
+let find_chain_slot (t : translation) (idx : int) : chain_slot option =
+  let n = Array.length t.t_exits in
+  let rec go i =
+    if i >= n then None
+    else if t.t_exits.(i).cs_index = idx then Some t.t_exits.(i)
+    else go (i + 1)
+  in
+  go 0
 
 (* FNV-1a over the guest bytes a translation was made from.  Unfetchable
    bytes (a block ending in undecodable unmapped memory) hash as zero. *)
@@ -112,11 +163,12 @@ let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
   (* 8: assembly *)
   let bytes = Host.Encode.assemble hcode in
   let ranges = imark_ranges tree in
+  let decoded = Host.Encode.decode bytes in
   let t =
     {
       t_guest_addr = guest_addr;
       t_code = bytes;
-      t_decoded = Host.Encode.decode bytes;
+      t_decoded = decoded;
       t_guest_insns = stats.guest_insns;
       t_guest_bytes = stats.guest_bytes;
       t_guest_ranges = ranges;
@@ -124,6 +176,7 @@ let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
       t_code_hash = hash_guest_bytes fetch ranges;
       t_ir_stmts_pre = pre_stmts;
       t_ir_stmts_post = post_stmts;
+      t_exits = chain_slots_of decoded;
     }
   in
   ( {

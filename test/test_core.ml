@@ -404,14 +404,80 @@ let test_mmap_precheck () =
 (* ---- chaining is semantics-preserving -------------------------------- *)
 
 let test_chaining_equivalent () =
-  let options = { Vg_core.Session.default_options with chaining = true } in
-  let _, r1, out1 = run_valgrind fact_src in
-  let _, r2, out2 = run_valgrind ~options fact_src in
+  let chained = { Vg_core.Session.default_options with chaining = true } in
+  let unchained = { Vg_core.Session.default_options with chaining = false } in
+  let s1, r1, out1 = run_valgrind ~options:chained fact_src in
+  let s2, r2, out2 = run_valgrind ~options:unchained fact_src in
   (match (r1, r2) with
   | Vg_core.Session.Exited a, Vg_core.Session.Exited b ->
       Alcotest.(check int) "same result" a b
   | _ -> Alcotest.fail "bad termination");
-  Alcotest.(check string) "same output" out1 out2
+  Alcotest.(check string) "same output" out1 out2;
+  let st1 = Vg_core.Session.stats s1 and st2 = Vg_core.Session.stats s2 in
+  Alcotest.(check bool) "chained transfers happened" true
+    (Int64.unsigned_compare st1.st_chained 0L > 0);
+  Alcotest.(check int64) "no chaining without the flag" 0L st2.st_chained;
+  Alcotest.(check bool) "fewer dispatcher entries when chained" true
+    (Int64.unsigned_compare st1.st_dispatch_entries st2.st_dispatch_entries
+    < 0)
+
+(* ---- chaining invalidation under transtab eviction pressure ---------- *)
+
+(* a client with ~80 distinct code blocks (40 called functions plus their
+   return continuations), looped: with a tiny translation table this
+   thrashes the FIFO eviction constantly while chains are live, so any
+   stale chain into an evicted-then-retranslated block would compute the
+   wrong sum *)
+let many_blocks_src =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "        .text\n_start: movi r0, 0\n        movi r2, 100\n";
+  Buffer.add_string b "outer:\n";
+  for i = 0 to 39 do
+    Buffer.add_string b (Printf.sprintf "        call fn%d\n" i)
+  done;
+  Buffer.add_string b
+    "        dec r2\n        jne outer\n        mov r1, r0\n        movi r0, 1\n        syscall\n";
+  for i = 0 to 39 do
+    Buffer.add_string b (Printf.sprintf "fn%d:    inc r0\n        ret\n" i)
+  done;
+  Buffer.contents b
+
+let test_chaining_eviction_pressure () =
+  let options =
+    {
+      Vg_core.Session.default_options with
+      chaining = true;
+      transtab_capacity = 64;
+    }
+  in
+  let s, vr, _ = run_valgrind ~options many_blocks_src in
+  check_vg_exit "sum correct under constant eviction" 4000 vr;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "table thrashed" true (st.st_transtab_evictions > 0);
+  Alcotest.(check bool) "chains were patched" true (st.st_chain_patched > 0);
+  Alcotest.(check bool) "eviction unlinked chains" true
+    (st.st_chain_unlinked > 0);
+  (* the same program, unchained, must agree (it trivially does natively
+     too, but this pins the chained/unchained pair) *)
+  let _, vr2, _ =
+    run_valgrind
+      ~options:{ options with chaining = false }
+      many_blocks_src
+  in
+  check_vg_exit "same result unchained" 4000 vr2
+
+(* ---- chaining vs self-modifying code --------------------------------- *)
+
+let test_chaining_smc () =
+  (* the §3.16 SMC client, explicitly chained: the discard of the stale
+     translation must unlink chains so the patched code is re-entered
+     through a fresh translation *)
+  let options = { Vg_core.Session.default_options with chaining = true } in
+  let s, vr, _ = run_valgrind ~options Test_guest.smc_stack_src in
+  check_vg_exit "smc result correct with chaining" 1077 vr;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "retranslated after hash mismatch" true
+    (st.st_retranslations_smc >= 1)
 
 let tests =
   [
@@ -431,4 +497,7 @@ let tests =
     Alcotest.test_case "RUNNING_ON_VALGRIND" `Quick test_running_on_valgrind;
     Alcotest.test_case "mmap pre-check" `Quick test_mmap_precheck;
     Alcotest.test_case "chaining equivalent" `Quick test_chaining_equivalent;
+    Alcotest.test_case "chaining under eviction pressure" `Quick
+      test_chaining_eviction_pressure;
+    Alcotest.test_case "chaining vs smc" `Quick test_chaining_smc;
   ]

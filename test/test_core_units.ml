@@ -5,7 +5,7 @@
 let t name f = Alcotest.test_case name `Quick f
 
 (* a dummy translation for table tests *)
-let dummy_trans key : Jit.Pipeline.translation =
+let dummy_trans_exits key exits : Jit.Pipeline.translation =
   {
     t_guest_addr = key;
     t_code = Bytes.create 4;
@@ -17,7 +17,23 @@ let dummy_trans key : Jit.Pipeline.translation =
     t_code_hash = 0L;
     t_ir_stmts_pre = 1;
     t_ir_stmts_post = 1;
+    t_exits = exits;
   }
+
+let dummy_trans key = dummy_trans_exits key [||]
+
+(* a dummy translation with one chainable exit site aimed at [target] *)
+let dummy_trans_with_exit key target :
+    Jit.Pipeline.translation * Jit.Pipeline.chain_slot =
+  let slot =
+    {
+      Jit.Pipeline.cs_index = 0;
+      cs_target = target;
+      cs_kind = Host.Arch.ek_boring;
+      cs_next = None;
+    }
+  in
+  (dummy_trans_exits key [| slot |], slot)
 
 let test_transtab_basics () =
   let tt = Vg_core.Transtab.create ~capacity:64 () in
@@ -52,6 +68,105 @@ let test_transtab_discard_range () =
   Alcotest.(check int) "one discarded" 1 n;
   Alcotest.(check bool) "0x1000 kept" true (Vg_core.Transtab.find tt 0x1000L <> None);
   Alcotest.(check bool) "0x2000 gone" true (Vg_core.Transtab.find tt 0x2000L = None)
+
+(* ---- translation chaining: link/unlink invariants ------------------- *)
+
+let test_chain_link_basics () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  let src, slot = dummy_trans_with_exit 0x1000L 0x2000L in
+  let dst = dummy_trans 0x2000L in
+  (* neither end resident: refused *)
+  Alcotest.(check bool) "link refused when not resident" false
+    (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  Vg_core.Transtab.insert tt 0x1000L src;
+  (* dst still absent: refused (an unreachable chain target could never
+     be unlinked) *)
+  Alcotest.(check bool) "link refused when dst absent" false
+    (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  Vg_core.Transtab.insert tt 0x2000L dst;
+  Alcotest.(check bool) "link succeeds" true
+    (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  Alcotest.(check bool) "slot patched" true
+    (match slot.cs_next with Some t -> t == dst | None -> false);
+  Alcotest.(check int) "one live chain" 1 tt.live_chains;
+  (* double-patching the same slot is refused *)
+  Alcotest.(check bool) "re-link refused" false
+    (Vg_core.Transtab.link tt ~src ~slot ~dst)
+
+let test_chain_unlink_on_eviction () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  let src, slot = dummy_trans_with_exit 0x10L 0x20L in
+  let dst = dummy_trans 0x20L in
+  Vg_core.Transtab.insert tt 0x10L src;
+  Vg_core.Transtab.insert tt 0x20L dst;
+  Alcotest.(check bool) "linked" true (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  (* push past 80% occupancy: FIFO eviction drops the oldest chunk,
+     which includes src and dst — the chain must be unlinked *)
+  for i = 0 to 59 do
+    Vg_core.Transtab.insert tt
+      (Int64.of_int (0x9000 + i))
+      (dummy_trans (Int64.of_int (0x9000 + i)))
+  done;
+  Alcotest.(check bool) "eviction happened" true (tt.n_evicted > 0);
+  Alcotest.(check bool) "chain target evicted" true
+    (Vg_core.Transtab.find tt 0x20L = None);
+  Alcotest.(check bool) "slot unlinked (no stale jump)" true
+    (slot.cs_next = None);
+  Alcotest.(check int) "no live chains" 0 tt.live_chains;
+  Alcotest.(check bool) "unlink counted" true (tt.n_chain_unlinks >= 1)
+
+let test_chain_unlink_on_discard_range () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  let src, slot = dummy_trans_with_exit 0x1000L 0x2000L in
+  let dst = dummy_trans 0x2000L in
+  Vg_core.Transtab.insert tt 0x1000L src;
+  Vg_core.Transtab.insert tt 0x2000L dst;
+  ignore (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  (* unmap / discard-translations over the TARGET's range *)
+  Alcotest.(check int) "one discarded" 1
+    (Vg_core.Transtab.discard_range tt 0x2000L 16);
+  Alcotest.(check bool) "slot unlinked" true (slot.cs_next = None);
+  Alcotest.(check bool) "source survives" true
+    (Vg_core.Transtab.find tt 0x1000L <> None);
+  Alcotest.(check int) "no live chains" 0 tt.live_chains
+
+let test_chain_unlink_on_smc_discard () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  let a, slot_a = dummy_trans_with_exit 0x100L 0x300L in
+  let b, slot_b = dummy_trans_with_exit 0x200L 0x300L in
+  let victim = dummy_trans 0x300L in
+  Vg_core.Transtab.insert tt 0x100L a;
+  Vg_core.Transtab.insert tt 0x200L b;
+  Vg_core.Transtab.insert tt 0x300L victim;
+  ignore (Vg_core.Transtab.link tt ~src:a ~slot:slot_a ~dst:victim);
+  ignore (Vg_core.Transtab.link tt ~src:b ~slot:slot_b ~dst:victim);
+  Alcotest.(check int) "two live chains" 2 tt.live_chains;
+  (* SMC invalidation discards the victim: EVERY chain into it must go *)
+  Vg_core.Transtab.discard_key tt 0x300L;
+  Alcotest.(check bool) "slot a unlinked" true (slot_a.cs_next = None);
+  Alcotest.(check bool) "slot b unlinked" true (slot_b.cs_next = None);
+  Alcotest.(check int) "no live chains" 0 tt.live_chains;
+  (* a retranslation under the same key must NOT inherit old chains *)
+  let victim' = dummy_trans 0x300L in
+  Vg_core.Transtab.insert tt 0x300L victim';
+  Alcotest.(check bool) "slots still unlinked after retranslation" true
+    (slot_a.cs_next = None && slot_b.cs_next = None)
+
+let test_chain_flush_resets () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  let src, slot = dummy_trans_with_exit 0x10L 0x20L in
+  let dst = dummy_trans 0x20L in
+  Vg_core.Transtab.insert tt 0x10L src;
+  Vg_core.Transtab.insert tt 0x20L dst;
+  ignore (Vg_core.Transtab.link tt ~src ~slot ~dst);
+  Vg_core.Transtab.flush tt;
+  Alcotest.(check int) "table empty" 0 tt.used;
+  Alcotest.(check bool) "entries gone" true
+    (Vg_core.Transtab.find tt 0x10L = None);
+  Alcotest.(check bool) "slot unlinked" true (slot.cs_next = None);
+  Alcotest.(check int) "live chains reset" 0 tt.live_chains;
+  Alcotest.(check bool) "cumulative counters preserved" true
+    (tt.n_chain_links = 1 && tt.n_chain_unlinks = 1)
 
 let test_dispatch_cache () =
   let d = Vg_core.Dispatch.create ~size:16 () in
@@ -189,6 +304,11 @@ let tests =
     t "transtab: insert/find" test_transtab_basics;
     t "transtab: FIFO chunk eviction" test_transtab_fifo_eviction;
     t "transtab: discard range" test_transtab_discard_range;
+    t "chaining: link requires residency" test_chain_link_basics;
+    t "chaining: eviction unlinks" test_chain_unlink_on_eviction;
+    t "chaining: discard range unlinks" test_chain_unlink_on_discard_range;
+    t "chaining: SMC discard unlinks all" test_chain_unlink_on_smc_discard;
+    t "chaining: flush resets chain state" test_chain_flush_resets;
     t "dispatch: direct-mapped cache" test_dispatch_cache;
     t "errors: dedup" test_errors_dedup;
     t "errors: suppression parsing/matching" test_suppression_parsing;

@@ -431,9 +431,92 @@ loop:   inc r0
     true
     (Int64.to_float blocks_unrolled < Int64.to_float blocks_plain *. 0.6)
 
+(* ------------------------------------------------------------------ *)
+(* Translation chaining                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let loop_src =
+  {|
+        .text
+_start: movi r0, 0
+        movi r2, 100000
+loop:   inc r0
+        dec r2
+        jne loop
+        mov r1, r0
+        movi r0, 1
+        syscall
+|}
+
+let run_loop chaining =
+  let img = Guest.Asm.assemble loop_src in
+  let opts = { Vg_core.Session.default_options with chaining } in
+  let s = Vg_core.Session.create ~options:opts ~tool:Vg_core.Tool.nulgrind img in
+  match Vg_core.Session.run s with
+  | Vg_core.Session.Exited n -> (n, s)
+  | _ -> Alcotest.fail "loop program failed"
+
+let test_chain_slots_recorded () =
+  (* every translation records its constant-target exit sites, and every
+     patched slot points at the resident translation for its target *)
+  let n, s = run_loop true in
+  Alcotest.(check int) "result" 100000 n;
+  let entries = Vg_core.Transtab.all_entries s.transtab in
+  let total_slots =
+    List.fold_left
+      (fun acc (e : Vg_core.Transtab.entry) ->
+        acc + Array.length e.e_trans.Jit.Pipeline.t_exits)
+      0 entries
+  in
+  Alcotest.(check bool) "translations record chain slots" true
+    (total_slots > 0);
+  List.iter
+    (fun (e : Vg_core.Transtab.entry) ->
+      Array.iter
+        (fun (slot : Jit.Pipeline.chain_slot) ->
+          match slot.cs_next with
+          | None -> ()
+          | Some dst ->
+              Alcotest.(check int64)
+                "patched slot points at its own target"
+                slot.cs_target dst.Jit.Pipeline.t_guest_addr;
+              (match Vg_core.Transtab.find s.transtab slot.cs_target with
+              | Some resident ->
+                  Alcotest.(check bool) "chain target is resident" true
+                    (resident == dst)
+              | None -> Alcotest.fail "patched slot into evicted translation"))
+        e.e_trans.Jit.Pipeline.t_exits)
+    entries;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "live chains exist" true (st.st_chain_live > 0)
+
+let test_chain_dispatcher_reduction () =
+  (* the ISSUE acceptance bar: on a loop benchmark, chaining must cut
+     dispatcher entries by >= 30% with identical guest-visible results
+     and lower modelled cycles *)
+  let n1, s1 = run_loop true in
+  let n2, s2 = run_loop false in
+  Alcotest.(check int) "identical result" n2 n1;
+  let st1 = Vg_core.Session.stats s1 and st2 = Vg_core.Session.stats s2 in
+  Alcotest.(check bool) "chained transfers counted" true
+    (Int64.unsigned_compare st1.st_chained 0L > 0);
+  let e1 = Int64.to_float st1.st_dispatch_entries
+  and e2 = Int64.to_float st2.st_dispatch_entries in
+  Alcotest.(check bool)
+    (Printf.sprintf "dispatcher entries cut >=30%% (%.0f vs %.0f)" e1 e2)
+    true
+    (e1 <= e2 *. 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles lower (%Ld vs %Ld)" st1.st_total_cycles
+       st2.st_total_cycles)
+    true
+    (Int64.unsigned_compare st1.st_total_cycles st2.st_total_cycles < 0)
+
 let tests =
   [
     t "loop unrolling" test_loop_unrolling;
+    t "chain slots recorded and consistent" test_chain_slots_recorded;
+    t "chaining cuts dispatcher entries >=30%" test_chain_dispatcher_reduction;
     t "differential: native = nulgrind (60 random programs)"
       test_differential_nulgrind;
     t "differential: native = memcheck (16 programs)"
