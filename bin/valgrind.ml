@@ -35,7 +35,8 @@ let load_image (path : string) : Guest.Image.t =
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
-let run tool_name no_chaining smc_mode stats stdin_file supp_file path =
+let run tool_name no_chaining no_verify smc_mode stats stdin_file supp_file
+    path =
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -67,6 +68,7 @@ let run tool_name no_chaining smc_mode stats stdin_file supp_file path =
       Vg_core.Session.default_options with
       chaining = not no_chaining;
       smc_mode = smc;
+      verify_jit = not no_verify;
     }
   in
   let s = Vg_core.Session.create ~options ~tool img in
@@ -100,7 +102,9 @@ let run tool_name no_chaining smc_mode stats stdin_file supp_file path =
       st.st_total_cycles;
     Printf.eprintf
       "==vg== chained transfers: %Ld  (chains patched %d, unlinked %d)\n"
-      st.st_chained st.st_chain_patched st.st_chain_unlinked
+      st.st_chained st.st_chain_patched st.st_chain_unlinked;
+    Printf.eprintf "==vg== verifier: %d phase-boundary checks\n"
+      st.st_verify_checks
   end;
   match reason with
   | Vg_core.Session.Exited n -> exit (n land 0xFF)
@@ -120,6 +124,15 @@ let cmd =
           ~doc:
             "Disable translation chaining (the paper's configuration: every \
              block transfer goes through the dispatcher).")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify-jit" ]
+          ~doc:
+            "Disable the Vglint phase-boundary verifiers (on by default; \
+             they check every translation's IR, register allocation and \
+             encoding, plus the tool's instrumentation).")
   in
   let smc =
     Arg.(
@@ -149,6 +162,7 @@ let cmd =
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
-      const run $ tool $ no_chaining $ smc $ stats $ stdin_file $ supp $ path)
+      const run $ tool $ no_chaining $ no_verify $ smc $ stats $ stdin_file
+      $ supp $ path)
 
 let () = exit (Cmd.eval cmd)

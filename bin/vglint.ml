@@ -1,0 +1,97 @@
+(** [vglint]: the standalone JIT-verifier driver.
+
+    {v
+    vglint mutate    # seeded-miscompile validation of the verifiers
+    vglint corpus    # every tool x workload corpus, verification on
+    vglint           # both (CI entry point); exit 0 iff everything holds
+    v}
+
+    [mutate] compiles a guest corpus, injects seeded miscompile bugs
+    (dropped PUT, lost register assignment, wrong shift width, stale
+    label, corrupted byte, ...) into individual phase results and checks
+    each is caught at the earliest boundary that can see it.
+
+    [corpus] runs every in-tree tool over a workload corpus with
+    [verify_jit] enabled, so all eight phase boundaries plus the
+    tool-instrumentation lints run on every translation; any verifier
+    error (a false positive, since these tools are correct) fails the
+    run. *)
+
+let tools : (string * Vg_core.Tool.t) list =
+  [
+    ("nulgrind", Vg_core.Tool.nulgrind);
+    ("memcheck", Tools.Memcheck.tool);
+    ("memcheck-origins", Tools.Memcheck.tool_origins);
+    ("cachegrind", Tools.Cachegrind.tool);
+    ("massif", Tools.Massif.tool);
+    ("lackey", Tools.Lackey.tool);
+    ("taintgrind", Tools.Taintgrind.tool);
+    ("annelid", Tools.Annelid.tool);
+    ("redux", Tools.Redux.tool);
+    ("icnti", Tools.Icnt.icnt_inline);
+    ("icntc", Tools.Icnt.icnt_call);
+  ]
+
+let corpus_workloads = [ "gcc"; "mcf"; "perlbmk"; "vortex" ]
+
+let run_mutate () : bool =
+  print_endline "== vglint: seeded-mutation validation ==";
+  let outcomes = Verify.Mutate.run () in
+  List.iter (fun o -> Fmt.pr "%a@." Verify.Mutate.pp_outcome o) outcomes;
+  let ok = Verify.Mutate.all_caught outcomes in
+  let caught = List.length (List.filter (fun o -> o.Verify.Mutate.o_caught) outcomes) in
+  Fmt.pr "%d/%d seeded bugs caught at their earliest boundary@." caught
+    (List.length outcomes);
+  ok
+
+let run_corpus () : bool =
+  print_endline "== vglint: tool x workload corpus, verification on ==";
+  let failed = ref 0 in
+  List.iter
+    (fun wname ->
+      let w =
+        match Workloads.find wname with
+        | Some w -> w
+        | None -> failwith ("unknown workload " ^ wname)
+      in
+      let img = Workloads.compile ~scale:1 w in
+      List.iter
+        (fun (tname, tool) ->
+          let options =
+            (* verification of translations happens up front; fuel keeps
+               slow tools (redux, memcheck-origins) from dominating *)
+            { Vg_core.Session.default_options with max_blocks = 50_000L }
+          in
+          let s = Vg_core.Session.create ~options ~tool img in
+          try
+            let (_ : Vg_core.Session.exit_reason) = Vg_core.Session.run s in
+            let st = Vg_core.Session.stats s in
+            Fmt.pr "%-10s %-16s ok (%d translations, %d checks)@." wname
+              tname st.st_translations st.st_verify_checks
+          with Verify.Verr.Error _ as e ->
+            incr failed;
+            Fmt.pr "%-10s %-16s VERIFY FAILED: %s@." wname tname
+              (Verify.Verr.to_string e))
+        tools)
+    corpus_workloads;
+  !failed = 0
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let ok =
+    match mode with
+    | "mutate" -> run_mutate ()
+    | "corpus" -> run_corpus ()
+    | "all" ->
+        let a = run_mutate () in
+        let b = run_corpus () in
+        a && b
+    | m ->
+        prerr_endline ("vglint: unknown mode '" ^ m ^ "' (mutate|corpus)");
+        exit 2
+  in
+  if not ok then begin
+    prerr_endline "vglint: FAILED";
+    exit 1
+  end;
+  print_endline "vglint: all checks hold"

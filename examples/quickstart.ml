@@ -16,6 +16,7 @@ let branch_profiler : Vg_core.Tool.t =
   {
     name = "branchprof";
     description = "counts taken conditional branches per source function";
+    shadow_ranges = [];
     create =
       (fun caps ->
         let taken = Hashtbl.create 64 in

@@ -36,6 +36,13 @@ type options = {
   stack_switch_threshold : int64;  (** the 2MB heuristic, changeable *)
   unroll_loops : bool;  (** phase-2 self-loop unrolling (VEX default: on) *)
   max_blocks : int64;  (** fuel: abort runaway clients (0 = unlimited) *)
+  verify_jit : bool;
+      (** run the Vglint phase-boundary verifiers on every translation
+          (IR well-formedness, effect-skeleton preservation, vreg and
+          host-register dataflow, assemble/decode round-trip, and the
+          tool-instrumentation lints against the tool's declared
+          [shadow_ranges]).  On by default; a verification failure
+          raises {!Verify.Verr.Error}. *)
 }
 
 let default_options =
@@ -52,6 +59,7 @@ let default_options =
     stack_switch_threshold = 0x20_0000L;
     unroll_loops = true;
     max_blocks = 0L;
+    verify_jit = true;
   }
 
 type exit_reason =
@@ -83,6 +91,7 @@ type t = {
   mutable smc_cycles : int64;
   mutable translations_made : int;
   mutable retranslations_smc : int;
+  mutable verify_checks : int;  (** boundary checks run by the verifier *)
   mutable exit_reason : exit_reason option;
   (* stack-event helpers (registered lazily per session) *)
   mutable stack_helpers : Stack_events.helpers option;
@@ -159,6 +168,7 @@ let create ?(options = default_options) ~(tool : Tool.t)
       smc_cycles = 0L;
       translations_made = 0;
       retranslations_smc = 0;
+      verify_checks = 0;
       exit_reason = None;
       stack_helpers = None;
       last_exit = None;
@@ -360,8 +370,16 @@ let wants_smc_check (s : t) (pc : int64) : bool =
 let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
   let fetch_pc = Redirect.resolve s.redirect pc in
   let fetch addr = Aspace.fetch_u8 s.mem addr in
+  let checks =
+    if s.opts.verify_jit then
+      Some
+        (Verify.pipeline_checks ~shadow:s.tool.shadow_ranges
+           ~on_check:(fun _ -> s.verify_checks <- s.verify_checks + 1)
+           ())
+    else None
+  in
   let t =
-    Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ~fetch
+    Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ?checks ~fetch
       ~instrument:(instrument_fn s) fetch_pc
   in
   let t = { t with t_guest_addr = pc; t_smc_check = wants_smc_check s fetch_pc } in
@@ -676,6 +694,7 @@ type stats = {
   st_total_cycles : int64;
   st_translations : int;
   st_retranslations_smc : int;
+  st_verify_checks : int;  (** phase-boundary verifications run *)
   st_dispatch_hits : int64;
   st_dispatch_misses : int64;
   st_dispatch_hit_rate : float;
@@ -700,6 +719,7 @@ let stats (s : t) : stats =
     st_total_cycles = total_cycles s;
     st_translations = s.translations_made;
     st_retranslations_smc = s.retranslations_smc;
+    st_verify_checks = s.verify_checks;
     st_dispatch_hits = s.dispatch.hits;
     st_dispatch_misses = s.dispatch.misses;
     st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;

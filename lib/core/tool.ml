@@ -61,6 +61,11 @@ type instance = {
 type t = {
   name : string;
   description : string;
+  shadow_ranges : (int * int) list;
+      (** guest-state [(offset, size)] ranges this tool uses for shadow
+          state (§3.4).  The phase-3 verifier lints every instrumented
+          block against this declaration: a PUT at or above
+          [Guest.Arch.shadow_offset] outside these ranges is flagged. *)
   create : caps -> instance;
 }
 
@@ -70,6 +75,7 @@ let nulgrind : t =
   {
     name = "nulgrind";
     description = "the null tool; adds no analysis code";
+    shadow_ranges = [];
     create =
       (fun _caps ->
         {

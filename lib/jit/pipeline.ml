@@ -17,6 +17,31 @@
 
 type instrument = Vex_ir.Ir.block -> Vex_ir.Ir.block
 
+(** Optional phase-boundary verification hooks (VEX's [sanityCheckIRSB],
+    generalised to every representation).  The pipeline itself always
+    runs the cheap flatness/typing checks; a [checks] record — normally
+    built by [Verify.pipeline_checks] — adds the heavyweight verifiers:
+    SSA and def-before-use discipline, effect-skeleton preservation,
+    vcode and regalloc dataflow checks, and the assemble→decode
+    round-trip.  Hooks signal problems by raising; the pipeline calls
+    them at the boundary named by the field and does not catch. *)
+type checks = {
+  ck_tree : Vex_ir.Ir.block -> unit;  (** after phase 1 (disassembly) *)
+  ck_flat : Vex_ir.Ir.block -> unit;  (** after phase 2 (opt1) *)
+  ck_instrumented : pre:Vex_ir.Ir.block -> post:Vex_ir.Ir.block -> unit;
+      (** after phase 3; [pre] is the uninstrumented block *)
+  ck_opt2 : pre:Vex_ir.Ir.block -> post:Vex_ir.Ir.block -> unit;
+      (** after phase 4 *)
+  ck_treebuilt : pre:Vex_ir.Ir.block -> post:Vex_ir.Ir.block -> unit;
+      (** after phase 5 *)
+  ck_vcode :
+    Isel.vinsn list -> n_int:int -> n_vec:int -> n_label:int -> unit;
+      (** after phase 6 *)
+  ck_hcode : Host.Arch.insn list -> unit;  (** after phase 7 *)
+  ck_bytes : hcode:Host.Arch.insn list -> bytes:Bytes.t -> unit;
+      (** after phase 8 *)
+}
+
 (** A finished translation. *)
 type translation = {
   t_guest_addr : int64;  (** guest address this was translated from *)
@@ -30,6 +55,11 @@ type translation = {
   t_ir_stmts_pre : int;  (** flat statements before instrumentation *)
   t_ir_stmts_post : int;  (** after instrumentation + opt2 *)
   t_exits : chain_slot array;  (** chainable (constant-target) exit sites *)
+  t_exit_index : chain_slot option array;
+      (** [t_exits] indexed by [cs_index]: entry [i] is the chain slot
+          whose exit instruction is [t_decoded.(i)], if any.  Shares the
+          slot records with [t_exits], so patching through either view is
+          seen by both. *)
 }
 
 (** A chainable exit site: a host exit instruction whose guest target is
@@ -76,9 +106,22 @@ let chain_slots_of (code : Host.Arch.insn array) : chain_slot array =
     code;
   Array.of_list (List.rev !slots)
 
-(** The chain slot whose exit instruction sits at [idx] in [t_decoded]
-    (the index {!Host.Interp.run} reports), if that exit is chainable. *)
-let find_chain_slot (t : translation) (idx : int) : chain_slot option =
+(** Dense index of [slots] keyed by [cs_index], for O(1) lookup from the
+    instruction index the executor reports. *)
+let exit_index_of (decoded : Host.Arch.insn array) (slots : chain_slot array)
+    : chain_slot option array =
+  let n =
+    Array.fold_left
+      (fun n s -> max n (s.cs_index + 1))
+      (Array.length decoded) slots
+  in
+  let index = Array.make n None in
+  Array.iter (fun s -> index.(s.cs_index) <- Some s) slots;
+  index
+
+(** Reference O(n) lookup over [t_exits]; kept as the specification the
+    indexed {!find_chain_slot} is tested against. *)
+let find_chain_slot_scan (t : translation) (idx : int) : chain_slot option =
   let n = Array.length t.t_exits in
   let rec go i =
     if i >= n then None
@@ -86,6 +129,13 @@ let find_chain_slot (t : translation) (idx : int) : chain_slot option =
     else go (i + 1)
   in
   go 0
+
+(** The chain slot whose exit instruction sits at [idx] in [t_decoded]
+    (the index {!Host.Interp.run} reports), if that exit is chainable.
+    O(1): a direct lookup in [t_exit_index]. *)
+let find_chain_slot (t : translation) (idx : int) : chain_slot option =
+  if idx < 0 || idx >= Array.length t.t_exit_index then None
+  else t.t_exit_index.(idx)
 
 (* FNV-1a over the guest bytes a translation was made from.  Unfetchable
    bytes (a block ending in undecodable unmapped memory) hash as zero. *)
@@ -125,45 +175,63 @@ type phases = {
   p_opt2 : Vex_ir.Ir.block;  (** after phase 4 *)
   p_treebuilt : Vex_ir.Ir.block;  (** after phase 5 *)
   p_vcode : Isel.vinsn list;  (** after phase 6 *)
+  p_n_int : int;  (** int vreg count declared by isel *)
+  p_n_vec : int;  (** vec vreg count declared by isel *)
+  p_n_label : int;  (** label count declared by isel *)
   p_hcode : Host.Arch.insn list;  (** after phase 7 *)
   p_bytes : Bytes.t;  (** after phase 8 *)
 }
 
 (** Run all eight phases, returning every intermediate result.
-    [unroll] controls phase 2's self-loop unrolling. *)
-let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
-    ~(instrument : instrument) (guest_addr : int64) : phases * translation =
+    [unroll] controls phase 2's self-loop unrolling; [checks] supplies
+    the optional per-boundary verifiers. *)
+let translate_phases ?(unroll = true) ?(checks : checks option)
+    ~(fetch : int64 -> int) ~(instrument : instrument) (guest_addr : int64) :
+    phases * translation =
+  let ck f = match checks with None -> () | Some c -> f c in
   (* 1: disassembly *)
   let tree, stats = Disasm.superblock ~fetch guest_addr in
+  ck (fun c -> c.ck_tree tree);
   (* 2: optimisation 1 *)
   let flat = Opt.opt1 ~unroll tree in
   let pre_stmts = Support.Vec.length flat.stmts in
   (try Vex_ir.Typecheck.check_flat flat
    with Vex_ir.Typecheck.Ill_typed m ->
      raise (Translation_failure ("phase 2 output ill-typed: " ^ m)));
+  ck (fun c -> c.ck_flat flat);
   (* 3: instrumentation (tool) *)
   let instrumented = instrument (Vex_ir.Ir.copy_block flat) in
   (try Vex_ir.Typecheck.check_flat instrumented
    with Vex_ir.Typecheck.Ill_typed m ->
      raise (Translation_failure ("instrumented IR ill-typed: " ^ m)));
+  ck (fun c -> c.ck_instrumented ~pre:flat ~post:instrumented);
   (* 4: optimisation 2 *)
   let opt2 = Opt.opt2 instrumented in
   let post_stmts = Support.Vec.length opt2.stmts in
+  (try Vex_ir.Typecheck.check_flat opt2
+   with Vex_ir.Typecheck.Ill_typed m ->
+     raise (Translation_failure ("phase 4 output ill-typed: " ^ m)));
+  ck (fun c -> c.ck_opt2 ~pre:instrumented ~post:opt2);
   (* 5: tree building *)
   let treebuilt = Treebuild.build opt2 in
+  ck (fun c -> c.ck_treebuilt ~pre:opt2 ~post:treebuilt);
   (* 6: instruction selection *)
   let vcode, n_int, n_vec, n_label =
     try Isel.select treebuilt
     with Isel.Unrepresentable m ->
       raise (Translation_failure ("instruction selection failed: " ^ m))
   in
+  ck (fun c -> c.ck_vcode vcode ~n_int ~n_vec ~n_label);
   (* 7: register allocation *)
   let next_label = ref n_label in
   let hcode = Regalloc.run vcode ~n_int ~n_vec ~next_label in
+  ck (fun c -> c.ck_hcode hcode);
   (* 8: assembly *)
   let bytes = Host.Encode.assemble hcode in
+  ck (fun c -> c.ck_bytes ~hcode ~bytes);
   let ranges = imark_ranges tree in
   let decoded = Host.Encode.decode bytes in
+  let exits = chain_slots_of decoded in
   let t =
     {
       t_guest_addr = guest_addr;
@@ -176,7 +244,8 @@ let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
       t_code_hash = hash_guest_bytes fetch ranges;
       t_ir_stmts_pre = pre_stmts;
       t_ir_stmts_post = post_stmts;
-      t_exits = chain_slots_of decoded;
+      t_exits = exits;
+      t_exit_index = exit_index_of decoded exits;
     }
   in
   ( {
@@ -186,14 +255,18 @@ let translate_phases ?(unroll = true) ~(fetch : int64 -> int)
       p_opt2 = opt2;
       p_treebuilt = treebuilt;
       p_vcode = vcode;
+      p_n_int = n_int;
+      p_n_vec = n_vec;
+      p_n_label = n_label;
       p_hcode = hcode;
       p_bytes = bytes;
     },
     t )
 
 (** Run all eight phases, returning just the translation. *)
-let translate ?(unroll = true) ~fetch ~instrument guest_addr : translation =
-  snd (translate_phases ~unroll ~fetch ~instrument guest_addr)
+let translate ?(unroll = true) ?checks ~fetch ~instrument guest_addr :
+    translation =
+  snd (translate_phases ~unroll ?checks ~fetch ~instrument guest_addr)
 
 (** The identity instrumentation (what Nulgrind passes). *)
 let no_instrument : instrument = Fun.id

@@ -294,6 +294,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "annelid";
     description = "a bounds checker (pointer segments, Annelid-style)";
+    shadow_ranges = [ (GA.shadow_offset, GA.guest_state_used) ];
     create =
       (fun caps ->
         let dummy =

@@ -46,6 +46,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "cachegrind";
     description = "a cache profiler (I1/D1/L2 simulation)";
+    shadow_ranges = [];
     create =
       (fun caps ->
         let st =

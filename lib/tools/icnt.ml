@@ -19,6 +19,7 @@ let icnt_inline : Vg_core.Tool.t =
   {
     name = "icnti";
     description = "instruction counter (inline code)";
+    shadow_ranges = [];
     create =
       (fun caps ->
         Aspace.map caps.mem ~addr:counter_addr ~len:4096 ~perm:Aspace.perm_rw;
@@ -59,6 +60,7 @@ let icnt_call : Vg_core.Tool.t =
   {
     name = "icntc";
     description = "instruction counter (C call)";
+    shadow_ranges = [];
     create =
       (fun caps ->
         let counter = ref 0L in

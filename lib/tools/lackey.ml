@@ -27,6 +27,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "lackey";
     description = "an example memory-access tracer";
+    shadow_ranges = [];
     create =
       (fun caps ->
         let st =

@@ -54,6 +54,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "massif";
     description = "a heap profiler";
+    shadow_ranges = [];
     create =
       (fun caps ->
         let st =

@@ -1061,6 +1061,9 @@ let make_tool ~(track_origins : bool) : Vg_core.Tool.t =
       (if track_origins then
          "a memory error detector (with --track-origins)"
        else "a memory error detector (definedness + addressability)");
+    shadow_ranges =
+      ((GA.shadow_offset, GA.guest_state_used)
+      :: (if track_origins then [ (origin_of 0, GA.guest_state_used) ] else []));
     create =
       (fun caps ->
         let dummy =

@@ -265,6 +265,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "redux";
     description = "a dynamic dataflow tracer (provenance DAG, Redux-style)";
+    shadow_ranges = [ (GA.shadow_offset, GA.guest_state_used) ];
     create =
       (fun caps ->
         let dummy =

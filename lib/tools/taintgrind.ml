@@ -300,6 +300,7 @@ let tool : Vg_core.Tool.t =
   {
     name = "taintgrind";
     description = "a TaintCheck-style taint tracker";
+    shadow_ranges = [ (GA.shadow_offset, GA.guest_state_used) ];
     create =
       (fun caps ->
         let dummy =

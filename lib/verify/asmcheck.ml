@@ -1,0 +1,79 @@
+(** Phase-8 boundary: the assembled bytes must decode back to the
+    register-allocated listing.
+
+    The encoding is narrowing in known ways (labels become instruction
+    indices, ALU immediates and displacements travel as 32 bits and are
+    sign-extended at decode, exit targets as unsigned 32 bits), so the
+    check first {e normalises} the listing through those lawful
+    narrowings and then requires [decode (assemble hcode)] to match it
+    instruction for instruction.  Any other difference — a corrupted
+    byte, an emitter bug, a register field that silently overflowed its
+    4-bit slot — is a verification failure. *)
+
+module H = Host.Arch
+open Support
+
+let phase = "phase 8 (assemble)"
+
+(* label -> index of the following real instruction (matches how decode
+   rewrites branch byte-offsets: a label's byte offset is the offset of
+   the next encoded instruction) *)
+let label_indices (hcode : H.insn list) : (int, int) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let idx = ref 0 in
+  List.iter
+    (fun i ->
+      match i with
+      | H.Label l -> Hashtbl.replace tbl l !idx
+      | _ -> incr idx)
+    hcode;
+  tbl
+
+(** The instruction array [decode (assemble hcode)] must produce. *)
+let expected (hcode : H.insn list) : H.insn array =
+  let labels = label_indices hcode in
+  let target pos l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> Verr.fail phase "insn %d: undefined label L%d" pos l
+  in
+  let norm_imm imm = Bits.sext32 (Bits.trunc32 imm) in
+  let norm_disp disp = Int64.to_int (Bits.sext32 (Int64.of_int disp)) in
+  let norm_dest dest = Int64.logand dest 0xFFFF_FFFFL in
+  hcode
+  |> List.filter (function H.Label _ -> false | _ -> true)
+  |> List.mapi (fun pos i ->
+         match i with
+         | H.Alui (w, op, d, s1, imm) -> H.Alui (w, op, d, s1, norm_imm imm)
+         | H.Ld (sz, sx, d, b, disp) -> H.Ld (sz, sx, d, b, norm_disp disp)
+         | H.St (sz, s, b, disp) -> H.St (sz, s, b, norm_disp disp)
+         | H.Vld (d, b, disp) -> H.Vld (d, b, norm_disp disp)
+         | H.Vst (s, b, disp) -> H.Vst (s, b, norm_disp disp)
+         | H.Jz (c, l) -> H.Jz (c, target pos l)
+         | H.Jnz (c, l) -> H.Jnz (c, target pos l)
+         | H.Jmp l -> H.Jmp (target pos l)
+         | H.ExitIf (c, ek, dest) -> H.ExitIf (c, ek, norm_dest dest)
+         | H.GotoI (ek, dest) -> H.GotoI (ek, norm_dest dest)
+         | H.Call (id, nargs, cost) ->
+             H.Call (id land 0xFFFF, nargs land 0xFF, cost land 0xFFFF)
+         | i -> i)
+  |> Array.of_list
+
+(** Check [bytes] against the listing it was assembled from. *)
+let check ~(hcode : H.insn list) ~(bytes : Bytes.t) : unit =
+  let want = expected hcode in
+  let got =
+    try Host.Encode.decode bytes
+    with Host.Encode.Decode_error off ->
+      Verr.fail phase "assembled bytes fail to decode at offset %d" off
+  in
+  if Array.length got <> Array.length want then
+    Verr.fail phase "decoded %d instructions, assembled %d"
+      (Array.length got) (Array.length want);
+  Array.iteri
+    (fun i g ->
+      if g <> want.(i) then
+        Verr.fail phase
+          "round-trip mismatch at insn %d: assembled %a, decoded %a" i
+          H.pp_insn want.(i) H.pp_insn g)
+    got

@@ -1,0 +1,92 @@
+(** Vglint: static verification of every JIT phase boundary.
+
+    The paper's Valgrind sanity-checks IR between phases with
+    [sanityCheckIRSB]; this library extends the idea to all eight phases
+    of our pipeline plus a tool-instrumentation linter, packaged as a
+    {!Jit.Pipeline.checks} record that {!Jit.Pipeline.translate} calls at
+    each boundary:
+
+    - phase 1 (disasm): tree-IR well-formedness ({!Ircheck.check_tree});
+    - phase 2 (opt1): flatness + single assignment
+      ({!Ircheck.check_flat_ssa});
+    - phase 3 (instrument): flat SSA again, plus the {!Lint} rules over
+      the tool's declared shadow ranges;
+    - phase 4 (opt2): effect-skeleton subsequence ({!Ircheck.check_opt2});
+    - phase 5 (treebuild): effect-skeleton equality
+      ({!Ircheck.check_treebuild});
+    - phase 6 (isel): vreg/operand/label sanity ({!Vcheck.check});
+    - phase 7 (regalloc): host-register dataflow, spill-slot discipline
+      and encodability ({!Hcheck.check});
+    - phase 8 (assemble): decode round-trip equality ({!Asmcheck.check}).
+
+    All checkers raise {!Verr.Error} on failure. *)
+
+(** Build the per-boundary check record for one translation.
+
+    [shadow] is the tool's declared shadow-state ranges (absolute
+    ThreadState offsets), used by the phase-3 lints.  [on_check] is
+    called with a short phase tag before each boundary check runs (for
+    counters).  By default a lint violation raises {!Verr.Error} like any
+    other check; pass [on_lint] to collect violations instead. *)
+let pipeline_checks ?(shadow : (int * int) list = [])
+    ?(on_check : string -> unit = fun _ -> ())
+    ?(on_lint : (Lint.violation list -> unit) option) () :
+    Jit.Pipeline.checks =
+  {
+    ck_tree =
+      (fun b ->
+        on_check "tree";
+        Ircheck.check_tree ~phase:"phase 1 (disasm)" b);
+    ck_flat =
+      (fun b ->
+        on_check "flat";
+        Ircheck.check_flat_ssa ~phase:"phase 2 (opt1)" b);
+    ck_instrumented =
+      (fun ~pre ~post ->
+        on_check "instrument";
+        Ircheck.check_flat_ssa ~phase:"phase 3 (instrument)" post;
+        let violations = Lint.check ~shadow ~pre ~post in
+        match on_lint with
+        | Some f -> f violations
+        | None -> (
+            match violations with
+            | [] -> ()
+            | v :: _ ->
+                Verr.fail "phase 3 (instrument)" "[%s] %s" v.Lint.v_rule
+                  v.Lint.v_msg));
+    ck_opt2 =
+      (fun ~pre ~post ->
+        on_check "opt2";
+        Ircheck.check_opt2 ~pre ~post);
+    ck_treebuilt =
+      (fun ~pre ~post ->
+        on_check "treebuild";
+        Ircheck.check_treebuild ~pre ~post);
+    ck_vcode =
+      (fun code ~n_int ~n_vec ~n_label ->
+        on_check "isel";
+        Vcheck.check code ~n_int ~n_vec ~n_label);
+    ck_hcode =
+      (fun code ->
+        on_check "regalloc";
+        Hcheck.check code);
+    ck_bytes =
+      (fun ~hcode ~bytes ->
+        on_check "assemble";
+        Asmcheck.check ~hcode ~bytes);
+  }
+
+(** Run every boundary check over a completed {!Jit.Pipeline.phases}
+    record, in phase order.  Used by the mutation harness and tests to
+    verify intermediate results after the fact (or after tampering). *)
+let check_all ?shadow ?on_check ?on_lint (p : Jit.Pipeline.phases) : unit =
+  let c = pipeline_checks ?shadow ?on_check ?on_lint () in
+  c.ck_tree p.p_tree;
+  c.ck_flat p.p_flat;
+  c.ck_instrumented ~pre:p.p_flat ~post:p.p_instrumented;
+  c.ck_opt2 ~pre:p.p_instrumented ~post:p.p_opt2;
+  c.ck_treebuilt ~pre:p.p_opt2 ~post:p.p_treebuilt;
+  c.ck_vcode p.p_vcode ~n_int:p.p_n_int ~n_vec:p.p_n_vec
+    ~n_label:p.p_n_label;
+  c.ck_hcode p.p_hcode;
+  c.ck_bytes ~hcode:p.p_hcode ~bytes:p.p_bytes

@@ -1,0 +1,383 @@
+(** Phase-7 boundary: sanity of register-allocated host code.
+
+    After allocation every register field must be a real VH64 register
+    (4-bit encodable), and a forward dataflow over the listing proves:
+
+    - no instruction reads an integer or vector host register that no
+      earlier instruction (on every path) has written — at entry only the
+      GSP holds a defined value;
+    - the GSP itself is never written;
+    - spill-slot discipline: loads from the per-thread spill zone only
+      read slots a store has filled on every path, accesses are
+      width-natural (8-byte int / 16-byte vec) and slot-aligned, and
+      GSP-relative addressing stays inside the ThreadState;
+    - label integrity: labels defined exactly once, branches target
+      defined labels and only branch forward (superblock invariant);
+    - helper calls respect the ABI: argument registers defined at the
+      call, caller-saved registers treated as clobbered after it;
+    - immediates and displacements survive the 32-bit encodings, and
+      control cannot fall off the end of the listing.
+
+    Branch joins meet states by intersection ("defined only if defined on
+    every incoming path"), which is exact for the forward-branching code
+    the JIT emits. *)
+
+module H = Host.Arch
+
+let phase = "phase 7 (regalloc)"
+
+type state = {
+  idef : bool array;  (** integer register holds a defined value *)
+  vdef : bool array;
+  istored : bool array;  (** int spill slot has been filled *)
+  vstored : bool array;
+}
+
+let entry_state () =
+  let idef = Array.make H.n_hregs false in
+  idef.(H.gsp) <- true;
+  {
+    idef;
+    vdef = Array.make H.n_hvregs false;
+    istored = Array.make H.spill_slots_int false;
+    vstored = Array.make H.spill_slots_vec false;
+  }
+
+(* top: the state for code only reachable by branches we have not seen
+   (i.e. not reachable at all in a forward-branch listing) *)
+let top_state () =
+  {
+    idef = Array.make H.n_hregs true;
+    vdef = Array.make H.n_hvregs true;
+    istored = Array.make H.spill_slots_int true;
+    vstored = Array.make H.spill_slots_vec true;
+  }
+
+let copy_state s =
+  {
+    idef = Array.copy s.idef;
+    vdef = Array.copy s.vdef;
+    istored = Array.copy s.istored;
+    vstored = Array.copy s.vstored;
+  }
+
+let meet_into (dst : state) (src : state) =
+  let andwise d s = Array.iteri (fun i v -> d.(i) <- d.(i) && v) s in
+  andwise dst.idef src.idef;
+  andwise dst.vdef src.vdef;
+  andwise dst.istored src.istored;
+  andwise dst.vstored src.vstored
+
+(* register fields referenced by an insn, for the 4-bit encodability
+   check: (int fields, vec fields) *)
+let reg_fields : H.insn -> int list * int list = function
+  | H.Movi (d, _) -> ([ d ], [])
+  | H.Mov (d, s) -> ([ d; s ], [])
+  | H.Alu (_, _, d, s1, s2) -> ([ d; s1; s2 ], [])
+  | H.Alui (_, _, d, s1, _) -> ([ d; s1 ], [])
+  | H.Ld (_, _, d, b, _) -> ([ d; b ], [])
+  | H.St (_, s, b, _) -> ([ s; b ], [])
+  | H.Cmov (d, c, s) -> ([ d; c; s ], [])
+  | H.Falu (_, d, s1, s2) -> ([ d; s1; s2 ], [])
+  | H.Fun1 (_, d, s) -> ([ d; s ], [])
+  | H.Vld (d, b, _) -> ([ b ], [ d ])
+  | H.Vst (s, b, _) -> ([ b ], [ s ])
+  | H.Vmov (d, s) -> ([], [ d; s ])
+  | H.Valu (_, d, s1, s2) -> ([], [ d; s1; s2 ])
+  | H.Vnot (d, s) -> ([], [ d; s ])
+  | H.Vsplat32 (d, s) -> ([ s ], [ d ])
+  | H.Vpack (d, hi, lo) -> ([ hi; lo ], [ d ])
+  | H.Vunpack (d, s, _) -> ([ d ], [ s ])
+  | H.Call _ -> ([], [])
+  | H.Jz (c, _) | H.Jnz (c, _) -> ([ c ], [])
+  | H.Jmp _ | H.Label _ -> ([], [])
+  | H.ExitIf (c, _, _) -> ([ c ], [])
+  | H.Goto (_, s) -> ([ s ], [])
+  | H.GotoI _ -> ([], [])
+
+let fits_u32 (v : int64) = Int64.logand v 0xFFFF_FFFFL = v
+
+let fits_disp (disp : int) =
+  disp >= Int32.to_int Int32.min_int && disp <= Int32.to_int Int32.max_int
+
+let pp = H.pp_insn
+
+(** Check a register-allocated listing. *)
+let check (code : H.insn list) : unit =
+  let code = Array.of_list code in
+  let n = Array.length code in
+  (* pass 1: label positions *)
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun pos i ->
+      match i with
+      | H.Label l ->
+          if Hashtbl.mem label_pos l then
+            Verr.fail phase "insn %d: label L%d defined twice" pos l;
+          Hashtbl.replace label_pos l pos
+      | _ -> ())
+    code;
+  let check_target pos l =
+    match Hashtbl.find_opt label_pos l with
+    | None -> Verr.fail phase "insn %d: branch to undefined label L%d" pos l
+    | Some p when p <= pos ->
+        Verr.fail phase
+          "insn %d: backward branch to L%d (superblocks branch forward only)"
+          pos l
+    | Some _ -> ()
+  in
+  (* snapshots of branch states per label *)
+  let incoming : (int, state) Hashtbl.t = Hashtbl.create 16 in
+  let record_jump l st =
+    match Hashtbl.find_opt incoming l with
+    | None -> Hashtbl.replace incoming l (copy_state st)
+    | Some acc -> meet_into acc st
+  in
+  let st = ref (entry_state ()) in
+  let reachable = ref true in
+  let read_i pos r =
+    if not (!st).idef.(r) then
+      Verr.fail phase
+        "insn %d: read of unassigned host register %%h%d (%a)" pos r pp
+        code.(pos)
+  in
+  let read_v pos v =
+    if not (!st).vdef.(v) then
+      Verr.fail phase
+        "insn %d: read of unassigned vector register %%hv%d (%a)" pos v pp
+        code.(pos)
+  in
+  let write_i pos r =
+    if r = H.gsp then
+      Verr.fail phase "insn %d: write to the reserved GSP %%h%d (%a)" pos r pp
+        code.(pos);
+    (!st).idef.(r) <- true
+  in
+  let write_v _pos v = (!st).vdef.(v) <- true in
+  (* classify a GSP-relative displacement *)
+  let in_int_spill disp =
+    disp >= H.spill_base_int && disp < H.spill_base_vec
+  in
+  let in_vec_spill disp =
+    disp >= H.spill_base_vec && disp < H.threadstate_size
+  in
+  let int_slot pos disp =
+    if (disp - H.spill_base_int) mod 8 <> 0 then
+      Verr.fail phase "insn %d: misaligned int spill access at %d" pos disp;
+    (disp - H.spill_base_int) / 8
+  in
+  let vec_slot pos disp =
+    if (disp - H.spill_base_vec) mod 16 <> 0 then
+      Verr.fail phase "insn %d: misaligned vec spill access at %d" pos disp;
+    (disp - H.spill_base_vec) / 16
+  in
+  let check_gsp_range pos disp sz =
+    if disp < 0 || disp + sz > H.threadstate_size then
+      Verr.fail phase
+        "insn %d: GSP-relative access [%d,%d) outside the ThreadState (%a)"
+        pos disp (disp + sz) pp code.(pos)
+  in
+  for pos = 0 to n - 1 do
+    let i = code.(pos) in
+    (* 4-bit register-field encodability *)
+    let irs, vrs = reg_fields i in
+    List.iter
+      (fun r ->
+        if r < 0 || r >= H.n_hregs then
+          Verr.fail phase
+            "insn %d: integer register field %d not encodable (%a)" pos r pp i)
+      irs;
+    List.iter
+      (fun v ->
+        if v < 0 || v >= H.n_hvregs then
+          Verr.fail phase
+            "insn %d: vector register field %d not encodable (%a)" pos v pp i)
+      vrs;
+    (match i with
+    | H.Label l ->
+        (* join point: meet branch states with fall-through *)
+        let joined =
+          match (Hashtbl.find_opt incoming l, !reachable) with
+          | Some acc, true ->
+              meet_into acc !st;
+              acc
+          | Some acc, false -> acc
+          | None, true -> !st
+          | None, false -> top_state ()
+        in
+        st := joined;
+        reachable := true
+    | _ when not !reachable ->
+        (* skip unreachable straight-line code (does not occur in
+           JIT output, but keep the checker total) *)
+        ()
+    | H.Movi (d, _) -> write_i pos d
+    | H.Mov (d, s) ->
+        read_i pos s;
+        write_i pos d
+    | H.Alu (_, _, d, s1, s2) ->
+        read_i pos s1;
+        read_i pos s2;
+        write_i pos d
+    | H.Alui (w, _, d, s1, imm) ->
+        let ok =
+          match w with
+          | H.W32 -> Int64.unsigned_compare imm 0xFFFF_FFFFL <= 0
+          | H.W64 -> Support.Bits.sext32 imm = imm
+        in
+        if not ok then
+          Verr.fail phase "insn %d: immediate 0x%LX not encodable (%a)" pos
+            imm pp i;
+        read_i pos s1;
+        write_i pos d
+    | H.Ld (sz, _, d, b, disp) ->
+        if not (List.mem sz [ 1; 2; 4; 8 ]) then
+          Verr.fail phase "insn %d: bad load size %d" pos sz;
+        if not (fits_disp disp) then
+          Verr.fail phase "insn %d: displacement %d not encodable" pos disp;
+        if b = H.gsp then begin
+          check_gsp_range pos disp sz;
+          if in_vec_spill disp then
+            Verr.fail phase
+              "insn %d: integer load from the vector spill zone (%a)" pos pp i;
+          if in_int_spill disp then begin
+            if sz <> 8 then
+              Verr.fail phase "insn %d: %d-byte access to an int spill slot"
+                pos sz;
+            let slot = int_slot pos disp in
+            if not (!st).istored.(slot) then
+              Verr.fail phase
+                "insn %d: load from int spill slot %d before any store (%a)"
+                pos slot pp i
+          end
+        end
+        else read_i pos b;
+        write_i pos d
+    | H.St (sz, s, b, disp) ->
+        if not (List.mem sz [ 1; 2; 4; 8 ]) then
+          Verr.fail phase "insn %d: bad store size %d" pos sz;
+        if not (fits_disp disp) then
+          Verr.fail phase "insn %d: displacement %d not encodable" pos disp;
+        read_i pos s;
+        if b = H.gsp then begin
+          check_gsp_range pos disp sz;
+          if in_vec_spill disp then
+            Verr.fail phase
+              "insn %d: integer store into the vector spill zone (%a)" pos pp
+              i;
+          if in_int_spill disp then begin
+            if sz <> 8 then
+              Verr.fail phase "insn %d: %d-byte access to an int spill slot"
+                pos sz;
+            (!st).istored.(int_slot pos disp) <- true
+          end
+        end
+        else read_i pos b
+    | H.Cmov (d, c, s) ->
+        read_i pos c;
+        read_i pos s;
+        read_i pos d;
+        (* conditional: d keeps its old value when c = 0 *)
+        write_i pos d
+    | H.Falu (_, d, s1, s2) ->
+        read_i pos s1;
+        read_i pos s2;
+        write_i pos d
+    | H.Fun1 (_, d, s) ->
+        read_i pos s;
+        write_i pos d
+    | H.Vld (d, b, disp) ->
+        if not (fits_disp disp) then
+          Verr.fail phase "insn %d: displacement %d not encodable" pos disp;
+        if b = H.gsp then begin
+          check_gsp_range pos disp 16;
+          if in_int_spill disp then
+            Verr.fail phase
+              "insn %d: vector load from the int spill zone (%a)" pos pp i;
+          if in_vec_spill disp then begin
+            let slot = vec_slot pos disp in
+            if not (!st).vstored.(slot) then
+              Verr.fail phase
+                "insn %d: load from vec spill slot %d before any store" pos
+                slot
+          end
+        end
+        else read_i pos b;
+        write_v pos d
+    | H.Vst (s, b, disp) ->
+        if not (fits_disp disp) then
+          Verr.fail phase "insn %d: displacement %d not encodable" pos disp;
+        read_v pos s;
+        if b = H.gsp then begin
+          check_gsp_range pos disp 16;
+          if in_int_spill disp then
+            Verr.fail phase
+              "insn %d: vector store into the int spill zone (%a)" pos pp i;
+          if in_vec_spill disp then (!st).vstored.(vec_slot pos disp) <- true
+        end
+        else read_i pos b
+    | H.Vmov (d, s) ->
+        read_v pos s;
+        write_v pos d
+    | H.Valu (_, d, s1, s2) ->
+        read_v pos s1;
+        read_v pos s2;
+        write_v pos d
+    | H.Vnot (d, s) ->
+        read_v pos s;
+        write_v pos d
+    | H.Vsplat32 (d, s) ->
+        read_i pos s;
+        write_v pos d
+    | H.Vpack (d, hi, lo) ->
+        read_i pos hi;
+        read_i pos lo;
+        write_v pos d
+    | H.Vunpack (d, s, half) ->
+        if half <> 0 && half <> 1 then
+          Verr.fail phase "insn %d: vunpack half %d not 0/1" pos half;
+        read_v pos s;
+        write_i pos d
+    | H.Call (id, nargs, cost) ->
+        if id < 0 || id > 0xFFFF then
+          Verr.fail phase "insn %d: helper id %d not encodable" pos id;
+        if nargs < 0 || nargs > List.length H.arg_regs then
+          Verr.fail phase "insn %d: call with %d arguments exceeds the ABI"
+            pos nargs;
+        if cost < 0 || cost > 0xFFFF then
+          Verr.fail phase "insn %d: call cost %d not encodable" pos cost;
+        for a = 0 to nargs - 1 do
+          read_i pos a
+        done;
+        (* caller-saved registers are clobbered; the result lands in h0 *)
+        List.iter (fun r -> (!st).idef.(r) <- false) H.caller_saved_int;
+        List.iter (fun v -> (!st).vdef.(v) <- false) H.caller_saved_vec;
+        (!st).idef.(H.ret_reg) <- true
+    | H.Jz (c, l) | H.Jnz (c, l) ->
+        read_i pos c;
+        check_target pos l;
+        record_jump l !st
+    | H.Jmp l ->
+        check_target pos l;
+        record_jump l !st;
+        reachable := false
+    | H.ExitIf (c, ek, dest) ->
+        read_i pos c;
+        if ek < 0 || ek > 0xFF then
+          Verr.fail phase "insn %d: exit kind %d not encodable" pos ek;
+        if not (fits_u32 dest) then
+          Verr.fail phase "insn %d: exit target 0x%LX not encodable" pos dest
+    | H.Goto (ek, s) ->
+        read_i pos s;
+        if ek < 0 || ek > 0xFF then
+          Verr.fail phase "insn %d: exit kind %d not encodable" pos ek;
+        reachable := false
+    | H.GotoI (ek, dest) ->
+        if ek < 0 || ek > 0xFF then
+          Verr.fail phase "insn %d: exit kind %d not encodable" pos ek;
+        if not (fits_u32 dest) then
+          Verr.fail phase "insn %d: exit target 0x%LX not encodable" pos dest;
+        reachable := false)
+  done;
+  if !reachable then
+    Verr.fail phase "control can fall off the end of the translation"

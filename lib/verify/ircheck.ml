@@ -1,0 +1,154 @@
+(** IR-level phase-boundary verifiers (phases 1–5).
+
+    Valgrind runs [sanityCheckIRSB] between JIT phases; these checks are
+    the equivalent for our pipeline, built on {!Dataflow}:
+
+    - {!check_tree}: well-formedness of tree IR (typing, at most one
+      assignment per temporary, definition before use) — the output of
+      disassembly (phase 1) and of tree building (phase 5);
+    - {!check_flat_ssa}: the above plus the flatness invariant — the
+      output of opt1 (phase 2), instrumentation (phase 3) and opt2
+      (phase 4);
+    - {!check_opt2}: opt2 may only {e remove} effects, so its output's
+      effect skeleton (PUTs, stores, dirty calls, side exits, IMarks in
+      order) must be a subsequence of its input's;
+    - {!check_treebuild}: tree building reorders nothing and drops only
+      substituted [WrTmp]s, so the effect skeleton must survive
+      {e exactly} — this is the boundary that catches a dropped PUT. *)
+
+open Vex_ir.Ir
+module DF = Dataflow
+
+(* ---------------- single assignment + def-before-use ---------------- *)
+
+let check_ssa phase (b : block) : unit =
+  let n = Support.Vec.length b.tyenv in
+  let defined = Array.make n false in
+  let check_uses i s =
+    DF.ISet.iter
+      (fun t ->
+        if t < 0 || t >= n then
+          Verr.fail phase "stmt %d: use of out-of-range t%d" i t;
+        if not defined.(t) then
+          Verr.fail phase "stmt %d: t%d used before its definition (%a)" i t
+            Vex_ir.Pp.pp_stmt s)
+      (DF.stmt_uses s)
+  in
+  Support.Vec.iteri
+    (fun i s ->
+      check_uses i s;
+      List.iter
+        (fun t ->
+          if t < 0 || t >= n then
+            Verr.fail phase "stmt %d: assignment to out-of-range t%d" i t;
+          if defined.(t) then
+            Verr.fail phase
+              "stmt %d: t%d assigned more than once (violates SSA)" i t;
+          defined.(t) <- true)
+        (DF.stmt_defs s))
+    b.stmts;
+  DF.ISet.iter
+    (fun t ->
+      if t < 0 || t >= n || not defined.(t) then
+        Verr.fail phase "block next uses undefined t%d" t)
+    (DF.expr_uses b.next)
+
+let typecheck phase f b =
+  try f b
+  with Vex_ir.Typecheck.Ill_typed m -> Verr.fail phase "ill-typed: %s" m
+
+(** Tree-IR well-formedness: typing + SSA + def-before-use. *)
+let check_tree ~phase (b : block) : unit =
+  typecheck phase Vex_ir.Typecheck.check_block b;
+  check_ssa phase b
+
+(** Flat-IR well-formedness: typing + flatness + SSA + def-before-use. *)
+let check_flat_ssa ~phase (b : block) : unit =
+  typecheck phase Vex_ir.Typecheck.check_flat b;
+  check_ssa phase b
+
+(* ---------------------- effect skeletons ---------------------------- *)
+
+(** The observable-effect skeleton of a block: the sequence of
+    side-effecting statements with their identifying payloads.  Pure
+    [WrTmp]s are excluded (optimisation may remove or merge them). *)
+type effect_item =
+  | EPut of int * int  (** offset, size *)
+  | EStore
+  | EDirty of string  (** callee name *)
+  | EExit of jumpkind * int64
+  | EImark of int64 * int
+
+let pp_item ppf = function
+  | EPut (o, s) -> Fmt.pf ppf "PUT(%d,%d)" o s
+  | EStore -> Fmt.string ppf "STORE"
+  | EDirty n -> Fmt.pf ppf "DIRTY(%s)" n
+  | EExit (_, d) -> Fmt.pf ppf "EXIT(0x%LX)" d
+  | EImark (a, l) -> Fmt.pf ppf "IMARK(0x%LX,%d)" a l
+
+let skeleton (b : block) : effect_item list =
+  List.rev
+    (DF.forward ~init:[]
+       ~f:(fun acc _ s ->
+         match s with
+         | Put (off, e) -> EPut (off, size_of_ty (type_of b e)) :: acc
+         | Store _ -> EStore :: acc
+         | Dirty d -> EDirty d.d_callee.c_name :: acc
+         | Exit (_, jk, dest) -> EExit (jk, dest) :: acc
+         | IMark (a, l) -> EImark (a, l) :: acc
+         | _ -> acc)
+       b)
+
+let rec is_subsequence (xs : effect_item list) (ys : effect_item list) :
+    effect_item option =
+  match (xs, ys) with
+  | [], _ -> None
+  | x :: _, [] -> Some x
+  | x :: xs', y :: ys' ->
+      if x = y then is_subsequence xs' ys' else is_subsequence xs ys'
+
+(** Phase-4 boundary: opt2's output must be flat, SSA, well-typed, keep
+    the jump kind, and its effect skeleton must be a subsequence of its
+    input's (folding and dead-code removal only ever drop effects —
+    redundant PUTs, never-taken exits — they cannot invent or reorder
+    them). *)
+let check_opt2 ~pre ~post : unit =
+  let phase = "phase 4 (opt2)" in
+  check_flat_ssa ~phase post;
+  if post.jumpkind <> pre.jumpkind then
+    Verr.fail phase "jump kind changed across opt2";
+  match is_subsequence (skeleton post) (skeleton pre) with
+  | None -> ()
+  | Some item ->
+      Verr.fail phase
+        "effect %a in opt2 output is not a subsequence of its input \
+         (reordered or invented effect)"
+        pp_item item
+
+(** Phase-5 boundary: tree building must preserve the effect skeleton
+    exactly (it only substitutes single-use temp definitions into use
+    sites), and its output must be well-formed tree IR.  A PUT dropped or
+    reordered by tree building is caught here. *)
+let check_treebuild ~pre ~post : unit =
+  let phase = "phase 5 (treebuild)" in
+  check_tree ~phase post;
+  if post.jumpkind <> pre.jumpkind then
+    Verr.fail phase "jump kind changed across tree building";
+  (match (pre.next, post.next) with
+  | Const c1, Const c2 when c1 <> c2 ->
+      Verr.fail phase "constant block successor changed across tree building"
+  | _ -> ());
+  let sk_pre = skeleton pre and sk_post = skeleton post in
+  if sk_pre <> sk_post then
+    let rec first_diff i = function
+      | [], [] -> assert false
+      | x :: _, [] | [], x :: _ ->
+          Verr.fail phase "effect skeleton length changed at item %d: %a" i
+            pp_item x
+      | x :: xs, y :: ys ->
+          if x <> y then
+            Verr.fail phase "effect %d changed: %a became %a" i pp_item x
+              pp_item y
+          else first_diff (i + 1) (xs, ys)
+    in
+    first_diff 0 (sk_pre, sk_post)

@@ -1,0 +1,136 @@
+(** Tool-instrumentation lints (the static side of phase 3).
+
+    A tool's [instrument] receives flat IR and may only {e add} analysis
+    code around it: shadow-state PUTs inside the tool's declared shadow
+    ranges, helper calls, and client-memory loads/stores.  Given the
+    block before and after instrumentation and the tool's declared shadow
+    ranges, these lints flag phase-3 output that
+
+    - drops, reorders or invents {e architectural} guest-state PUTs
+      (offsets below [Guest.Arch.shadow_offset]) — rule [arch-puts];
+    - writes guest state at or above the shadow base outside the tool's
+      declared shadow ranges — rule [shadow-range];
+    - adds Dirty helper calls whose declared RdFX/WrFX guest-state
+      effects are malformed (empty or out of the ThreadState's guest
+      area) or clobber architectural state — rule [helper-fx];
+    - declares a memory effect ([Mfx_read]/[Mfx_write]) with a
+      non-positive size — rule [mfx].
+
+    The rules are exact for the instrumentation style all in-tree tools
+    use (statement insertion, never rewriting of architectural effects),
+    so a violation is a real tool bug, not noise. *)
+
+open Vex_ir.Ir
+module DF = Dataflow
+module GA = Guest.Arch
+
+type violation = { v_rule : string; v_msg : string }
+
+let v rule fmt = Fmt.kstr (fun m -> { v_rule = rule; v_msg = m }) fmt
+
+(* the architectural PUT skeleton: ordered (offset, size) of PUTs below
+   the shadow base *)
+let arch_puts (b : block) : (int * int) list =
+  DF.put_skeleton ~limit:GA.shadow_offset b
+
+let dirty_names (b : block) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  Support.Vec.iter
+    (fun s ->
+      match s with
+      | Dirty d -> Hashtbl.replace tbl d.d_callee.c_name ()
+      | _ -> ())
+    b.stmts;
+  tbl
+
+(** Lint one instrumentation step.  [shadow] is the tool's declared
+    shadow ranges ([(offset, size)], absolute ThreadState offsets).
+    Returns all violations found (empty = clean). *)
+let check ~(shadow : (int * int) list) ~(pre : block) ~(post : block) :
+    violation list =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  (* [arch-puts]: the instrumented block must preserve the architectural
+     PUT sequence exactly — tools insert, they do not rewrite *)
+  let pre_sk = arch_puts pre and post_sk = arch_puts post in
+  if pre_sk <> post_sk then begin
+    let rec diff i = function
+      | [], [] -> ()
+      | (o, s) :: _, [] ->
+          emit
+            (v "arch-puts"
+               "instrumentation dropped architectural PUT(%d,%d) (item %d)" o
+               s i)
+      | [], (o, s) :: _ ->
+          emit
+            (v "arch-puts"
+               "instrumentation added architectural PUT(%d,%d) (item %d)" o s
+               i)
+      | (o1, s1) :: xs, (o2, s2) :: ys ->
+          if (o1, s1) <> (o2, s2) then
+            emit
+              (v "arch-puts"
+                 "architectural PUT %d changed: (%d,%d) became (%d,%d)" i o1
+                 s1 o2 s2)
+          else diff (i + 1) (xs, ys)
+    in
+    diff 0 (pre_sk, post_sk)
+  end;
+  (* [shadow-range]: every PUT at/above the shadow base must fall inside
+     a declared shadow range *)
+  Support.Vec.iteri
+    (fun i s ->
+      match s with
+      | Put (off, e) when off >= GA.shadow_offset ->
+          let r = (off, size_of_ty (type_of post e)) in
+          if not (DF.covered_by r shadow) then
+            emit
+              (v "shadow-range"
+                 "stmt %d: PUT(%d,%d) outside the tool's declared shadow \
+                  ranges"
+                 i (fst r) (snd r))
+      | _ -> ())
+    post.stmts;
+  (* [helper-fx] / [mfx]: effect declarations on tool-added Dirty calls *)
+  let pre_dirty = dirty_names pre in
+  Support.Vec.iteri
+    (fun i s ->
+      match s with
+      | Dirty d ->
+          (match d.d_mfx with
+          | Mfx_read (_, n) | Mfx_write (_, n) ->
+              if n <= 0 then
+                emit
+                  (v "mfx"
+                     "stmt %d: Dirty %s declares a memory effect of size %d"
+                     i d.d_callee.c_name n)
+          | Mfx_none -> ());
+          if not (Hashtbl.mem pre_dirty d.d_callee.c_name) then begin
+            let check_range what allow_arch (o, sz) =
+              if sz <= 0 then
+                emit
+                  (v "helper-fx" "stmt %d: helper %s declares %s(%d,%d)" i
+                     d.d_callee.c_name what o sz)
+              else if o < 0 || o + sz > GA.state_size then
+                emit
+                  (v "helper-fx"
+                     "stmt %d: helper %s declares %s(%d,%d) outside the \
+                      guest state [0,%d)"
+                     i d.d_callee.c_name what o sz GA.state_size)
+              else if
+                (not allow_arch)
+                && o < GA.shadow_offset
+                && not (DF.covered_by (o, sz) shadow)
+              then
+                emit
+                  (v "helper-fx"
+                     "stmt %d: helper %s declares %s(%d,%d) clobbering \
+                      architectural guest state"
+                     i d.d_callee.c_name what o sz)
+            in
+            List.iter (check_range "RdFX" true) d.d_callee.c_fx_reads;
+            List.iter (check_range "WrFX" false) d.d_callee.c_fx_writes
+          end
+      | _ -> ())
+    post.stmts;
+  List.rev !out

@@ -1,0 +1,504 @@
+(** Mutation validation for the phase-boundary verifiers.
+
+    The only way to trust a verifier is to show it catching real bugs:
+    this harness compiles a small guest corpus through the full pipeline
+    under a representative shadow-state tool, then injects seeded
+    miscompile bugs into individual intermediate results — a dropped PUT,
+    a register-allocator assignment lost, a wrong shift width, a stale
+    branch label, a corrupted byte — and asserts that re-running the
+    checks reports each one {e at the earliest boundary that can see it}.
+    A mutation that slips through every check is a verifier hole; CI
+    fails on any such escape (see [bin/vglint.ml]). *)
+
+open Vex_ir.Ir
+module H = Host.Arch
+module GA = Guest.Arch
+module P = Jit.Pipeline
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: a guest program exercising shifts, flags, branches, memory  *)
+(* and a loop, instrumented by a mini shadow-state tool                *)
+(* ------------------------------------------------------------------ *)
+
+(* Register values at block entry are unknown to the JIT, so the shifts
+   below survive constant folding and reach the back end. *)
+let corpus_src =
+  {|
+_start: shl r0, 2
+        shr r1, r0
+        mov r3, r1
+        add r3, r0
+        cmp r3, 960
+        jne over
+        sub r3, 1
+over:   dec r2
+        cmp r2, 0
+        jne over
+        jmp done
+done:   jmp done
+|}
+
+(** The shadow ranges our mini-tool declares: the full per-register
+    shadow bank, like memcheck's V-bits. *)
+let shadow = [ (GA.shadow_offset, GA.guest_state_used) ]
+
+(* A representative tool instrumenter: per instruction it calls a helper
+   that declares an eip read (like an error-reporting helper) and writes
+   one shadow location.  Exercises the Dirty and shadow-PUT lint paths
+   the way the real tools do. *)
+let h_note =
+  lazy
+    (Vex_ir.Helpers.register
+       ~fx_reads:[ (GA.off_eip, 4) ]
+       ~name:"vglint_note" ~cost:2
+       (fun _env _args -> 0L))
+
+let instrument (b : block) : block =
+  let nb =
+    {
+      tyenv = Support.Vec.copy b.tyenv;
+      stmts = Support.Vec.create NoOp;
+      next = b.next;
+      jumpkind = b.jumpkind;
+    }
+  in
+  Support.Vec.iter
+    (fun s ->
+      add_stmt nb s;
+      match s with
+      | IMark _ ->
+          add_stmt nb
+            (Dirty
+               {
+                 d_guard = i1 true;
+                 d_callee = Lazy.force h_note;
+                 d_args = [];
+                 d_tmp = None;
+                 d_mfx = Mfx_none;
+               });
+          add_stmt nb (Put (GA.shadow_offset, i32 1L))
+      | _ -> ())
+    b.stmts;
+  nb
+
+let compile () : P.phases =
+  let img = Guest.Asm.assemble corpus_src in
+  let fetch a =
+    Char.code (Bytes.get img.text (Int64.to_int (Int64.sub a img.text_addr)))
+  in
+  fst (P.translate_phases ~fetch ~instrument img.entry)
+
+(* ------------------------------------------------------------------ *)
+(* Block / listing surgery                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_stmts (b : block) (f : stmt list -> stmt list) : block =
+  let nb = copy_block b in
+  let ss = f (Support.Vec.to_list nb.stmts) in
+  Support.Vec.clear nb.stmts;
+  List.iter (Support.Vec.push nb.stmts) ss;
+  nb
+
+(* drop the first statement matching [p] (assert it exists) *)
+let drop_first p ss =
+  let rec go = function
+    | [] -> invalid_arg "mutate: no statement to drop"
+    | s :: tl -> if p s then tl else s :: go tl
+  in
+  go ss
+
+(* rewrite the first statement matching [p] via [f] *)
+let rewrite_first p f ss =
+  let rec go = function
+    | [] -> invalid_arg "mutate: no statement to rewrite"
+    | s :: tl -> if p s then f s :: tl else s :: go tl
+  in
+  go ss
+
+let int_reads : H.insn -> int list = function
+  | H.Mov (_, s) -> [ s ]
+  | H.Alu (_, _, _, s1, s2) -> [ s1; s2 ]
+  | H.Alui (_, _, _, s1, _) -> [ s1 ]
+  | H.Ld (_, _, _, b, _) -> [ b ]
+  | H.St (_, s, b, _) -> [ s; b ]
+  | H.Cmov (d, c, s) -> [ d; c; s ]
+  | H.Vld (_, b, _) | H.Vst (_, b, _) -> [ b ]
+  | H.Vsplat32 (_, s) -> [ s ]
+  | H.Vpack (_, hi, lo) -> [ hi; lo ]
+  | H.Jz (c, _) | H.Jnz (c, _) -> [ c ]
+  | H.ExitIf (c, _, _) -> [ c ]
+  | H.Goto (_, s) -> [ s ]
+  | _ -> []
+
+let int_writes : H.insn -> int list = function
+  | H.Movi (d, _) | H.Mov (d, _) -> [ d ]
+  | H.Alu (_, _, d, _, _) | H.Alui (_, _, d, _, _) -> [ d ]
+  | H.Ld (_, _, d, _, _) -> [ d ]
+  | H.Cmov (d, _, _) -> [ d ]
+  | H.Vunpack (d, _, _) -> [ d ]
+  | H.Call _ -> [ H.ret_reg ]
+  | _ -> []
+
+(* Find an instruction that is the *first* definition of a register read
+   downstream before any redefinition — deleting it leaves a read of a
+   never-assigned register for the regalloc checker to find.  (Deleting
+   a later redefinition would be invisible to def-before-use analysis:
+   the register would merely hold a stale value.) *)
+let find_live_def (code : H.insn array) : int =
+  let n = Array.length code in
+  let live_after i r =
+    let rec scan j =
+      if j >= n then false
+      else if List.mem r (int_reads code.(j)) then true
+      else if List.mem r (int_writes code.(j)) then false
+      else scan (j + 1)
+    in
+    scan (i + 1)
+  in
+  let seen = Hashtbl.create 16 in
+  let rec go i =
+    if i >= n then invalid_arg "mutate: no live defining instruction"
+    else
+      let first_def =
+        match int_writes code.(i) with
+        | [ r ]
+          when r <> H.gsp && (not (Hashtbl.mem seen r)) && live_after i r ->
+            true
+        | _ -> false
+      in
+      if first_def then i
+      else begin
+        List.iter (fun r -> Hashtbl.replace seen r ()) (int_writes code.(i));
+        go (i + 1)
+      end
+  in
+  go 0
+
+(* first int vreg defined anywhere in a vcode listing *)
+let some_defined_vreg (code : Jit.Isel.vinsn list) : int =
+  let found = ref (-1) in
+  List.iter
+    (fun vi ->
+      if !found < 0 then
+        match vi with
+        | Jit.Isel.V i -> (
+            match int_writes i with
+            | [ r ] when r >= H.n_hregs -> found := r
+            | _ -> ())
+        | Jit.Isel.VCall { dst = Some d; _ } -> found := d
+        | _ -> ())
+    code;
+  if !found < 0 then invalid_arg "mutate: no int vreg defined" else !found
+
+(* ------------------------------------------------------------------ *)
+(* The seeded bugs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type mutation = {
+  m_name : string;
+  m_expect : string;  (** earliest boundary that must catch it, e.g. "phase 5" *)
+  m_shadow : (int * int) list;  (** shadow ranges to lint against *)
+  m_apply : P.phases -> P.phases;
+}
+
+let mutations : mutation list =
+  [
+    {
+      m_name = "use-before-def";
+      m_expect = "phase 2";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* reference a temporary before the statement defining it *)
+          let t =
+            Support.Vec.fold
+              (fun acc s ->
+                match (acc, s) with
+                | None, WrTmp (t, _) when tmp_ty p.p_flat t = I32 ->
+                    Some t
+                | _ -> acc)
+              None p.p_flat.stmts
+            |> Option.get
+          in
+          {
+            p with
+            p_flat =
+              with_stmts p.p_flat (fun ss ->
+                  Put (GA.off_sp, RdTmp t) :: ss);
+          });
+    };
+    {
+      m_name = "wrong-shift-width";
+      m_expect = "phase 2";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* the classic miscompile: a 32-bit shift lowered as 64-bit *)
+          {
+            p with
+            p_flat =
+              with_stmts p.p_flat
+                (rewrite_first
+                   (function
+                     | WrTmp (_, Binop (Shl32, _, _)) -> true | _ -> false)
+                   (function
+                     | WrTmp (t, Binop (Shl32, a, b)) ->
+                         WrTmp (t, Binop (Shl64, a, b))
+                     | s -> s));
+          });
+    };
+    {
+      m_name = "tool-clobbers-arch-state";
+      m_expect = "phase 3";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* instrumentation inventing an architectural register write *)
+          {
+            p with
+            p_instrumented =
+              with_stmts p.p_instrumented (fun ss ->
+                  ss @ [ Put (GA.off_reg 0, i32 0L) ]);
+          });
+    };
+    {
+      m_name = "tool-undeclared-shadow-write";
+      m_expect = "phase 3";
+      m_shadow = [];  (* the tool "forgot" to declare its shadow ranges *)
+      m_apply = (fun p -> p);
+    };
+    {
+      m_name = "tool-bad-helper-fx";
+      m_expect = "phase 3";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* a helper declaring a guest-state write beyond the state *)
+          let evil =
+            Vex_ir.Helpers.register
+              ~fx_writes:[ (GA.state_size + 100, 4) ]
+              ~name:"vglint_evil" ~cost:1
+              (fun _env _args -> 0L)
+          in
+          {
+            p with
+            p_instrumented =
+              with_stmts p.p_instrumented (fun ss ->
+                  ss
+                  @ [
+                      Dirty
+                        {
+                          d_guard = i1 true;
+                          d_callee = evil;
+                          d_args = [];
+                          d_tmp = None;
+                          d_mfx = Mfx_none;
+                        };
+                    ]);
+          });
+    };
+    {
+      m_name = "duplicate-assignment";
+      m_expect = "phase 4";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* an optimiser bug duplicating a temp definition *)
+          let def =
+            Support.Vec.fold
+              (fun acc s ->
+                match (acc, s) with
+                | None, WrTmp _ -> Some s
+                | _ -> acc)
+              None p.p_opt2.stmts
+            |> Option.get
+          in
+          { p with p_opt2 = with_stmts p.p_opt2 (fun ss -> ss @ [ def ]) });
+    };
+    {
+      m_name = "nonflat-opt2";
+      m_expect = "phase 4";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* folding producing a nested (non-flat) expression *)
+          {
+            p with
+            p_opt2 =
+              with_stmts p.p_opt2
+                (rewrite_first
+                   (function
+                     | WrTmp (t, _) -> tmp_ty p.p_opt2 t = I32
+                     | _ -> false)
+                   (function
+                     | WrTmp (t, rhs) ->
+                         WrTmp (t, Unop (Not32, Unop (Not32, rhs)))
+                     | s -> s));
+          });
+    };
+    {
+      m_name = "dropped-put";
+      m_expect = "phase 5";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* tree building silently losing a guest-state write *)
+          {
+            p with
+            p_treebuilt =
+              with_stmts p.p_treebuilt
+                (drop_first (function Put _ -> true | _ -> false));
+          });
+    };
+    {
+      m_name = "vreg-out-of-range";
+      m_expect = "phase 6";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* the selector emitting a register it never allocated *)
+          let d = some_defined_vreg p.p_vcode in
+          {
+            p with
+            p_vcode =
+              p.p_vcode @ [ Jit.Isel.V (H.Mov (d, p.p_n_int + 50)) ];
+          });
+    };
+    {
+      m_name = "vcall-arity";
+      m_expect = "phase 6";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* more helper arguments than the ABI has registers *)
+          let r = some_defined_vreg p.p_vcode in
+          let args = List.init (List.length H.arg_regs + 1) (fun _ -> r) in
+          {
+            p with
+            p_vcode =
+              p.p_vcode
+              @ [
+                  Jit.Isel.VCall
+                    {
+                      callee = Lazy.force h_note;
+                      args;
+                      dst = None;
+                    };
+                ];
+          });
+    };
+    {
+      m_name = "regalloc-lost-def";
+      m_expect = "phase 7";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* the allocator losing an assignment: delete a defining
+             instruction whose register is read downstream *)
+          let code = Array.of_list p.p_hcode in
+          let i = find_live_def code in
+          {
+            p with
+            p_hcode =
+              List.filteri (fun j _ -> j <> i) p.p_hcode;
+          });
+    };
+    {
+      m_name = "regalloc-clobber-gsp";
+      m_expect = "phase 7";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          { p with p_hcode = H.Movi (H.gsp, 0L) :: p.p_hcode });
+    };
+    {
+      m_name = "stale-label";
+      m_expect = "phase 7";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* a branch left pointing at a label that no longer exists *)
+          { p with p_hcode = H.Jmp 9999 :: p.p_hcode });
+    };
+    {
+      m_name = "spill-load-before-store";
+      m_expect = "phase 7";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          (* a reload from a spill slot nothing was spilled to *)
+          let slot = H.spill_base_int + (8 * (H.spill_slots_int - 1)) in
+          { p with p_hcode = H.Ld (8, false, 0, H.gsp, slot) :: p.p_hcode });
+    };
+    {
+      m_name = "corrupted-byte";
+      m_expect = "phase 8";
+      m_shadow = shadow;
+      m_apply =
+        (fun p ->
+          let bytes = Bytes.copy p.p_bytes in
+          let last = Bytes.length bytes - 1 in
+          Bytes.set bytes last
+            (Char.chr (Char.code (Bytes.get bytes last) lxor 0xFF));
+          { p with p_bytes = bytes });
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  o_name : string;
+  o_expect : string;  (** the boundary that should catch it *)
+  o_phase : string option;  (** the boundary that did, if any *)
+  o_msg : string;  (** the verifier's message (or why it escaped) *)
+  o_caught : bool;  (** caught at exactly the expected boundary *)
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let run_one (base : P.phases) (m : mutation) : outcome =
+  match
+    let p = m.m_apply base in
+    Check.check_all ~shadow:m.m_shadow p
+  with
+  | () ->
+      {
+        o_name = m.m_name;
+        o_expect = m.m_expect;
+        o_phase = None;
+        o_msg = "escaped every check";
+        o_caught = false;
+      }
+  | exception Verr.Error { ve_phase; ve_msg } ->
+      {
+        o_name = m.m_name;
+        o_expect = m.m_expect;
+        o_phase = Some ve_phase;
+        o_msg = ve_msg;
+        o_caught = starts_with ~prefix:m.m_expect ve_phase;
+      }
+
+(** Compile the corpus, verify the clean build passes every check (no
+    false positives), then run every seeded mutation.  Returns the clean
+    result and all outcomes. *)
+let run () : outcome list =
+  let base = compile () in
+  (* the unmutated build must be clean — a false positive here would
+     invalidate the whole exercise *)
+  Check.check_all ~shadow base;
+  List.map (run_one base) mutations
+
+let all_caught (os : outcome list) : bool =
+  List.for_all (fun o -> o.o_caught) os
+
+let pp_outcome ppf (o : outcome) =
+  Fmt.pf ppf "%-28s %s  expected %-8s %s" o.o_name
+    (if o.o_caught then "CAUGHT " else "ESCAPED")
+    o.o_expect
+    (match o.o_phase with
+    | Some p -> Printf.sprintf "caught at %s: %s" p o.o_msg
+    | None -> o.o_msg)

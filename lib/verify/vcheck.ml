@@ -1,0 +1,144 @@
+(** Phase-6 boundary: sanity of the instruction selector's output.
+
+    Isel emits {!Jit.Isel.vinsn}s over {e virtual} registers numbered
+    from [Host.Arch.n_hregs] (resp. [n_hvregs]) upward, so the only
+    physical register that may appear is the GSP — and only as the base
+    of a load or store.  The selector works bottom-up, so every virtual
+    register is defined strictly before its first use, labels are defined
+    exactly once and only branched to forward, and helper calls respect
+    the argument-register ABI limit. *)
+
+open Jit.Isel
+module H = Host.Arch
+
+let phase = "phase 6 (isel)"
+
+(* (int reads, int writes, vec reads, vec writes, gsp-eligible bases) *)
+let operands (i : vinsn) :
+    int list * int list * int list * int list * int list =
+  match i with
+  | V (H.Movi (d, _)) -> ([], [ d ], [], [], [])
+  | V (H.Mov (d, s)) -> ([ s ], [ d ], [], [], [])
+  | V (H.Alu (_, _, d, s1, s2)) -> ([ s1; s2 ], [ d ], [], [], [])
+  | V (H.Alui (_, _, d, s1, _)) -> ([ s1 ], [ d ], [], [], [])
+  | V (H.Ld (_, _, d, b, _)) -> ([], [ d ], [], [], [ b ])
+  | V (H.St (_, s, b, _)) -> ([ s ], [], [], [], [ b ])
+  | V (H.Cmov (d, c, s)) -> ([ c; s; d ], [ d ], [], [], [])
+  | V (H.Falu (_, d, s1, s2)) -> ([ s1; s2 ], [ d ], [], [], [])
+  | V (H.Fun1 (_, d, s)) -> ([ s ], [ d ], [], [], [])
+  | V (H.Vld (d, b, _)) -> ([], [], [], [ d ], [ b ])
+  | V (H.Vst (s, b, _)) -> ([], [], [ s ], [], [ b ])
+  | V (H.Vmov (d, s)) -> ([], [], [ s ], [ d ], [])
+  | V (H.Valu (_, d, s1, s2)) -> ([], [], [ s1; s2 ], [ d ], [])
+  | V (H.Vnot (d, s)) -> ([], [], [ s ], [ d ], [])
+  | V (H.Vsplat32 (d, s)) -> ([ s ], [], [], [ d ], [])
+  | V (H.Vpack (d, hi, lo)) -> ([ hi; lo ], [], [], [ d ], [])
+  | V (H.Vunpack (d, s, _)) -> ([], [ d ], [ s ], [], [])
+  | V (H.Call _) -> ([], [], [], [], [])
+  | V (H.Jz (c, _)) | V (H.Jnz (c, _)) -> ([ c ], [], [], [], [])
+  | V (H.Jmp _) | V (H.Label _) -> ([], [], [], [], [])
+  | V (H.ExitIf (c, _, _)) -> ([ c ], [], [], [], [])
+  | V (H.Goto (_, s)) -> ([ s ], [], [], [], [])
+  | V (H.GotoI _) -> ([], [], [], [], [])
+  | VCall { args; dst; _ } -> (args, Option.to_list dst, [], [], [])
+
+let pp_vinsn ppf = function
+  | V i -> H.pp_insn ppf i
+  | VCall { callee; args; _ } ->
+      Fmt.pf ppf "vcall %s/%d" callee.Vex_ir.Ir.c_name (List.length args)
+
+(** Check a full vcode listing against its declared register and label
+    counts. *)
+let check (code : vinsn list) ~(n_int : int) ~(n_vec : int) ~(n_label : int)
+    : unit =
+  let int_defined = Array.make (max n_int H.n_hregs) false in
+  let vec_defined = Array.make (max n_vec H.n_hvregs) false in
+  let label_def = Array.make (max n_label 1) (-1) in
+  (* pass 1: label definition sites *)
+  List.iteri
+    (fun pos i ->
+      match i with
+      | V (H.Label l) ->
+          if l < 0 || l >= n_label then
+            Verr.fail phase "insn %d: label L%d out of range [0,%d)" pos l
+              n_label;
+          if label_def.(l) >= 0 then
+            Verr.fail phase "insn %d: label L%d defined twice" pos l;
+          label_def.(l) <- pos
+      | _ -> ())
+    code;
+  let check_target pos l =
+    if l < 0 || l >= n_label then
+      Verr.fail phase "insn %d: branch to out-of-range label L%d" pos l;
+    if label_def.(l) < 0 then
+      Verr.fail phase "insn %d: branch to undefined label L%d" pos l;
+    if label_def.(l) <= pos then
+      Verr.fail phase
+        "insn %d: backward branch to L%d (superblocks branch forward only)"
+        pos l
+  in
+  List.iteri
+    (fun pos i ->
+      let ir, iw, vr, vw, bases = operands i in
+      List.iter
+        (fun r ->
+          if r <> H.gsp then begin
+            if r < H.n_hregs || r >= n_int then
+              Verr.fail phase
+                "insn %d: base register %d is neither the GSP nor a valid \
+                 int vreg (%a)"
+                pos r pp_vinsn i;
+            if not int_defined.(r) then
+              Verr.fail phase "insn %d: base vreg %d used before definition"
+                pos r
+          end)
+        bases;
+      List.iter
+        (fun r ->
+          if r < H.n_hregs || r >= n_int then
+            Verr.fail phase "insn %d: int vreg %d out of range [%d,%d) (%a)"
+              pos r H.n_hregs n_int pp_vinsn i;
+          if not int_defined.(r) then
+            Verr.fail phase "insn %d: int vreg %d used before definition (%a)"
+              pos r pp_vinsn i)
+        ir;
+      List.iter
+        (fun v ->
+          if v < H.n_hvregs || v >= n_vec then
+            Verr.fail phase "insn %d: vec vreg %d out of range [%d,%d)" pos v
+              H.n_hvregs n_vec;
+          if not vec_defined.(v) then
+            Verr.fail phase "insn %d: vec vreg %d used before definition" pos
+              v)
+        vr;
+      (match i with
+      | V (H.Call _) ->
+          Verr.fail phase "insn %d: physical Call before register allocation"
+            pos
+      | V (H.Jz (_, l)) | V (H.Jnz (_, l)) | V (H.Jmp l) ->
+          check_target pos l
+      | VCall { args; _ } ->
+          let limit = List.length H.arg_regs in
+          if List.length args > limit then
+            Verr.fail phase
+              "insn %d: helper call with %d arguments exceeds the %d \
+               argument registers"
+              pos (List.length args) limit
+      | _ -> ());
+      List.iter
+        (fun r ->
+          if r < H.n_hregs || r >= n_int then
+            Verr.fail phase
+              "insn %d: write to int register %d outside the vreg space" pos
+              r
+          else int_defined.(r) <- true)
+        iw;
+      List.iter
+        (fun v ->
+          if v < H.n_hvregs || v >= n_vec then
+            Verr.fail phase
+              "insn %d: write to vec register %d outside the vreg space" pos
+              v
+          else vec_defined.(v) <- true)
+        vw)
+    code

@@ -1,0 +1,16 @@
+(** Vglint: static verification of every JIT phase boundary.
+
+    See {!Check} for the overview and the {!Check.pipeline_checks}
+    builder that {!Jit.Pipeline.translate} consumes, {!Lint} for the
+    tool-instrumentation rules, and {!Mutate} for the seeded-bug
+    validation harness. *)
+
+module Verr = Verr
+module Dataflow = Dataflow
+module Ircheck = Ircheck
+module Vcheck = Vcheck
+module Hcheck = Hcheck
+module Lint = Lint
+module Asmcheck = Asmcheck
+module Mutate = Mutate
+include Check

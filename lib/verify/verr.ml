@@ -1,0 +1,16 @@
+(** Verification failures.
+
+    Every checker in this library reports problems through {!Error},
+    tagged with the phase boundary at which the problem was detected
+    ("phase 2 (opt1)", "phase 7 (regalloc)", ...).  The mutation harness
+    keys on that tag to assert that a seeded miscompile is caught at the
+    earliest boundary that could possibly see it. *)
+
+exception Error of { ve_phase : string; ve_msg : string }
+
+let fail phase fmt =
+  Fmt.kstr (fun s -> raise (Error { ve_phase = phase; ve_msg = s })) fmt
+
+let to_string = function
+  | Error { ve_phase; ve_msg } -> Printf.sprintf "[%s] %s" ve_phase ve_msg
+  | e -> Printexc.to_string e

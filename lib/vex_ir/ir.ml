@@ -269,13 +269,13 @@ let unop_sig = function
   | CmpNEZ32x4 -> (V128, V128)
 
 let binop_sig = function
-  | Add32 | Sub32 | Mul32 | MulHiS32 | DivS32 | DivU32 | And32 | Or32 | Xor32
-  | Shl32 | Shr32 | Sar32 ->
+  | Add32 | Sub32 | Mul32 | MulHiS32 | DivS32 | DivU32 | And32 | Or32 | Xor32 ->
       (I32, I32, I32)
+  | Shl32 | Shr32 | Sar32 -> (I32, I8, I32)  (* shift amount is a byte *)
   | CmpEQ32 | CmpNE32 | CmpLT32S | CmpLE32S | CmpLT32U | CmpLE32U ->
       (I32, I32, I1)
-  | Add64 | Sub64 | Mul64 | And64 | Or64 | Xor64 | Shl64 | Shr64 | Sar64 ->
-      (I64, I64, I64)
+  | Add64 | Sub64 | Mul64 | And64 | Or64 | Xor64 -> (I64, I64, I64)
+  | Shl64 | Shr64 | Sar64 -> (I64, I8, I64)
   | CmpEQ64 | CmpNE64 -> (I64, I64, I1)
   | Cat32x2 -> (I32, I32, I64)
   | AddF64 | SubF64 | MulF64 | DivF64 | MinF64 | MaxF64 -> (F64, F64, F64)

@@ -36,7 +36,6 @@ let rec check_expr b e : ty =
       res
   | Binop (op, x, y) ->
       let wx, wy, res = binop_sig op in
-      let wy = match op with Shl32 | Shr32 | Sar32 | Shl64 | Shr64 | Sar64 -> I8 | _ -> wy in
       let gx = check_expr b x and gy = check_expr b y in
       if gx <> wx then
         fail "%s lhs has type %a, expected %a" (Pp.binop_name op) Pp.pp_ty gx

@@ -300,6 +300,7 @@ let test_function_wrapping () =
     {
       name = "wraptest";
       description = "wraps compute";
+      shadow_ranges = [];
       create =
         (fun caps ->
           caps.wrap_function ~symbol:"compute"

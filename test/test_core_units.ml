@@ -18,6 +18,7 @@ let dummy_trans_exits key exits : Jit.Pipeline.translation =
     t_ir_stmts_pre = 1;
     t_ir_stmts_post = 1;
     t_exits = exits;
+    t_exit_index = Jit.Pipeline.exit_index_of [||] exits;
   }
 
 let dummy_trans key = dummy_trans_exits key [||]

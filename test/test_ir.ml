@@ -89,6 +89,91 @@ let test_typecheck_bad_tmp () =
     Alcotest.fail "expected Ill_typed"
   with Typecheck.Ill_typed _ -> ()
 
+(* error paths: each ill-typed or non-flat block must raise Ill_typed
+   with a message naming the actual problem *)
+let expect_ill_typed what check b msg =
+  match check b with
+  | () -> Alcotest.failf "%s: expected Ill_typed" what
+  | exception Typecheck.Ill_typed m ->
+      if not (contains m msg) then
+        Alcotest.failf "%s: message %S does not mention %S" what m msg
+
+let test_typecheck_error_messages () =
+  (* shift amount must be I8 (the VEX signature), not the operand width *)
+  let b = new_block () in
+  let t0 = new_tmp b I32 in
+  add_stmt b (WrTmp (t0, Binop (Shl32, i32 1L, i32 2L)));
+  b.next <- i32 0L;
+  expect_ill_typed "I32 shift amount" Typecheck.check_block b
+    "Shl32 rhs has type I32, expected I8";
+  let b = new_block () in
+  let t0 = new_tmp b I64 in
+  add_stmt b (WrTmp (t0, Binop (Shl64, i64 1L, i64 2L)));
+  b.next <- i32 0L;
+  expect_ill_typed "I64 shift amount" Typecheck.check_block b
+    "Shl64 rhs has type I64, expected I8";
+  (* a correctly-typed I8 shift amount passes *)
+  let b = new_block () in
+  let t0 = new_tmp b I32 in
+  add_stmt b (WrTmp (t0, Binop (Shr32, i32 1L, i8 2)));
+  b.next <- i32 0L;
+  Typecheck.check_block b;
+  (* GET at a negative offset *)
+  let b = new_block () in
+  let t0 = new_tmp b I32 in
+  add_stmt b (WrTmp (t0, Get (-4, I32)));
+  b.next <- i32 0L;
+  expect_ill_typed "negative GET" Typecheck.check_block b
+    "GET at negative offset -4";
+  (* temp assigned a value of the wrong type *)
+  let b = new_block () in
+  let t0 = new_tmp b I64 in
+  add_stmt b (WrTmp (t0, i32 7L));
+  b.next <- i32 0L;
+  expect_ill_typed "tmp type mismatch" Typecheck.check_block b
+    "t0 has type I64 but is assigned I32";
+  (* guards must be I1 *)
+  let b = new_block () in
+  add_stmt b (Exit (i32 1L, Jk_boring, 0x1000L));
+  b.next <- i32 0L;
+  expect_ill_typed "exit guard" Typecheck.check_block b
+    "Exit guard has type I32";
+  (* out-of-range temporary *)
+  let b = new_block () in
+  add_stmt b (Put (0, RdTmp 3));
+  b.next <- i32 0L;
+  expect_ill_typed "RdTmp range" Typecheck.check_block b "out of range";
+  (* block next must be a 32-bit code address *)
+  let b = new_block () in
+  b.next <- i64 0L;
+  expect_ill_typed "next type" Typecheck.check_block b
+    "block next has type I64, expected I32"
+
+let test_flatness_error_messages () =
+  (* non-atom PUT payload *)
+  let b = new_block () in
+  add_stmt b (Put (0, Binop (Add32, i32 1L, i32 2L)));
+  b.next <- i32 0L;
+  expect_ill_typed "put not flat" Typecheck.check_flat b "PUT not flat";
+  (* nested operator in a WrTmp *)
+  let b = new_block () in
+  let t0 = new_tmp b I32 in
+  add_stmt b
+    (WrTmp (t0, Binop (Add32, Unop (Not32, i32 1L), i32 2L)));
+  b.next <- i32 0L;
+  expect_ill_typed "wrtmp not flat" Typecheck.check_flat b
+    "WrTmp rhs not flat";
+  (* non-atom store operands *)
+  let b = new_block () in
+  add_stmt b (Store (Binop (Add32, i32 1L, i32 2L), i32 0L));
+  b.next <- i32 0L;
+  expect_ill_typed "store not flat" Typecheck.check_flat b "Store not flat";
+  (* computed next *)
+  let b = new_block () in
+  b.next <- Binop (Add32, i32 1L, i32 2L);
+  expect_ill_typed "next not flat" Typecheck.check_flat b
+    "block next not flat"
+
 let test_flatness () =
   let b = new_block () in
   let t0 = new_tmp b I32 in
@@ -268,6 +353,8 @@ let tests =
     t "typecheck accepts well-formed" test_typecheck_ok;
     t "typecheck rejects bad binop" test_typecheck_bad_binop;
     t "typecheck rejects tmp mismatch" test_typecheck_bad_tmp;
+    t "typecheck error messages" test_typecheck_error_messages;
+    t "flatness error messages" test_flatness_error_messages;
     t "flatness" test_flatness;
     t "eval arithmetic" test_eval_arith;
     t "eval 32-bit wrap" test_eval_wraps;

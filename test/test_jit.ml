@@ -490,6 +490,29 @@ let test_chain_slots_recorded () =
   let st = Vg_core.Session.stats s in
   Alcotest.(check bool) "live chains exist" true (st.st_chain_live > 0)
 
+let test_chain_slot_index_agrees () =
+  (* the O(1) cs_index-keyed lookup must agree with the O(n) scan over
+     t_exits at every instruction index of every live translation *)
+  let _, s = run_loop true in
+  let entries = Vg_core.Transtab.all_entries s.transtab in
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Vg_core.Transtab.entry) ->
+      let t = e.e_trans in
+      for idx = -1 to Array.length t.Jit.Pipeline.t_decoded do
+        incr checked;
+        let fast = Jit.Pipeline.find_chain_slot t idx in
+        let slow = Jit.Pipeline.find_chain_slot_scan t idx in
+        match (fast, slow) with
+        | None, None -> ()
+        | Some a, Some b when a == b -> ()
+        | _ ->
+            Alcotest.failf "index and scan disagree at insn %d of 0x%LX" idx
+              t.Jit.Pipeline.t_guest_addr
+      done)
+    entries;
+  Alcotest.(check bool) "indices checked" true (!checked > 0)
+
 let test_chain_dispatcher_reduction () =
   (* the ISSUE acceptance bar: on a loop benchmark, chaining must cut
      dispatcher entries by >= 30% with identical guest-visible results
@@ -516,6 +539,7 @@ let tests =
   [
     t "loop unrolling" test_loop_unrolling;
     t "chain slots recorded and consistent" test_chain_slots_recorded;
+    t "chain-slot index agrees with scan" test_chain_slot_index_agrees;
     t "chaining cuts dispatcher entries >=30%" test_chain_dispatcher_reduction;
     t "differential: native = nulgrind (60 random programs)"
       test_differential_nulgrind;
