@@ -1,0 +1,276 @@
+(** [vgchaos]: the deterministic fault-injection driver.
+
+    {v
+    vgchaos sweep [--seeds 1,2,3]     # CI entry: corpus x tools x seeds
+    vgchaos --seed N [--schedule idempotent|hostile]
+            [--tool NAME] [--workload NAME]   # one cell, fault log shown
+    v}
+
+    Every cell of the sweep runs one (workload, tool, seed) triple five
+    times and asserts the robustness contract:
+
+    - {b no uncaught exceptions}: the session survives every injected
+      fault (transient syscall errors, short I/O, mapping denials,
+      forced translation failures at any of the eight JIT phases,
+      forced code-cache flushes) by recovering, not by dying;
+    - {b idempotent-schedule equivalence}: under a schedule whose faults
+      are all transparently recoverable (EINTR restarted, denials
+      retried, translation failures interpreted, flushes retranslated),
+      client stdout, exit status and tool output are bit-identical to
+      the fault-free baseline — instrumentation stays sound through
+      every degradation;
+    - {b replay determinism}: re-running any schedule with the same seed
+      reproduces the exact same fault log, outputs and counters. *)
+
+let tools : (string * Vg_core.Tool.t) list =
+  [
+    ("nulgrind", Vg_core.Tool.nulgrind);
+    ("memcheck", Tools.Memcheck.tool);
+    ("memcheck-origins", Tools.Memcheck.tool_origins);
+    ("cachegrind", Tools.Cachegrind.tool);
+    ("massif", Tools.Massif.tool);
+    ("lackey", Tools.Lackey.tool);
+    ("taintgrind", Tools.Taintgrind.tool);
+    ("annelid", Tools.Annelid.tool);
+    ("redux", Tools.Redux.tool);
+    ("icnti", Tools.Icnt.icnt_inline);
+    ("icntc", Tools.Icnt.icnt_call);
+  ]
+
+let corpus_workloads = [ "gcc"; "mcf"; "perlbmk"; "vortex" ]
+
+(* A syscall-heavy client, additional to the paper corpus: the SPEC-shaped
+   workloads never call read/mmap directly, so this one exists to push the
+   wrapper's EINTR-restart and mapping-retry paths during the sweep. *)
+let io_src =
+  {|
+int main() {
+  char buf[64];
+  int fd = open("data.txt", 0);
+  int total = 0;
+  int n = read(fd, buf, 64);
+  while (n > 0) {
+    total = total + n;
+    n = read(fd, buf, 64);
+  }
+  close(fd);
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    char *p = mmap(4096);
+    if ((int)p > 0) {
+      p[0] = 'x';
+      p = mremap(p, 4096, 8192);
+      if ((int)p > 0) { munmap(p, 8192); }
+    }
+  }
+  print_str("io total=");
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+let images () : (string * Guest.Image.t) list =
+  List.map
+    (fun wname ->
+      match Workloads.find wname with
+      | Some w -> (wname, Workloads.compile ~scale:1 w)
+      | None -> failwith ("unknown workload " ^ wname))
+    corpus_workloads
+  @ [ ("io", Minicc.Driver.compile io_src) ]
+
+type outcome = {
+  o_exit : string;
+  o_stdout : string;
+  o_tool : string;
+  o_log : string list;  (** chaos fault log (empty for baselines) *)
+  o_digest : string;  (** counters that must replay bit-identically *)
+  o_fallbacks : int;
+  o_faults : int;
+}
+
+let exit_str = function
+  | Vg_core.Session.Exited n -> Printf.sprintf "exit %d" n
+  | Vg_core.Session.Fatal_signal n -> Printf.sprintf "fatal signal %d" n
+  | Vg_core.Session.Out_of_fuel -> "out of fuel"
+
+let run_one ~(tool : Vg_core.Tool.t) ~(img : Guest.Image.t)
+    ~(chaos : Chaos.t option) () : (outcome, string) result =
+  let options =
+    {
+      Vg_core.Session.default_options with
+      max_blocks = 10_000L;
+      verify_jit = false;
+      (* small code cache: chunk eviction happens under every schedule *)
+      transtab_capacity = 256;
+      chaos;
+    }
+  in
+  let s = Vg_core.Session.create ~options ~tool img in
+  Kernel.add_file s.kern "data.txt"
+    (String.init 777 (fun i -> Char.chr (33 + (i mod 90))));
+  match Vg_core.Session.run s with
+  | exception e -> Error (Printexc.to_string e)
+  | reason ->
+      let st = Vg_core.Session.stats s in
+      Ok
+        {
+          o_exit = exit_str reason;
+          o_stdout = Vg_core.Session.client_stdout s;
+          o_tool = Vg_core.Session.tool_output s;
+          o_log = (match chaos with Some c -> Chaos.log_lines c | None -> []);
+          o_digest =
+            Printf.sprintf
+              "blocks=%Ld translations=%d fallbacks=%d uninstr=%d \
+               flushes=%d restarts=%d errnos=%d short=%d mapretries=%d \
+               cycles=%Ld"
+              st.st_blocks st.st_translations st.st_interp_fallbacks
+              st.st_uninstrumented_steps st.st_chaos_flushes
+              st.st_syscall_restarts st.st_injected_errnos st.st_short_io
+              st.st_map_retries st.st_total_cycles;
+          o_fallbacks = st.st_interp_fallbacks;
+          o_faults = (match chaos with Some c -> Chaos.n_injected c | None -> 0);
+        }
+
+(* ------------------------------------------------------------------ *)
+(* The sweep                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let failures = ref 0
+
+let fail cell what = incr failures; Fmt.pr "%s FAIL: %s@." cell what
+
+let expect cell what cond = if not cond then fail cell what
+
+let expect_eq cell what a b =
+  if a <> b then
+    fail cell (Printf.sprintf "%s diverged:\n  --- %S\n  +++ %S" what a b)
+
+let run_cell ~cell ~tool ~img ~seed : unit =
+  match run_one ~tool ~img ~chaos:None () with
+  | Error e -> fail cell ("baseline raised " ^ e)
+  | Ok base -> (
+      let chaos_run cfg =
+        run_one ~tool ~img ~chaos:(Some (Chaos.create cfg)) ()
+      in
+      (* 1. idempotent schedule: must be invisible in all outputs *)
+      match chaos_run (Chaos.idempotent ~seed) with
+      | Error e -> fail cell ("idempotent schedule raised " ^ e)
+      | Ok idem -> (
+          expect_eq cell "idempotent exit" base.o_exit idem.o_exit;
+          expect_eq cell "idempotent client stdout" base.o_stdout idem.o_stdout;
+          expect_eq cell "idempotent tool output" base.o_tool idem.o_tool;
+          (* 2. replay: same seed => bit-identical everything *)
+          match chaos_run (Chaos.idempotent ~seed) with
+          | Error e -> fail cell ("idempotent replay raised " ^ e)
+          | Ok idem' -> (
+              expect cell "idempotent replay fault log"
+                (idem.o_log = idem'.o_log);
+              expect_eq cell "idempotent replay digest" idem.o_digest
+                idem'.o_digest;
+              expect_eq cell "idempotent replay tool output" idem.o_tool
+                idem'.o_tool;
+              (* 3. hostile schedule: survival + replay, not equivalence *)
+              match chaos_run (Chaos.hostile ~seed) with
+              | Error e -> fail cell ("hostile schedule raised " ^ e)
+              | Ok h1 -> (
+                  match chaos_run (Chaos.hostile ~seed) with
+                  | Error e -> fail cell ("hostile replay raised " ^ e)
+                  | Ok h2 ->
+                      expect cell "hostile replay fault log"
+                        (h1.o_log = h2.o_log);
+                      expect_eq cell "hostile replay digest" h1.o_digest
+                        h2.o_digest;
+                      expect_eq cell "hostile replay stdout" h1.o_stdout
+                        h2.o_stdout;
+                      expect_eq cell "hostile replay tool output" h1.o_tool
+                        h2.o_tool;
+                      Fmt.pr
+                        "%s ok (idem %d faults, hostile %d faults, %d+%d \
+                         interp fallbacks)@."
+                        cell idem.o_faults h1.o_faults idem.o_fallbacks
+                        h1.o_fallbacks))))
+
+let run_sweep (seeds : int list) : bool =
+  Fmt.pr "== vgchaos: fault-injection sweep, seeds %s ==@."
+    (String.concat "," (List.map string_of_int seeds));
+  let imgs = images () in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (wname, img) ->
+          List.iter
+            (fun (tname, tool) ->
+              let cell = Printf.sprintf "%-8s %-16s seed %d" wname tname seed in
+              run_cell ~cell ~tool ~img ~seed)
+            tools)
+        imgs)
+    seeds;
+  !failures = 0
+
+(* ------------------------------------------------------------------ *)
+(* Single-cell mode (--seed): show the fault schedule                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_single ~seed ~schedule ~tname ~wname : bool =
+  let tool =
+    match List.assoc_opt tname tools with
+    | Some t -> t
+    | None -> failwith ("unknown tool " ^ tname)
+  in
+  let img =
+    match List.assoc_opt wname (images ()) with
+    | Some i -> i
+    | None -> failwith ("unknown workload " ^ wname)
+  in
+  let cfg =
+    match schedule with
+    | "idempotent" -> Chaos.idempotent ~seed
+    | "hostile" -> Chaos.hostile ~seed
+    | s -> failwith ("unknown schedule " ^ s ^ " (idempotent|hostile)")
+  in
+  let c = Chaos.create cfg in
+  Fmt.pr "== vgchaos: %s under %s, %s schedule, seed %d ==@." wname tname
+    schedule seed;
+  match run_one ~tool ~img ~chaos:(Some c) () with
+  | Error e ->
+      Fmt.pr "UNCAUGHT EXCEPTION: %s@." e;
+      false
+  | Ok o ->
+      List.iter (Fmt.pr "%s@.") o.o_log;
+      Fmt.pr "%s@." (Chaos.summary c);
+      Fmt.pr "%s; %s@." o.o_exit o.o_digest;
+      true
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let rec flag name = function
+    | [] -> None
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> flag name rest
+  in
+  let sweep_mode = List.mem "sweep" argv || flag "--seed" argv = None in
+  let ok =
+    if sweep_mode then
+      let seeds =
+        match flag "--seeds" argv with
+        | None -> [ 1; 2; 3 ]
+        | Some s -> List.map int_of_string (String.split_on_char ',' s)
+      in
+      run_sweep seeds
+    else
+      let seed = int_of_string (Option.get (flag "--seed" argv)) in
+      let schedule =
+        Option.value (flag "--schedule" argv) ~default:"idempotent"
+      in
+      let tname = Option.value (flag "--tool" argv) ~default:"memcheck" in
+      let wname = Option.value (flag "--workload" argv) ~default:"mcf" in
+      run_single ~seed ~schedule ~tname ~wname
+  in
+  if not ok then begin
+    prerr_endline "vgchaos: FAILED";
+    exit 1
+  end;
+  print_endline "vgchaos: all schedules survived and replayed exactly"

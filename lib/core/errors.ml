@@ -143,3 +143,49 @@ let summary (t : t) : string =
   Printf.sprintf
     "==err== ERROR SUMMARY: %d errors from %d contexts (suppressed: %d)\n"
     (total_errors t) (distinct_errors t) t.n_suppressed
+
+(* ------------------------------------------------------------------ *)
+(* Crash context                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A post-mortem snapshot the core renders when an error escapes every
+    recovery path (§3.2: even when Valgrind cannot stay in control, it
+    should say exactly where control was lost).  Captures the current
+    thread's guest state and the dispatcher's recent history. *)
+type crash_context = {
+  cc_what : string;  (** the escaping exception, printed *)
+  cc_eip : int64;  (** guest PC of the current thread *)
+  cc_regs : int64 array;  (** r0..r7 *)
+  cc_blocks : int64;  (** blocks executed when the error escaped *)
+  cc_trace : int64 list;
+      (** last-N dispatched block addresses, oldest first *)
+  cc_stack : int64 list;  (** guest stack trace, innermost first *)
+}
+
+(** Render a crash context through this error sink's symbolizer. *)
+let render_crash (t : t) (c : crash_context) : string =
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "==vg== FATAL: unrecoverable error: %s\n" c.cc_what;
+  pr "==vg==   guest eip = 0x%LX (%s), after %Ld blocks\n" c.cc_eip
+    (t.symbolize c.cc_eip) c.cc_blocks;
+  Array.iteri
+    (fun i v ->
+      if i land 3 = 0 then pr "==vg==   ";
+      pr "r%d=0x%LX%s" i v (if i land 3 = 3 then "\n" else " "))
+    c.cc_regs;
+  if Array.length c.cc_regs land 3 <> 0 then pr "\n";
+  if c.cc_trace <> [] then begin
+    pr "==vg==   recent blocks (oldest first):\n";
+    List.iter (fun a -> pr "==vg==     0x%LX: %s\n" a (t.symbolize a)) c.cc_trace
+  end;
+  if c.cc_stack <> [] then begin
+    pr "==vg==   guest stack:\n";
+    List.iteri
+      (fun i a ->
+        pr "==vg==     %s 0x%LX: %s\n"
+          (if i = 0 then "at" else "by")
+          a (t.symbolize a))
+      c.cc_stack
+  end;
+  Buffer.contents buf

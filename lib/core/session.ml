@@ -43,6 +43,18 @@ type options = {
           tool-instrumentation lints against the tool's declared
           [shadow_ranges]).  On by default; a verification failure
           raises {!Verify.Verr.Error}. *)
+  chaos : Chaos.t option;
+      (** seeded deterministic fault injection (default [None]): the
+          session experiences transient syscall errors, mapping denials,
+          forced translation failures and cache flushes drawn from the
+          [Chaos.t]'s RNG stream.  See {!Chaos}. *)
+  interp_fallback : bool;
+      (** graceful degradation (on by default): a block whose
+          translation fails ([Jit.Pipeline.Translation_failure], which
+          phase 6/7 failures are wrapped into) executes one-shot via the
+          IR evaluator — instrumentation included — instead of killing
+          the session; later blocks re-enter the JIT as usual.  Off:
+          translation failures propagate to the caller. *)
 }
 
 let default_options =
@@ -60,6 +72,8 @@ let default_options =
     unroll_loops = true;
     max_blocks = 0L;
     verify_jit = true;
+    chaos = None;
+    interp_fallback = true;
   }
 
 type exit_reason =
@@ -92,6 +106,15 @@ type t = {
   mutable translations_made : int;
   mutable retranslations_smc : int;
   mutable verify_checks : int;  (** boundary checks run by the verifier *)
+  mutable interp_fallbacks : int;
+      (** blocks degraded to one-shot IR interpretation *)
+  mutable uninstrumented_steps : int;
+      (** last-resort single-instruction steps (no instrumentation) *)
+  mutable chaos_flushes : int;  (** forced transtab flushes (chaos) *)
+  sysw : Syswrap.counters;  (** wrapper restart/retry accounting *)
+  (* last-N dispatched block addresses, for crash contexts *)
+  dispatch_trace : int64 array;
+  mutable dispatch_trace_n : int;  (** total blocks recorded *)
   mutable exit_reason : exit_reason option;
   (* stack-event helpers (registered lazily per session) *)
   mutable stack_helpers : Stack_events.helpers option;
@@ -169,6 +192,12 @@ let create ?(options = default_options) ~(tool : Tool.t)
       translations_made = 0;
       retranslations_smc = 0;
       verify_checks = 0;
+      interp_fallbacks = 0;
+      uninstrumented_steps = 0;
+      chaos_flushes = 0;
+      sysw = Syswrap.fresh_counters ();
+      dispatch_trace = Array.make 16 0L;
+      dispatch_trace_n = 0;
       exit_reason = None;
       stack_helpers = None;
       last_exit = None;
@@ -181,6 +210,14 @@ let create ?(options = default_options) ~(tool : Tool.t)
       stack_hi = 0L;
     }
   in
+  (* chaos: transient mapping denials, injected behind the core's own
+     pre-check so a denial looks exactly like address-space pressure *)
+  (match options.chaos with
+  | Some c ->
+      let base = kern.map_allowed in
+      kern.map_allowed <-
+        (fun addr len -> base addr len && not (Chaos.map_denied c ~addr ~len))
+  | None -> ());
   errors.symbolize <-
     (fun a ->
       match Redirect.stub_name s.redirect a with
@@ -370,13 +407,27 @@ let wants_smc_check (s : t) (pc : int64) : bool =
 let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
   let fetch_pc = Redirect.resolve s.redirect pc in
   let fetch addr = Aspace.fetch_u8 s.mem addr in
-  let checks =
+  let verify_checks =
     if s.opts.verify_jit then
       Some
         (Verify.pipeline_checks ~shadow:s.tool.shadow_ranges
            ~on_check:(fun _ -> s.verify_checks <- s.verify_checks + 1)
            ())
     else None
+  in
+  (* chaos: this translation request may be condemned to fail at one of
+     the eight phase boundaries (recovery interprets the block instead) *)
+  let chaos_checks =
+    match s.opts.chaos with
+    | Some c -> Chaos.translation_checks c ~pc:fetch_pc
+    | None -> None
+  in
+  let checks =
+    match (verify_checks, chaos_checks) with
+    | Some a, Some b -> Some (Jit.Pipeline.compose_checks a b)
+    | (Some _ as a), None -> a
+    | None, (Some _ as b) -> b
+    | None, None -> None
   in
   let t =
     Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ?checks ~fetch
@@ -566,27 +617,63 @@ let do_thread_create (s : t) ~entry ~sp ~arg =
 let finish (s : t) (reason : exit_reason) =
   if s.exit_reason = None then s.exit_reason <- Some reason
 
-(** Execute one code block of the current thread. *)
-let run_block (s : t) =
-  let th = s.threads.current in
-  let pc = Threads.get_eip s.threads th in
-  let t = find_translation s pc in
-  let t =
-    if t.t_smc_check && not (smc_ok s t) then begin
-      (* §3.16: hash mismatch -> discard and retranslate.  discard_key
-         unlinks every chain pointing into the stale translation. *)
-      Transtab.discard_key s.transtab pc;
-      Dispatch.flush s.dispatch;
-      s.retranslations_smc <- s.retranslations_smc + 1;
-      let t' = translate s pc in
-      Dispatch.update s.dispatch pc t';
-      t'
-    end
-    else t
-  in
-  s.cpu.hregs.(HA.gsp) <- th.ts_addr;
-  let env = helper_env s in
-  match Host.Interp.run s.cpu ~env t.t_decoded with
+(* Record each dispatched block address in the crash-context ring. *)
+let trace_block (s : t) (pc : int64) =
+  s.dispatch_trace.(s.dispatch_trace_n mod Array.length s.dispatch_trace) <- pc;
+  s.dispatch_trace_n <- s.dispatch_trace_n + 1
+
+(* Act on the exit kind a block left through — shared by the JIT path
+   and the interpreted degradation paths, so a degraded block's
+   syscalls, client requests and signals behave identically. *)
+let handle_exit (s : t) (th : Threads.thread) ~(ek : int) ~(dest : int64) =
+  if ek = HA.ek_syscall then begin
+    let wrap_env =
+      { Syswrap.events = s.events; kern = s.kern;
+        on_discard = (fun a l -> on_discard s a l);
+        chaos = s.opts.chaos; counters = s.sysw;
+        charge = (fun c -> charge s c) }
+    in
+    match Syswrap.syscall wrap_env ~tid:th.tid (Threads.regs_of s.threads th) with
+    | Kernel.Ok -> ()
+    | Kernel.Exit_process code -> finish s (Exited code)
+    | Kernel.Thread_create { entry; sp; arg } ->
+        let tid = do_thread_create s ~entry ~sp ~arg in
+        Threads.put_reg s.threads th 0 (Int64.of_int tid)
+    | Kernel.Thread_exit ->
+        th.status <- Threads.Exited;
+        if not (Threads.switch_to_next s.threads) then
+          finish s (Exited 0)
+    | Kernel.Yield -> ignore (Threads.switch_to_next s.threads)
+    | Kernel.Sigreturn ->
+        if not (Threads.restore_frame s.threads th) then
+          fatal s Kernel.Sig.sigsegv
+  end
+  else if ek = HA.ek_clientreq then handle_client_request s
+  else if ek = HA.ek_sigill then begin
+    output s
+      (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" dest);
+    deliver_signal s Kernel.Sig.sigill
+  end
+  else if ek = HA.ek_yield then ignore (Threads.switch_to_next s.threads)
+
+let invalid_exec (s : t) (pc : int64) =
+  (* jumping to unmapped/non-executable memory faults exactly like
+     native execution: SIGSEGV, not SIGILL from decoding zero bytes *)
+  s.last_exit <- None;
+  output s (Printf.sprintf "==vg== Invalid exec at address 0x%LX\n" pc);
+  deliver_signal s Kernel.Sig.sigsegv
+
+(* Last rung of the degradation ladder: execute one guest instruction
+   directly against the ThreadState, uninstrumented.  Only reached when
+   even the IR front end (phases 1-4) cannot process the block. *)
+let step_uninstrumented (s : t) (th : Threads.thread) =
+  s.uninstrumented_steps <- s.uninstrumented_steps + 1;
+  (match s.opts.chaos with
+  | Some c -> Chaos.note_recovery c "uninstrumented_step"
+  | None -> ());
+  let get off size = Threads.get_state s.threads th ~off ~size in
+  let put off size v = Threads.put_state s.threads th ~off ~size v in
+  match Guest.Interp.step_external ~mem:s.mem ~get ~put with
   | exception Aspace.Fault f ->
       s.last_exit <- None;
       output s
@@ -594,49 +681,130 @@ let run_block (s : t) =
            (Fmt.str "%a" Aspace.pp_access_kind f.kind)
            f.addr);
       deliver_signal s Kernel.Sig.sigsegv
-  | exception Host.Interp.Host_sigfpe ->
+  | exception Guest.Interp.Sigill at ->
+      output s (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" at);
+      deliver_signal s Kernel.Sig.sigill
+  | exception Guest.Interp.Sigfpe _ ->
       s.last_exit <- None;
       deliver_signal s Kernel.Sig.sigfpe
-  | ek, dest, exit_site -> (
-      s.last_exit <-
-        (if s.opts.chaining then
-           match Jit.Pipeline.find_chain_slot t exit_site with
-           | Some slot -> Some (t, slot)
-           | None -> None
-         else None);
-      Threads.put_eip s.threads th dest;
+  | cost, outcome -> (
+      charge s cost;
       s.blocks_executed <- Int64.add s.blocks_executed 1L;
       th.blocks_run <- Int64.add th.blocks_run 1L;
-      if ek = HA.ek_syscall then begin
-        let wrap_env =
-          { Syswrap.events = s.events; kern = s.kern;
-            on_discard = (fun a l -> on_discard s a l) }
-        in
-        match Syswrap.syscall wrap_env ~tid:th.tid (Threads.regs_of s.threads th) with
-        | Kernel.Ok -> ()
-        | Kernel.Exit_process code -> finish s (Exited code)
-        | Kernel.Thread_create { entry; sp; arg } ->
-            let tid = do_thread_create s ~entry ~sp ~arg in
-            Threads.put_reg s.threads th 0 (Int64.of_int tid)
-        | Kernel.Thread_exit ->
-            th.status <- Threads.Exited;
-            if not (Threads.switch_to_next s.threads) then
-              finish s (Exited 0)
-        | Kernel.Yield -> ignore (Threads.switch_to_next s.threads)
-        | Kernel.Sigreturn ->
-            if not (Threads.restore_frame s.threads th) then
-              fatal s Kernel.Sig.sigsegv
-      end
-      else if ek = HA.ek_clientreq then handle_client_request s
-      else if ek = HA.ek_sigill then begin
-        output s
-          (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" dest);
-        deliver_signal s Kernel.Sig.sigill
-      end
-      else if ek = HA.ek_yield then ignore (Threads.switch_to_next s.threads))
+      match outcome with
+      | Guest.Interp.X_next -> ()
+      | Guest.Interp.X_syscall ->
+          handle_exit s th ~ek:HA.ek_syscall
+            ~dest:(Threads.get_eip s.threads th)
+      | Guest.Interp.X_clreq ->
+          handle_exit s th ~ek:HA.ek_clientreq
+            ~dest:(Threads.get_eip s.threads th))
 
-(** Run the client to completion.  Returns the exit reason. *)
-let run (s : t) : exit_reason =
+(* Graceful degradation (the recovery half of Vgchaos): the JIT refused
+   this block, so run it one-shot through the IR evaluator instead of
+   killing the session.  Phases 1-4 are rebuilt — including the tool's
+   instrumentation — and evaluated with the same helper environment the
+   compiled code would use, so every tool event, shadow update and
+   helper call still fires and analysis results stay exact.  Nothing is
+   inserted into the translation table: the next visit to this address
+   re-enters the JIT (where translation will normally succeed). *)
+let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
+  s.interp_fallbacks <- s.interp_fallbacks + 1;
+  s.last_exit <- None;
+  (match s.opts.chaos with
+  | Some c -> Chaos.note_recovery c "interp_fallback"
+  | None -> ());
+  let fetch_pc = Redirect.resolve s.redirect pc in
+  match
+    Jit.Pipeline.translate_ir ~unroll:s.opts.unroll_loops
+      ~fetch:(fun a -> Aspace.fetch_u8 s.mem a)
+      ~instrument:(instrument_fn s) fetch_pc
+  with
+  | exception Guest.Decode.Truncated -> invalid_exec s pc
+  | exception
+      ( Jit.Pipeline.Translation_failure _ | Vex_ir.Typecheck.Ill_typed _
+      | Failure _ | Invalid_argument _ | Not_found ) ->
+      step_uninstrumented s th
+  | ir, _stats -> (
+      (* interpretation is slower than compiled code; charge for it *)
+      charge s (8 * Support.Vec.length ir.Vex_ir.Ir.stmts);
+      match Vex_ir.Eval.run (helper_env s) ir with
+      | exception Aspace.Fault f ->
+          output s
+            (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
+               (Fmt.str "%a" Aspace.pp_access_kind f.kind)
+               f.addr);
+          deliver_signal s Kernel.Sig.sigsegv
+      | exception Vex_ir.Eval.Eval_error msg
+        when msg = "integer division by zero" ->
+          deliver_signal s Kernel.Sig.sigfpe
+      | { Vex_ir.Eval.next_pc; jumpkind } ->
+          Threads.put_eip s.threads th next_pc;
+          s.blocks_executed <- Int64.add s.blocks_executed 1L;
+          th.blocks_run <- Int64.add th.blocks_run 1L;
+          handle_exit s th ~ek:(HA.ek_of_jumpkind jumpkind) ~dest:next_pc)
+
+(* Acquire the translation for [pc], including the SMC re-check, with
+   translation failures surfaced as data instead of exceptions. *)
+let acquire_translation (s : t) (pc : int64) :
+    [ `T of Jit.Pipeline.translation | `Invalid_exec | `Failed of string ] =
+  match find_translation s pc with
+  | exception Guest.Decode.Truncated -> `Invalid_exec
+  | exception Jit.Pipeline.Translation_failure m -> `Failed m
+  | t ->
+      if t.t_smc_check && not (smc_ok s t) then begin
+        (* §3.16: hash mismatch -> discard and retranslate.  discard_key
+           unlinks every chain pointing into the stale translation. *)
+        Transtab.discard_key s.transtab pc;
+        Dispatch.flush s.dispatch;
+        s.retranslations_smc <- s.retranslations_smc + 1;
+        match translate s pc with
+        | exception Guest.Decode.Truncated -> `Invalid_exec
+        | exception Jit.Pipeline.Translation_failure m -> `Failed m
+        | t' ->
+            Dispatch.update s.dispatch pc t';
+            `T t'
+      end
+      else `T t
+
+(** Execute one code block of the current thread. *)
+let run_block (s : t) =
+  let th = s.threads.current in
+  let pc = Threads.get_eip s.threads th in
+  trace_block s pc;
+  match acquire_translation s pc with
+  | `Invalid_exec -> invalid_exec s pc
+  | `Failed msg ->
+      if not s.opts.interp_fallback then
+        raise (Jit.Pipeline.Translation_failure msg);
+      run_block_interp s th ~pc
+  | `T t -> (
+      s.cpu.hregs.(HA.gsp) <- th.ts_addr;
+      let env = helper_env s in
+      match Host.Interp.run s.cpu ~env t.t_decoded with
+      | exception Aspace.Fault f ->
+          s.last_exit <- None;
+          output s
+            (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
+               (Fmt.str "%a" Aspace.pp_access_kind f.kind)
+               f.addr);
+          deliver_signal s Kernel.Sig.sigsegv
+      | exception Host.Interp.Host_sigfpe ->
+          s.last_exit <- None;
+          deliver_signal s Kernel.Sig.sigfpe
+      | ek, dest, exit_site ->
+          s.last_exit <-
+            (if s.opts.chaining then
+               match Jit.Pipeline.find_chain_slot t exit_site with
+               | Some slot -> Some (t, slot)
+               | None -> None
+             else None);
+          Threads.put_eip s.threads th dest;
+          s.blocks_executed <- Int64.add s.blocks_executed 1L;
+          th.blocks_run <- Int64.add th.blocks_run 1L;
+          handle_exit s th ~ek ~dest)
+
+let run_inner (s : t) : exit_reason =
   startup s;
   let continue_ = ref true in
   while !continue_ do
@@ -648,6 +816,15 @@ let run (s : t) : exit_reason =
           && Int64.unsigned_compare s.blocks_executed s.opts.max_blocks > 0
         then finish s Out_of_fuel
         else begin
+          (* chaos: forced code-cache pressure between blocks — every
+             resident translation and chain is dropped at once *)
+          (match s.opts.chaos with
+          | Some c when Chaos.flush_cache c ->
+              Transtab.flush s.transtab;
+              Dispatch.flush s.dispatch;
+              s.last_exit <- None;
+              s.chaos_flushes <- s.chaos_flushes + 1
+          | _ -> ());
           (* periodic scheduler entry: signal poll + thread switch *)
           if
             Int64.rem s.blocks_executed (Int64.of_int s.opts.sched_poll_blocks)
@@ -680,6 +857,39 @@ let run (s : t) : exit_reason =
   | None -> ());
   reason
 
+(* Snapshot the current thread's guest state and the dispatcher's recent
+   history for post-mortem rendering. *)
+let crash_context (s : t) (what : string) : Errors.crash_context =
+  let th = s.threads.current in
+  let n = Array.length s.dispatch_trace in
+  let count = min s.dispatch_trace_n n in
+  let trace =
+    List.init count (fun i ->
+        s.dispatch_trace.((s.dispatch_trace_n - count + i) mod n))
+  in
+  {
+    cc_what = what;
+    cc_eip = Threads.get_eip s.threads th;
+    cc_regs = Array.init GA.n_regs (fun r -> Threads.get_reg s.threads th r);
+    cc_blocks = s.blocks_executed;
+    cc_trace = trace;
+    cc_stack = (try Threads.stack_trace s.threads th () with _ -> []);
+  }
+
+(** Run the client to completion.  Returns the exit reason.  An error
+    that escapes every recovery path (a verifier failure, a core bug) is
+    re-raised — but only after a crash context (guest registers, PC, the
+    last dispatched blocks, guest stack) is rendered to the tool output
+    stream, so there is always a post-mortem record of what the client
+    was doing when control was lost (§3.2). *)
+let run (s : t) : exit_reason =
+  try run_inner s
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try output s (Errors.render_crash s.errors (crash_context s (Printexc.to_string e)))
+     with _ -> ());
+    Printexc.raise_with_backtrace e bt
+
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -706,6 +916,14 @@ type stats = {
   st_transtab_used : int;
   st_transtab_evictions : int;
   st_lock_handoffs : int64;
+  (* robustness / chaos *)
+  st_interp_fallbacks : int;  (** blocks degraded to IR interpretation *)
+  st_uninstrumented_steps : int;  (** last-resort single steps *)
+  st_chaos_flushes : int;  (** forced cache flushes *)
+  st_syscall_restarts : int;  (** transparent EINTR restarts *)
+  st_injected_errnos : int;  (** injected errnos the client saw *)
+  st_short_io : int;  (** injected short reads/writes *)
+  st_map_retries : int;  (** mmap/mremap retries after transient denial *)
 }
 
 let stats (s : t) : stats =
@@ -731,6 +949,13 @@ let stats (s : t) : stats =
     st_transtab_used = s.transtab.used;
     st_transtab_evictions = s.transtab.n_evicted;
     st_lock_handoffs = s.threads.lock_handoffs;
+    st_interp_fallbacks = s.interp_fallbacks;
+    st_uninstrumented_steps = s.uninstrumented_steps;
+    st_chaos_flushes = s.chaos_flushes;
+    st_syscall_restarts = s.sysw.n_restarts;
+    st_injected_errnos = s.sysw.n_injected_errnos;
+    st_short_io = s.sysw.n_short_io;
+    st_map_retries = s.sysw.n_map_retries;
   }
 
 (** Client console output (via the simulated kernel). *)

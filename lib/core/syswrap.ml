@@ -19,11 +19,100 @@
 open Kernel
 module GA = Guest.Arch
 
+(** Per-session wrapper counters (owned by the session, read by its
+    statistics): how often each robustness path ran. *)
+type counters = {
+  mutable n_restarts : int;  (** EINTR restarts of read/nanosleep *)
+  mutable n_injected_errnos : int;  (** faults surfaced to the client *)
+  mutable n_short_io : int;  (** short reads/writes applied *)
+  mutable n_map_retries : int;  (** mmap/mremap retries after ENOMEM *)
+}
+
+let fresh_counters () =
+  { n_restarts = 0; n_injected_errnos = 0; n_short_io = 0; n_map_retries = 0 }
+
 type env = {
   events : Events.t;
   kern : Kernel.t;
   on_discard : int64 -> int -> unit;  (** munmap'd/discarded code ranges *)
+  chaos : Chaos.t option;  (** fault injection, if the session runs chaos *)
+  counters : counters;
+  charge : int -> unit;  (** cycle accounting for restart/backoff work *)
 }
+
+(* How often the wrapper re-issues before giving up and letting the
+   client see the error.  Chaos caps consecutive injections below these,
+   so injected faults always recover. *)
+let restart_limit = 8
+let map_attempt_limit = 4
+
+let enomem32 = Support.Bits.trunc32 (Int64.of_int Kernel.enomem)
+
+(* Invoke the kernel with fault injection and recovery around it:
+   - an injected EINTR on a restartable syscall (read, nanosleep) is
+     restarted transparently, like the kernel's SA_RESTART handling —
+     the client never observes it;
+   - other injected errnos are placed in r0 without entering the kernel;
+   - an injected short length clamps r3 for the duration of the call
+     (a short read/write, which clients must already cope with);
+   - mmap/mremap placement denials (transient, injected through the
+     kernel's [map_allowed] hook) are retried with exponential backoff,
+     charged as cycles. *)
+let rec invoke ?(restarts = 0) (e : env) ~tid ~num (r : Kernel.regs) :
+    Kernel.action =
+  let fault =
+    match e.chaos with
+    | None -> None
+    | Some c ->
+        let len =
+          if num = Num.sys_read || num = Num.sys_write then
+            Int64.to_int (r.get 3)
+          else 0
+        in
+        Chaos.syscall_fault c ~num ~len
+  in
+  match fault with
+  | Some (Chaos.Errno err)
+    when err = Kernel.eintr && Chaos.restartable num
+         && restarts < restart_limit ->
+      e.counters.n_restarts <- e.counters.n_restarts + 1;
+      (match e.chaos with
+      | Some c -> Chaos.note_recovery c "syscall_restart"
+      | None -> ());
+      e.charge 40;
+      invoke ~restarts:(restarts + 1) e ~tid ~num r
+  | Some (Chaos.Errno err) ->
+      e.counters.n_injected_errnos <- e.counters.n_injected_errnos + 1;
+      Kernel.ret r err;
+      Kernel.Ok
+  | Some (Chaos.Short_len n) ->
+      e.counters.n_short_io <- e.counters.n_short_io + 1;
+      let saved = r.get 3 in
+      r.set 3 (Int64.of_int n);
+      let a = Kernel.syscall e.kern ~tid r in
+      r.set 3 saved;
+      a
+  | None ->
+      if num = Num.sys_mmap || num = Num.sys_mremap then
+        map_with_retry e ~tid ~num r 0
+      else Kernel.syscall e.kern ~tid r
+
+and map_with_retry (e : env) ~tid ~num (r : Kernel.regs) (attempt : int) :
+    Kernel.action =
+  let a = Kernel.syscall e.kern ~tid r in
+  if e.chaos <> None && r.get 0 = enomem32 && attempt + 1 < map_attempt_limit
+  then begin
+    e.counters.n_map_retries <- e.counters.n_map_retries + 1;
+    (match e.chaos with
+    | Some c -> Chaos.note_recovery c "map_retry"
+    | None -> ());
+    e.charge (100 lsl attempt);
+    (* the kernel wrote -ENOMEM into r0, which also carries the syscall
+       number on entry: restore it or the retry dispatches garbage *)
+    r.set 0 (Int64.of_int num);
+    map_with_retry e ~tid ~num r (attempt + 1)
+  end
+  else a
 
 (* Convenience: announce that the syscall reads its number and [n]
    argument registers. *)
@@ -75,8 +164,8 @@ let syscall (e : env) ~(tid : int) (r : Kernel.regs) : Kernel.action =
     Events.fire_pre_mem_read ev ~syscall:name ~addr:a1 ~len:8;
   (* state snapshots needed for post-events *)
   let old_brk = e.kern.brk in
-  (* the call itself *)
-  let action = Kernel.syscall e.kern ~tid r in
+  (* the call itself, with fault injection + restart/retry around it *)
+  let action = invoke e ~tid ~num r in
   let ret = r.get 0 in
   let ok = Int64.unsigned_compare ret 0xFFFF_F000L < 0 (* not -errno *) in
   (* post-events *)

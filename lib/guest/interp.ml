@@ -325,3 +325,70 @@ let step (t : cached_interp) (h : handlers) : unit =
   with (Aspace.Fault _ | Sigill _ | Sigfpe _) as e ->
     st.eip <- at;
     raise e
+
+(* ------------------------------------------------------------------ *)
+(* One-shot external-state stepping                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** How a single externally-backed step ended. *)
+type external_outcome =
+  | X_next  (** ordinary instruction; eip advanced *)
+  | X_syscall  (** a [syscall] insn: the caller must run the kernel *)
+  | X_clreq  (** a [clreq] insn: the caller must handle the request *)
+
+(** Execute exactly one guest instruction against externally-owned
+    architectural state: registers, eip, the flags thunk, float and
+    vector registers are loaded through [get] (at the {!Arch} state
+    offsets), and written back through [put] after the instruction
+    retires.  This is the Valgrind core's last-resort degradation rung —
+    when even the IR front end cannot process a block, the core steps
+    the current thread's ThreadState one instruction at a time, then
+    retries the JIT at the next block boundary.
+
+    Returns [(cost_cycles, outcome)].  On a fault ({!Aspace.Fault},
+    {!Sigill}, {!Sigfpe}) nothing is written back, so the external state
+    still shows the faulting instruction's PC. *)
+let step_external ~(mem : Aspace.t) ~(get : int -> int -> int64)
+    ~(put : int -> int -> int64 -> unit) : int * external_outcome =
+  let st = create mem in
+  for r = 0 to n_regs - 1 do
+    st.regs.(r) <- get (off_reg r) 4
+  done;
+  st.eip <- get off_eip 4;
+  st.cc_op <- get off_cc_op 4;
+  st.cc_dep1 <- get off_cc_dep1 4;
+  st.cc_dep2 <- get off_cc_dep2 4;
+  st.cc_ndep <- get off_cc_ndep 4;
+  for f = 0 to n_fregs - 1 do
+    st.fregs.(f) <- Bits.float_of_bits (get (off_freg f) 8)
+  done;
+  for v = 0 to n_vregs - 1 do
+    st.vregs.(v) <-
+      V128.make ~lo:(get (off_vreg v) 8) ~hi:(get (off_vreg v + 8) 8)
+  done;
+  let outcome = ref X_next in
+  let h =
+    {
+      on_syscall = (fun _ -> outcome := X_syscall);
+      on_clreq = (fun _ -> outcome := X_clreq);
+    }
+  in
+  (* a one-shot private decode cache: never reused, no store watch *)
+  let t = { st; dcache = Hashtbl.create 1; cached_pages = Hashtbl.create 1 } in
+  step t h;
+  for r = 0 to n_regs - 1 do
+    put (off_reg r) 4 st.regs.(r)
+  done;
+  put off_eip 4 st.eip;
+  put off_cc_op 4 st.cc_op;
+  put off_cc_dep1 4 st.cc_dep1;
+  put off_cc_dep2 4 st.cc_dep2;
+  put off_cc_ndep 4 st.cc_ndep;
+  for f = 0 to n_fregs - 1 do
+    put (off_freg f) 8 (Bits.bits_of_float st.fregs.(f))
+  done;
+  for v = 0 to n_vregs - 1 do
+    put (off_vreg v) 8 (V128.lo st.vregs.(v));
+    put (off_vreg v + 8) 8 (V128.hi st.vregs.(v))
+  done;
+  (Int64.to_int st.cycles, !outcome)

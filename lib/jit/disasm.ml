@@ -349,7 +349,22 @@ let superblock ~(fetch : int64 -> int) (pc : int64) : block * stats =
     end
     else begin
       let insn, len =
-        try Guest.Decode.decode fetch addr with Aspace.Fault _ -> (GA.Ud, 1)
+        (* Unmapped or non-executable code must not silently decode (the
+           old behaviour read zeroes -> Ud -> SIGILL, where native
+           execution faults with SIGSEGV).  An unfetchable first
+           instruction means the whole translation request is invalid:
+           raise [Truncated] so the core delivers SIGSEGV.  Running into
+           unfetchable memory mid-block just ends the block before it —
+           the fault then surfaces (correctly attributed) when execution
+           actually reaches that address. *)
+        try Guest.Decode.decode fetch addr
+        with Aspace.Fault _ ->
+          if !n_insns = 0 then raise Guest.Decode.Truncated
+          else begin
+            b.next <- i32 addr;
+            b.jumpkind <- Jk_boring;
+            raise Exit
+          end
       in
       incr n_insns;
       n_bytes := !n_bytes + len;
@@ -372,5 +387,5 @@ let superblock ~(fetch : int64 -> int) (pc : int64) : block * stats =
           b.jumpkind <- jk
     end
   in
-  go pc;
+  (try go pc with Exit -> () (* block ended at unfetchable memory *));
   (b, { guest_insns = !n_insns; guest_bytes = !n_bytes })

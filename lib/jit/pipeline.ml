@@ -42,6 +42,48 @@ type checks = {
       (** after phase 8 *)
 }
 
+(** The trivial hooks: every boundary check is a no-op. *)
+let no_checks : checks =
+  {
+    ck_tree = (fun _ -> ());
+    ck_flat = (fun _ -> ());
+    ck_instrumented = (fun ~pre:_ ~post:_ -> ());
+    ck_opt2 = (fun ~pre:_ ~post:_ -> ());
+    ck_treebuilt = (fun ~pre:_ ~post:_ -> ());
+    ck_vcode = (fun _ ~n_int:_ ~n_vec:_ ~n_label:_ -> ());
+    ck_hcode = (fun _ -> ());
+    ck_bytes = (fun ~hcode:_ ~bytes:_ -> ());
+  }
+
+(** Run [a]'s hook then [b]'s at every boundary (e.g. the verifiers
+    composed with a fault injector's forced failures). *)
+let compose_checks (a : checks) (b : checks) : checks =
+  {
+    ck_tree = (fun x -> a.ck_tree x; b.ck_tree x);
+    ck_flat = (fun x -> a.ck_flat x; b.ck_flat x);
+    ck_instrumented =
+      (fun ~pre ~post ->
+        a.ck_instrumented ~pre ~post;
+        b.ck_instrumented ~pre ~post);
+    ck_opt2 =
+      (fun ~pre ~post ->
+        a.ck_opt2 ~pre ~post;
+        b.ck_opt2 ~pre ~post);
+    ck_treebuilt =
+      (fun ~pre ~post ->
+        a.ck_treebuilt ~pre ~post;
+        b.ck_treebuilt ~pre ~post);
+    ck_vcode =
+      (fun v ~n_int ~n_vec ~n_label ->
+        a.ck_vcode v ~n_int ~n_vec ~n_label;
+        b.ck_vcode v ~n_int ~n_vec ~n_label);
+    ck_hcode = (fun h -> a.ck_hcode h; b.ck_hcode h);
+    ck_bytes =
+      (fun ~hcode ~bytes ->
+        a.ck_bytes ~hcode ~bytes;
+        b.ck_bytes ~hcode ~bytes);
+  }
+
 (** A finished translation. *)
 type translation = {
   t_guest_addr : int64;  (** guest address this was translated from *)
@@ -224,7 +266,12 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
   ck (fun c -> c.ck_vcode vcode ~n_int ~n_vec ~n_label);
   (* 7: register allocation *)
   let next_label = ref n_label in
-  let hcode = Regalloc.run vcode ~n_int ~n_vec ~next_label in
+  let hcode =
+    try Regalloc.run vcode ~n_int ~n_vec ~next_label
+    with Regalloc.Out_of_spill_slots ->
+      raise
+        (Translation_failure "register allocation failed: out of spill slots")
+  in
   ck (fun c -> c.ck_hcode hcode);
   (* 8: assembly *)
   let bytes = Host.Encode.assemble hcode in
@@ -267,6 +314,23 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
 let translate ?(unroll = true) ?checks ~fetch ~instrument guest_addr :
     translation =
   snd (translate_phases ~unroll ?checks ~fetch ~instrument guest_addr)
+
+(** Run the front half of the pipeline only (phases 1–4), returning the
+    instrumented, optimised flat IR.  This is the graceful-degradation
+    path: when the back end (or a fault injector) refuses a translation,
+    the core evaluates this IR directly with {!Vex_ir.Eval.run} — tool
+    instrumentation included, so analysis stays sound — instead of
+    executing host code.  No boundary checks run here: the block is
+    about to be interpreted by the reference evaluator, which is itself
+    the oracle the verifiers compare against. *)
+let translate_ir ?(unroll = true) ~(fetch : int64 -> int)
+    ~(instrument : instrument) (guest_addr : int64) :
+    Vex_ir.Ir.block * Disasm.stats =
+  let tree, stats = Disasm.superblock ~fetch guest_addr in
+  let flat = Opt.opt1 ~unroll tree in
+  let instrumented = instrument (Vex_ir.Ir.copy_block flat) in
+  let opt2 = Opt.opt2 instrumented in
+  (opt2, stats)
 
 (** The identity instrumentation (what Nulgrind passes). *)
 let no_instrument : instrument = Fun.id

@@ -66,7 +66,9 @@ end
 (** Errno values (returned as negative results, Linux style). *)
 let enoent = -2
 
+let eintr = -4
 let ebadf = -9
+let eagain = -11
 let enomem = -12
 let einval = -22
 

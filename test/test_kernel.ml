@@ -89,6 +89,80 @@ let test_map_allowed_hook () =
   Alcotest.(check int) "denied -> ENOMEM" (-12)
     (Int64.to_int (Support.Bits.sext32 addr))
 
+(* ---- error returns: the unhappy paths clients actually hit --------- *)
+
+let errno r = Int64.to_int (Support.Bits.sext32 r)
+
+let test_mmap_errors () =
+  let _mem, k = make () in
+  (* zero / negative length: EINVAL, nothing mapped *)
+  let _, r = syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; 0L ] in
+  Alcotest.(check int) "mmap len 0 -> EINVAL" Kernel.einval (errno r);
+  let _, r = syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; -4096L ] in
+  Alcotest.(check int) "mmap len <0 -> EINVAL" Kernel.einval (errno r);
+  (* arena exhaustion: a request larger than the whole mmap arena *)
+  let arena = Int64.sub k.mmap_limit k.mmap_base in
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; Int64.add arena 4096L ]
+  in
+  Alcotest.(check int) "mmap too big -> ENOMEM" Kernel.enomem (errno r);
+  (* munmap of a bad length is EINVAL too *)
+  let _, r = syscall k [ Int64.of_int Kernel.Num.sys_munmap; 0x2000_0000L; 0L ] in
+  Alcotest.(check int) "munmap len 0 -> EINVAL" Kernel.einval (errno r)
+
+let test_mremap_errors () =
+  let _mem, k = make () in
+  let _, addr = syscall k [ Int64.of_int Kernel.Num.sys_mmap; 0L; 4096L ] in
+  Alcotest.(check bool) "mmap ok" true (errno addr > 0);
+  (* bad lengths: EINVAL, mapping untouched *)
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_mremap; addr; 0L; 8192L ]
+  in
+  Alcotest.(check int) "mremap old_len 0 -> EINVAL" Kernel.einval (errno r);
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_mremap; addr; 4096L; 0L ]
+  in
+  Alcotest.(check int) "mremap new_len 0 -> EINVAL" Kernel.einval (errno r);
+  (* growth denied by the map_allowed hook: ENOMEM, original survives *)
+  Aspace.write k.mem addr 4 0xBEEFL;
+  k.map_allowed <- (fun _ _ -> false);
+  let _, r =
+    syscall k [ Int64.of_int Kernel.Num.sys_mremap; addr; 4096L; 65536L ]
+  in
+  Alcotest.(check int) "mremap denied -> ENOMEM" Kernel.enomem (errno r);
+  Alcotest.check i64 "original mapping intact" 0xBEEFL (Aspace.read k.mem addr 4)
+
+let test_sigaction_errors () =
+  let _mem, k = make () in
+  let try_sig n =
+    let _, r = syscall k [ Int64.of_int Kernel.Num.sys_sigaction; n; 0x4000L ] in
+    errno r
+  in
+  Alcotest.(check int) "signal 0 -> EINVAL" Kernel.einval (try_sig 0L);
+  Alcotest.(check int) "signal -1 -> EINVAL" Kernel.einval (try_sig (-1L));
+  Alcotest.(check int) "signal 32 -> EINVAL" Kernel.einval
+    (try_sig (Int64.of_int Kernel.Sig.count));
+  (* no handler registered by any failed call *)
+  for s = 1 to Kernel.Sig.count - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no handler for %d" s)
+      true
+      (Kernel.handler_for k s = None)
+  done
+
+let test_kill_errors () =
+  let _mem, k = make () in
+  let try_kill n =
+    let _, r = syscall k [ Int64.of_int Kernel.Num.sys_kill; 1L; n ] in
+    errno r
+  in
+  Alcotest.(check int) "kill sig 0 -> EINVAL" Kernel.einval (try_kill 0L);
+  Alcotest.(check int) "kill sig 32 -> EINVAL" Kernel.einval
+    (try_kill (Int64.of_int Kernel.Sig.count));
+  (* nothing was queued by the failed kills *)
+  Alcotest.(check bool) "no signal queued" true
+    (Kernel.take_pending_signal k = None)
+
 let test_gettimeofday () =
   let mem, k = make () in
   k.now_cycles <- (fun () -> 2_500_000_000L) (* 2.5 simulated seconds *);
@@ -140,6 +214,10 @@ let tests =
     t "brk grow/shrink" test_brk;
     t "mmap/mremap/munmap" test_mmap_family;
     t "map_allowed pre-check hook" test_map_allowed_hook;
+    t "mmap error returns" test_mmap_errors;
+    t "mremap error returns" test_mremap_errors;
+    t "sigaction error returns" test_sigaction_errors;
+    t "kill error returns" test_kill_errors;
     t "gettimeofday" test_gettimeofday;
     t "signals" test_signals;
     t "thread/exit/yield actions" test_actions;
