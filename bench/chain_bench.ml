@@ -20,7 +20,17 @@ type row = {
   b_cycles_off : int64;
   b_chained : int64;  (** transfers that bypassed the dispatcher *)
   b_outputs_equal : bool;
+  b_jit_phases : int64 array;
+      (** per-phase JIT cycles (chaining on): eight entries summing to
+          that run's total JIT cycles *)
+  b_hit_rate_pm_on : int64;  (** dispatcher hit rate, per mille *)
+  b_hit_rate_pm_off : int64;
 }
+
+(* Hit rates are exported as integer per-mille so the gate's flat
+   int64 JSON keeps carrying them; 1000ths are precise enough to catch
+   a real locality regression. *)
+let per_mille (f : float) : int64 = Int64.of_float (f *. 1000.0)
 
 let run_one ?(scale = 1) (name : string) : row option =
   match Workloads.find name with
@@ -45,6 +55,9 @@ let run_one ?(scale = 1) (name : string) : row option =
           b_cycles_off = off.tr_cycles;
           b_chained = on.tr_stats.st_chained;
           b_outputs_equal = on.tr_stdout = off.tr_stdout;
+          b_jit_phases = on.tr_stats.st_jit_phase_cycles;
+          b_hit_rate_pm_on = per_mille on.tr_stats.st_dispatch_hit_rate;
+          b_hit_rate_pm_off = per_mille off.tr_stats.st_dispatch_hit_rate;
         }
 
 let rows ?scale () : row list = List.filter_map (run_one ?scale) suite
@@ -96,6 +109,16 @@ let metrics_of_row (r : row) : (string * int64) list =
     (r.b_name ^ ".chained", r.b_chained);
     (r.b_name ^ ".outputs_equal", if r.b_outputs_equal then 1L else 0L);
   ]
+  (* per-phase JIT cycles: "cycles_" prefixed so the gate's 10%
+     cycle tolerance applies to each phase individually *)
+  @ List.init (Array.length r.b_jit_phases) (fun i ->
+        (Printf.sprintf "%s.cycles_jit_p%d" r.b_name (i + 1), r.b_jit_phases.(i)))
+  @ [
+      (r.b_name ^ ".hit_rate_pm_on", r.b_hit_rate_pm_on);
+      (r.b_name ^ ".hit_rate_pm_off", r.b_hit_rate_pm_off);
+    ]
+
+let n_phases = 8
 
 let all_metrics (rs : row list) : (string * int64) list =
   let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
@@ -108,6 +131,11 @@ let all_metrics (rs : row list) : (string * int64) list =
       ( "total.outputs_equal",
         if List.for_all (fun r -> r.b_outputs_equal) rs then 1L else 0L );
     ]
+  @ List.init n_phases (fun i ->
+        ( Printf.sprintf "total.cycles_jit_p%d" (i + 1),
+          sum (fun r ->
+              if i < Array.length r.b_jit_phases then r.b_jit_phases.(i)
+              else 0L) ))
 
 let write_json ~(path : string) ?scale () =
   let ms = all_metrics (rows ?scale ()) in
@@ -157,8 +185,10 @@ let read_json (path : string) : (string * int64) list =
   close_in ic;
   List.rev !out
 
-(** Compare [current] against [baseline]; any [*.cycles_*] metric more
-    than 10% above its baseline value, or a current
+(** Compare [current] against [baseline]; any [*.cycles_*] metric
+    (totals and per-JIT-phase alike) more than 10% above its baseline
+    value, a [*.hit_rate_pm_*] metric drifting more than 20 per mille
+    (2 percentage points) either way, or a current
     [*.outputs_equal = 0], fails the gate.  Exits non-zero on failure so
     CI can gate on it. *)
 let check ~(baseline : string) ~(current : string) =
@@ -178,9 +208,28 @@ let check ~(baseline : string) ~(current : string) =
         String.length k > d + 7 && String.sub k (d + 1) 7 = "cycles_"
     | None -> false
   in
+  let is_hit_rate k =
+    match String.index_opt k '.' with
+    | Some d ->
+        String.length k > d + 12 && String.sub k (d + 1) 12 = "hit_rate_pm_"
+    | None -> false
+  in
+  let hit_rate_pm_tolerance = 20L in
   List.iter
     (fun (k, v) ->
-      if is_cycles k then
+      if is_hit_rate k then
+        match List.assoc_opt k base with
+        | None -> Printf.printf "?? %s: no baseline (new metric)\n" k
+        | Some b ->
+            let drift = Int64.abs (Int64.sub v b) in
+            if drift > hit_rate_pm_tolerance then begin
+              incr failures;
+              Printf.printf
+                "!! %s drifted: %Ld -> %Ld per mille (>%Ld)\n" k b v
+                hit_rate_pm_tolerance
+            end
+            else Printf.printf "ok %s: %Ld vs baseline %Ld\n" k v b
+      else if is_cycles k then
         match List.assoc_opt k base with
         | None -> Printf.printf "?? %s: no baseline (new metric)\n" k
         | Some b ->

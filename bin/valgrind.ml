@@ -35,8 +35,8 @@ let load_image (path : string) : Guest.Image.t =
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
-let run tool_name no_chaining no_verify smc_mode stats stdin_file supp_file
-    path =
+let run tool_name no_chaining no_verify smc_mode stats profile trace_file
+    stdin_file supp_file path =
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -69,6 +69,8 @@ let run tool_name no_chaining no_verify smc_mode stats stdin_file supp_file
       chaining = not no_chaining;
       smc_mode = smc;
       verify_jit = not no_verify;
+      profile;
+      trace_capacity = (if trace_file = None then 0 else 65536);
     }
   in
   let s = Vg_core.Session.create ~options ~tool img in
@@ -93,19 +95,49 @@ let run tool_name no_chaining no_verify smc_mode stats stdin_file supp_file
   Printf.eprintf "==vg== %s: %s\n" tool.name tool.description;
   Printf.eprintf "==vg== running %s\n" path;
   let reason = Vg_core.Session.run s in
-  if stats then begin
-    let st = Vg_core.Session.stats s in
-    Printf.eprintf "==vg== blocks run: %Ld  translations: %d  host cycles: %Ld\n"
-      st.st_blocks st.st_translations st.st_host_cycles;
-    Printf.eprintf "==vg== dispatcher hit rate: %.2f%%  total cycles: %Ld\n"
-      (100.0 *. st.st_dispatch_hit_rate)
-      st.st_total_cycles;
-    Printf.eprintf
-      "==vg== chained transfers: %Ld  (chains patched %d, unlinked %d)\n"
-      st.st_chained st.st_chain_patched st.st_chain_unlinked;
-    Printf.eprintf "==vg== verifier: %d phase-boundary checks\n"
-      st.st_verify_checks
-  end;
+  (match stats with
+  | None -> ()
+  | Some "json" ->
+      (* machine-readable: the full metrics registry, one flat JSON
+         object on stdout (the human-readable report stays on stderr).
+         If the client's own stdout didn't end in a newline, add one so
+         the JSON object always starts at column 0. *)
+      let out = Kernel.stdout_contents s.kern in
+      if String.length out > 0 && out.[String.length out - 1] <> '\n' then
+        print_newline ();
+      print_string (Vg_core.Session.stats_json s)
+  | Some _ ->
+      let st = Vg_core.Session.stats s in
+      Printf.eprintf
+        "==vg== blocks run: %Ld  translations: %d  host cycles: %Ld\n"
+        st.st_blocks st.st_translations st.st_host_cycles;
+      Printf.eprintf "==vg== dispatcher hit rate: %.2f%%  total cycles: %Ld\n"
+        (100.0 *. st.st_dispatch_hit_rate)
+        st.st_total_cycles;
+      Printf.eprintf
+        "==vg== chained transfers: %Ld  (chains patched %d, unlinked %d)\n"
+        st.st_chained st.st_chain_patched st.st_chain_unlinked;
+      Printf.eprintf "==vg== verifier: %d phase-boundary checks\n"
+        st.st_verify_checks;
+      Printf.eprintf "==vg== jit cycles by phase:";
+      Array.iteri
+        (fun i c ->
+          Printf.eprintf "  %s=%Ld" Jit.Pipeline.phase_names.(i) c)
+        st.st_jit_phase_cycles;
+      Printf.eprintf "\n");
+  if profile then prerr_string (Vg_core.Session.profile_report s);
+  (match (trace_file, Vg_core.Session.trace s) with
+  | Some f, Some tr ->
+      let write_file path text =
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc
+      in
+      write_file f (Obs.Trace.to_jsonl tr);
+      write_file (f ^ ".chrome.json") (Obs.Trace.to_chrome tr);
+      Printf.eprintf "==vg== trace: %d events -> %s (+ %s.chrome.json)\n"
+        (Obs.Trace.total tr) f f
+  | _ -> ());
   match reason with
   | Vg_core.Session.Exited n -> exit (n land 0xFF)
   | Vg_core.Session.Fatal_signal sg -> exit (128 + sg)
@@ -141,7 +173,35 @@ let cmd =
       & info [ "smc-check" ] ~doc:"Self-modifying-code checks: none|stack|all.")
   in
   let stats =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print core statistics at exit.")
+    Arg.(
+      value
+      & opt ~vopt:(Some "text") (some string) None
+      & info [ "stats" ]
+          ~doc:
+            "Print core statistics at exit: $(b,--stats) (or \
+             $(b,--stats=text)) for the human-readable report on stderr, \
+             $(b,--stats=json) for the full metrics registry as one flat \
+             JSON object on stdout.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Build the guest-execution profile from exact block counters \
+             and print the flat + caller/callee report at exit.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record structured events (translations, chain patch/unlink, \
+             evictions, chaos faults, signals) into a bounded ring and \
+             write them to $(docv) as JSON-lines, plus $(docv).chrome.json \
+             in Chrome trace_event format (load in chrome://tracing or \
+             Perfetto).")
   in
   let stdin_file =
     Arg.(
@@ -162,7 +222,13 @@ let cmd =
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
-      const run $ tool $ no_chaining $ no_verify $ smc $ stats $ stdin_file
-      $ supp $ path)
+      const run $ tool $ no_chaining $ no_verify $ smc $ stats $ profile
+      $ trace_file $ stdin_file $ supp $ path)
 
-let () = exit (Cmd.eval cmd)
+(* cmdliner's optional-value arguments consume a following bare token,
+   so "--stats PROGRAM" would swallow the program path.  Rewrite the
+   bare form to "--stats=text" so both spellings keep working. *)
+let argv =
+  Array.map (fun a -> if a = "--stats" then "--stats=text" else a) Sys.argv
+
+let () = exit (Cmd.eval ~argv cmd)

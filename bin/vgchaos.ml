@@ -94,7 +94,22 @@ let exit_str = function
   | Vg_core.Session.Fatal_signal n -> Printf.sprintf "fatal signal %d" n
   | Vg_core.Session.Out_of_fuel -> "out of fuel"
 
-let run_one ~(tool : Vg_core.Tool.t) ~(img : Guest.Image.t)
+(* Trace artifacts: structured event dumps written next to the sweep for
+   post-mortem (and uploaded by CI when a cell fails). *)
+let trace_dir = "vgchaos-traces"
+
+let ensure_dir_of (prefix : string) =
+  let dir = Filename.dirname prefix in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* [trace_to]: record the session's structured events and write them to
+   <prefix>.jsonl + <prefix>.chrome.json (Chrome trace_event format). *)
+let run_one ?trace_to ~(tool : Vg_core.Tool.t) ~(img : Guest.Image.t)
     ~(chaos : Chaos.t option) () : (outcome, string) result =
   let options =
     {
@@ -104,14 +119,28 @@ let run_one ~(tool : Vg_core.Tool.t) ~(img : Guest.Image.t)
       (* small code cache: chunk eviction happens under every schedule *)
       transtab_capacity = 256;
       chaos;
+      trace_capacity = (if trace_to = None then 0 else 65536);
     }
   in
   let s = Vg_core.Session.create ~options ~tool img in
   Kernel.add_file s.kern "data.txt"
     (String.init 777 (fun i -> Char.chr (33 + (i mod 90))));
+  let dump_trace () =
+    match (trace_to, Vg_core.Session.trace s) with
+    | Some prefix, Some tr ->
+        ensure_dir_of prefix;
+        write_file (prefix ^ ".jsonl") (Obs.Trace.to_jsonl tr);
+        write_file (prefix ^ ".chrome.json") (Obs.Trace.to_chrome tr);
+        Fmt.pr "  trace: %d events -> %s.jsonl, %s.chrome.json@."
+          (Obs.Trace.total tr) prefix prefix
+    | _ -> ()
+  in
   match Vg_core.Session.run s with
-  | exception e -> Error (Printexc.to_string e)
+  | exception e ->
+      dump_trace ();
+      Error (Printexc.to_string e)
   | reason ->
+      dump_trace ();
       let st = Vg_core.Session.stats s in
       Ok
         {
@@ -146,7 +175,29 @@ let expect_eq cell what a b =
   if a <> b then
     fail cell (Printf.sprintf "%s diverged:\n  --- %S\n  +++ %S" what a b)
 
-let run_cell ~cell ~tool ~img ~seed : unit =
+let sanitize cell =
+  String.map (fun c -> if c = ' ' then '_' else c) cell
+
+let rec run_cell ~cell ~tool ~img ~seed : unit =
+  let failures0 = !failures in
+  run_cell_inner ~cell ~tool ~img ~seed;
+  (* a failed cell gets a post-mortem: replay both schedules with the
+     structured trace enabled and keep the artifacts for CI upload *)
+  if !failures > failures0 then begin
+    Fmt.pr "%s: replaying with --trace for post-mortem@." cell;
+    List.iter
+      (fun (sched, cfg) ->
+        ignore
+          (run_one
+             ~trace_to:
+               (Filename.concat trace_dir (sanitize cell ^ "-" ^ sched))
+             ~tool ~img
+             ~chaos:(Some (Chaos.create cfg))
+             ()))
+      [ ("idempotent", Chaos.idempotent ~seed); ("hostile", Chaos.hostile ~seed) ]
+  end
+
+and run_cell_inner ~cell ~tool ~img ~seed : unit =
   match run_one ~tool ~img ~chaos:None () with
   | Error e -> fail cell ("baseline raised " ^ e)
   | Ok base -> (
@@ -206,13 +257,25 @@ let run_sweep (seeds : int list) : bool =
             tools)
         imgs)
     seeds;
+  (* always leave one exemplar structured trace behind (a Chrome-loadable
+     record of a full fault schedule), even when every cell passes *)
+  (match (List.assoc_opt "mcf" imgs, seeds) with
+  | Some img, seed :: _ ->
+      Fmt.pr "exemplar trace: mcf under memcheck, hostile schedule@.";
+      ignore
+        (run_one
+           ~trace_to:(Filename.concat trace_dir "exemplar-hostile")
+           ~tool:Tools.Memcheck.tool ~img
+           ~chaos:(Some (Chaos.create (Chaos.hostile ~seed)))
+           ())
+  | _ -> ());
   !failures = 0
 
 (* ------------------------------------------------------------------ *)
 (* Single-cell mode (--seed): show the fault schedule                   *)
 (* ------------------------------------------------------------------ *)
 
-let run_single ~seed ~schedule ~tname ~wname : bool =
+let run_single ~seed ~schedule ~tname ~wname ~trace_to : bool =
   let tool =
     match List.assoc_opt tname tools with
     | Some t -> t
@@ -232,7 +295,7 @@ let run_single ~seed ~schedule ~tname ~wname : bool =
   let c = Chaos.create cfg in
   Fmt.pr "== vgchaos: %s under %s, %s schedule, seed %d ==@." wname tname
     schedule seed;
-  match run_one ~tool ~img ~chaos:(Some c) () with
+  match run_one ?trace_to ~tool ~img ~chaos:(Some c) () with
   | Error e ->
       Fmt.pr "UNCAUGHT EXCEPTION: %s@." e;
       false
@@ -267,7 +330,7 @@ let () =
       in
       let tname = Option.value (flag "--tool" argv) ~default:"memcheck" in
       let wname = Option.value (flag "--workload" argv) ~default:"mcf" in
-      run_single ~seed ~schedule ~tname ~wname
+      run_single ~seed ~schedule ~tname ~wname ~trace_to:(flag "--trace" argv)
   in
   if not ok then begin
     prerr_endline "vgchaos: FAILED";

@@ -80,6 +80,9 @@ type t = {
   mutable consec_map_denials : int;
   mutable recoveries : (string * int) list;
       (** recovery-path activations observed by the core, by kind *)
+  mutable sink : (kind:string -> detail:string -> unit) option;
+      (** observer notified of every injection (the session wires this
+          to its trace ring; a closure so chaos stays obs-free) *)
 }
 
 let create (cfg : config) : t =
@@ -90,7 +93,12 @@ let create (cfg : config) : t =
     n_injected = 0;
     consec_map_denials = 0;
     recoveries = [];
+    sink = None;
   }
+
+(** Install an injection observer (at most one; the session uses it to
+    mirror the fault log into its structured trace). *)
+let set_sink t (f : kind:string -> detail:string -> unit) = t.sink <- Some f
 
 let seed t = t.cfg.seed
 let n_injected t = t.n_injected
@@ -104,7 +112,8 @@ let budget_ok t =
 
 let inject t kind detail =
   t.n_injected <- t.n_injected + 1;
-  t.log <- Printf.sprintf "chaos[%d] %s: %s" t.n_injected kind detail :: t.log
+  t.log <- Printf.sprintf "chaos[%d] %s: %s" t.n_injected kind detail :: t.log;
+  match t.sink with Some f -> f ~kind ~detail | None -> ()
 
 (* One biased coin flip; never consumes randomness when the injection
    point is disabled (p = 0) or the budget is spent, so turning one

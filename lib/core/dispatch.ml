@@ -72,11 +72,23 @@ let flush (t : t) =
   Array.fill t.keys 0 t.size Int64.minus_one;
   Array.fill t.values 0 t.size None
 
+(** Total over all states: a dispatcher that has never been entered has
+    a hit rate of 0.0 (not 1.0, and never NaN — this value flows into
+    the stats record and the JSON export unguarded). *)
 let hit_rate t =
   let total = Int64.add t.hits t.misses in
-  if total = 0L then 1.0
+  if total = 0L then 0.0
   else Int64.to_float t.hits /. Int64.to_float total
 
 (** Total dispatcher entries (every [lookup], hit or miss).  Chained
     transfers bypass the dispatcher and are not counted here. *)
 let entries t = Int64.add t.hits t.misses
+
+(** Publish this dispatcher's live counters into a metrics registry as
+    probes: the registry reads the same mutable fields the legacy stats
+    record does, so the two can never disagree. *)
+let publish (r : Obs.Registry.t) (t : t) =
+  Obs.Registry.probe r "dispatch.hits" (fun () -> t.hits);
+  Obs.Registry.probe r "dispatch.misses" (fun () -> t.misses);
+  Obs.Registry.probe r "dispatch.entries" (fun () -> entries t);
+  Obs.Registry.fprobe r "dispatch.hit_rate" (fun () -> hit_rate t)

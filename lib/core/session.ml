@@ -55,6 +55,16 @@ type options = {
           IR evaluator — instrumentation included — instead of killing
           the session; later blocks re-enter the JIT as usual.  Off:
           translation failures propagate to the caller. *)
+  profile : bool;
+      (** build the guest-execution profile (flat + caller/callee, a
+          mini-Callgrind) from exact block counters; read it back with
+          {!profile_report}.  Off by default: profiling costs a symbol
+          lookup per block. *)
+  trace_capacity : int;
+      (** size of the structured-event trace ring (translations, chain
+          patch/unlink, evictions, chaos faults, signals, degradations).
+          0 (the default) disables tracing.  Export with {!trace} +
+          {!Obs.Trace.to_jsonl}/{!Obs.Trace.to_chrome}. *)
 }
 
 let default_options =
@@ -74,6 +84,8 @@ let default_options =
     verify_jit = true;
     chaos = None;
     interp_fallback = true;
+    profile = false;
+    trace_capacity = 0;
   }
 
 type exit_reason =
@@ -112,6 +124,18 @@ type t = {
       (** last-resort single-instruction steps (no instrumentation) *)
   mutable chaos_flushes : int;  (** forced transtab flushes (chaos) *)
   sysw : Syswrap.counters;  (** wrapper restart/retry accounting *)
+  (* observability (Vgscope) *)
+  metrics : Obs.Registry.t;
+      (** the metrics registry every subsystem publishes into; probes
+          read the live fields above, so registry and [stats] agree by
+          construction *)
+  trace : Obs.Trace.t option;  (** structured-event ring, if enabled *)
+  profiler : Obs.Profile.t option;  (** guest profile, if enabled *)
+  jit_phase_cycles : int64 array;
+      (** [jit_cycles] split across the eight pipeline phases; the
+          entries always sum to [jit_cycles] exactly *)
+  fn_cache : (int64, string * int64) Hashtbl.t;
+      (** block pc -> (function name, base), for profile attribution *)
   (* last-N dispatched block addresses, for crash contexts *)
   dispatch_trace : int64 array;
   mutable dispatch_trace_n : int;  (** total blocks recorded *)
@@ -141,6 +165,51 @@ let total_cycles (s : t) : int64 =
 let output s msg =
   Buffer.add_string s.output_buf msg;
   if s.echo_output then prerr_string msg
+
+(* Emit one structured trace event, timestamped on the simulated cycle
+   clock (never wall-clock: traces replay bit-identically). *)
+let tev (s : t) ~cat ~name ?(args = []) () =
+  match s.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.emit tr ~ts:(total_cycles s) ~cat ~name ~args ()
+
+(* Publish every subsystem's counters into the session's metrics
+   registry.  All entries are probes over the same mutable fields the
+   [stats] record reads, so the registry and [stats] cannot disagree. *)
+let publish_metrics (s : t) =
+  let r = s.metrics in
+  let pL name f = Obs.Registry.probe r name f in
+  let pi name f = pL name (fun () -> Int64.of_int (f ())) in
+  pL "core.blocks" (fun () -> s.blocks_executed);
+  pL "core.host_cycles" (fun () -> s.cpu.cycles);
+  pL "core.host_insns" (fun () -> s.cpu.insns);
+  pL "core.overhead_cycles" (fun () -> s.overhead_cycles);
+  pL "core.jit_cycles" (fun () -> s.jit_cycles);
+  pL "core.smc_cycles" (fun () -> s.smc_cycles);
+  pL "core.total_cycles" (fun () -> total_cycles s);
+  pL "core.chained_transfers" (fun () -> s.chained_transfers);
+  pL "core.lock_handoffs" (fun () -> s.threads.lock_handoffs);
+  pi "core.translations" (fun () -> s.translations_made);
+  pi "core.retranslations_smc" (fun () -> s.retranslations_smc);
+  pi "core.verify_checks" (fun () -> s.verify_checks);
+  pi "core.interp_fallbacks" (fun () -> s.interp_fallbacks);
+  pi "core.uninstrumented_steps" (fun () -> s.uninstrumented_steps);
+  pi "core.chaos_flushes" (fun () -> s.chaos_flushes);
+  for i = 0 to Jit.Pipeline.n_phases - 1 do
+    pL
+      (Printf.sprintf "jit.phase%d.%s.cycles" (i + 1)
+         Jit.Pipeline.phase_names.(i))
+      (fun () -> s.jit_phase_cycles.(i))
+  done;
+  Dispatch.publish r s.dispatch;
+  Transtab.publish r s.transtab;
+  Syswrap.publish r s.sysw;
+  match s.opts.chaos with
+  | Some c ->
+      pi "chaos.injected" (fun () -> Chaos.n_injected c);
+      pi "chaos.recoveries" (fun () ->
+          List.fold_left (fun a (_, n) -> a + n) 0 (Chaos.recoveries c))
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -196,6 +265,14 @@ let create ?(options = default_options) ~(tool : Tool.t)
       uninstrumented_steps = 0;
       chaos_flushes = 0;
       sysw = Syswrap.fresh_counters ();
+      metrics = Obs.Registry.create ();
+      trace =
+        (if options.trace_capacity > 0 then
+           Some (Obs.Trace.create ~capacity:options.trace_capacity)
+         else None);
+      profiler = (if options.profile then Some (Obs.Profile.create ()) else None);
+      jit_phase_cycles = Array.make Jit.Pipeline.n_phases 0L;
+      fn_cache = Hashtbl.create 256;
       dispatch_trace = Array.make 16 0L;
       dispatch_trace_n = 0;
       exit_reason = None;
@@ -225,6 +302,15 @@ let create ?(options = default_options) ~(tool : Tool.t)
       | None -> symbolize_with image a);
   errors.output <- (fun msg -> output s msg);
   kern.now_cycles <- (fun () -> total_cycles s);
+  Transtab.set_observer s.transtab ~trace:s.trace
+    ~now:(fun () -> total_cycles s);
+  (* chaos injections mirror into the structured trace *)
+  (match (options.chaos, s.trace) with
+  | Some c, Some _ ->
+      Chaos.set_sink c (fun ~kind ~detail ->
+          tev s ~cat:"chaos" ~name:kind ~args:[ ("detail", Obs.Trace.S detail) ] ())
+  | _ -> ());
+  publish_metrics s;
   s
 
 (** Symbolise an address: image symbols, plus redirection-stub names. *)
@@ -232,6 +318,39 @@ let symbolize (s : t) (a : int64) : string =
   match Redirect.stub_name s.redirect a with
   | Some n -> n
   | None -> symbolize_with s.image a
+
+(* The function a block pc belongs to (cached): a redirection stub by
+   its own name, else the nearest image symbol at or below.  Local
+   labels (".L...", emitted by minicc for branch targets) are skipped
+   so attribution rolls up to the enclosing function. *)
+let is_local_label (n : string) =
+  String.length n >= 2 && n.[0] = '.' && n.[1] = 'L'
+
+let fn_symbol_for (img : Guest.Image.t) (addr : int64) =
+  List.fold_left
+    (fun best (name, a) ->
+      if is_local_label name then best
+      else if Int64.unsigned_compare a addr <= 0 then
+        match best with
+        | Some (_, ba) when Int64.unsigned_compare ba a >= 0 -> best
+        | _ -> Some (name, a)
+      else best)
+    None img.Guest.Image.symbols
+
+let resolve_fn (s : t) (pc : int64) : string * int64 =
+  match Hashtbl.find_opt s.fn_cache pc with
+  | Some r -> r
+  | None ->
+      let r =
+        match Redirect.stub_name s.redirect pc with
+        | Some n -> (n, pc)
+        | None -> (
+            match fn_symbol_for s.image pc with
+            | Some (n, base) -> (n, base)
+            | None -> (Printf.sprintf "0x%LX" pc, pc))
+      in
+      Hashtbl.replace s.fn_cache pc r;
+      r
 
 (* The helper environment: guest-state access goes to the *current*
    thread's ThreadState; memory to the shared address space. *)
@@ -434,9 +553,37 @@ let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
       ~instrument:(instrument_fn s) fetch_pc
   in
   let t = { t with t_guest_addr = pc; t_smc_check = wants_smc_check s fetch_pc } in
-  s.jit_cycles <-
-    Int64.add s.jit_cycles (Int64.of_int (Jit.Pipeline.translation_cost t));
+  let start = total_cycles s in
+  let cost = Jit.Pipeline.translation_cost t in
+  Array.iteri
+    (fun i c ->
+      s.jit_phase_cycles.(i) <-
+        Int64.add s.jit_phase_cycles.(i) (Int64.of_int c))
+    t.t_phase_cycles;
+  s.jit_cycles <- Int64.add s.jit_cycles (Int64.of_int cost);
   s.translations_made <- s.translations_made + 1;
+  (* trace: one summary slice for the translation plus one slice per
+     phase, tiled end to end on the simulated timeline *)
+  (match s.trace with
+  | Some tr ->
+      Obs.Trace.emit tr ~ts:start ~dur:(Int64.of_int cost) ~cat:"jit"
+        ~name:"translate"
+        ~args:
+          [ ("pc", Obs.Trace.I pc);
+            ("stmts_pre", Obs.Trace.I (Int64.of_int t.t_ir_stmts_pre));
+            ("stmts_post", Obs.Trace.I (Int64.of_int t.t_ir_stmts_post));
+            ("code_bytes", Obs.Trace.I (Int64.of_int (Bytes.length t.t_code))) ]
+        ();
+      let ts = ref start in
+      Array.iteri
+        (fun i c ->
+          Obs.Trace.emit tr ~ts:!ts ~dur:(Int64.of_int c) ~cat:"jit"
+            ~name:Jit.Pipeline.phase_names.(i)
+            ~args:[ ("pc", Obs.Trace.I pc) ]
+            ();
+          ts := Int64.add !ts (Int64.of_int c))
+        t.t_phase_cycles
+  | None -> ());
   Transtab.insert s.transtab pc t;
   t
 
@@ -451,6 +598,9 @@ let scheduler_find (s : t) (pc : int64) : Jit.Pipeline.translation =
 (* ------------------------------------------------------------------ *)
 
 let fatal (s : t) (signal : int) =
+  tev s ~cat:"signal" ~name:"fatal"
+    ~args:[ ("sig", Obs.Trace.S (Kernel.Sig.name signal)) ]
+    ();
   output s
     (Printf.sprintf "==vg== Process terminating with default action of %s\n"
        (Kernel.Sig.name signal));
@@ -472,6 +622,9 @@ let deliver_signal (s : t) (signal : int) =
   match Kernel.handler_for s.kern signal with
   | None -> fatal s signal
   | Some h ->
+      tev s ~cat:"signal" ~name:"deliver"
+        ~args:[ ("sig", Obs.Trace.S (Kernel.Sig.name signal)) ]
+        ();
       let th = s.threads.current in
       Threads.save_frame s.threads th;
       (* push the signal number argument and the sigreturn trampoline as
@@ -668,6 +821,9 @@ let invalid_exec (s : t) (pc : int64) =
    even the IR front end (phases 1-4) cannot process the block. *)
 let step_uninstrumented (s : t) (th : Threads.thread) =
   s.uninstrumented_steps <- s.uninstrumented_steps + 1;
+  tev s ~cat:"degrade" ~name:"uninstrumented_step"
+    ~args:[ ("pc", Obs.Trace.I (Threads.get_eip s.threads th)) ]
+    ();
   (match s.opts.chaos with
   | Some c -> Chaos.note_recovery c "uninstrumented_step"
   | None -> ());
@@ -711,6 +867,9 @@ let step_uninstrumented (s : t) (th : Threads.thread) =
 let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
   s.interp_fallbacks <- s.interp_fallbacks + 1;
   s.last_exit <- None;
+  tev s ~cat:"degrade" ~name:"interp_fallback"
+    ~args:[ ("pc", Obs.Trace.I pc) ]
+    ();
   (match s.opts.chaos with
   | Some c -> Chaos.note_recovery c "interp_fallback"
   | None -> ());
@@ -727,7 +886,8 @@ let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
       step_uninstrumented s th
   | ir, _stats -> (
       (* interpretation is slower than compiled code; charge for it *)
-      charge s (8 * Support.Vec.length ir.Vex_ir.Ir.stmts);
+      let interp_cost = 8 * Support.Vec.length ir.Vex_ir.Ir.stmts in
+      charge s interp_cost;
       match Vex_ir.Eval.run (helper_env s) ir with
       | exception Aspace.Fault f ->
           output s
@@ -742,6 +902,12 @@ let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
           Threads.put_eip s.threads th next_pc;
           s.blocks_executed <- Int64.add s.blocks_executed 1L;
           th.blocks_run <- Int64.add th.blocks_run 1L;
+          (match s.profiler with
+          | Some p ->
+              let name, base = resolve_fn s pc in
+              Obs.Profile.block p ~base ~name
+                ~cycles:(Int64.of_int interp_cost)
+          | None -> ());
           handle_exit s th ~ek:(HA.ek_of_jumpkind jumpkind) ~dest:next_pc)
 
 (* Acquire the translation for [pc], including the SMC re-check, with
@@ -758,6 +924,9 @@ let acquire_translation (s : t) (pc : int64) :
         Transtab.discard_key s.transtab pc;
         Dispatch.flush s.dispatch;
         s.retranslations_smc <- s.retranslations_smc + 1;
+        tev s ~cat:"smc" ~name:"retranslate"
+          ~args:[ ("pc", Obs.Trace.I pc) ]
+          ();
         match translate s pc with
         | exception Guest.Decode.Truncated -> `Invalid_exec
         | exception Jit.Pipeline.Translation_failure m -> `Failed m
@@ -779,8 +948,10 @@ let run_block (s : t) =
         raise (Jit.Pipeline.Translation_failure msg);
       run_block_interp s th ~pc
   | `T t -> (
+      t.t_hotness <- Int64.add t.t_hotness 1L;
       s.cpu.hregs.(HA.gsp) <- th.ts_addr;
       let env = helper_env s in
+      let prof_cycles0 = s.cpu.cycles in
       match Host.Interp.run s.cpu ~env t.t_decoded with
       | exception Aspace.Fault f ->
           s.last_exit <- None;
@@ -802,6 +973,16 @@ let run_block (s : t) =
           Threads.put_eip s.threads th dest;
           s.blocks_executed <- Int64.add s.blocks_executed 1L;
           th.blocks_run <- Int64.add th.blocks_run 1L;
+          (match s.profiler with
+          | Some p ->
+              let name, base = resolve_fn s pc in
+              Obs.Profile.block p ~base ~name
+                ~cycles:(Int64.sub s.cpu.cycles prof_cycles0);
+              if ek = HA.ek_call then begin
+                let callee_name, callee_base = resolve_fn s dest in
+                Obs.Profile.call p ~caller:base ~callee_base ~callee_name
+              end
+          | None -> ());
           handle_exit s th ~ek ~dest)
 
 let run_inner (s : t) : exit_reason =
@@ -905,6 +1086,9 @@ type stats = {
   st_translations : int;
   st_retranslations_smc : int;
   st_verify_checks : int;  (** phase-boundary verifications run *)
+  st_jit_phase_cycles : int64 array;
+      (** [st_jit_cycles] attributed to the eight pipeline phases; the
+          entries sum to [st_jit_cycles] exactly *)
   st_dispatch_hits : int64;
   st_dispatch_misses : int64;
   st_dispatch_hit_rate : float;
@@ -938,6 +1122,7 @@ let stats (s : t) : stats =
     st_translations = s.translations_made;
     st_retranslations_smc = s.retranslations_smc;
     st_verify_checks = s.verify_checks;
+    st_jit_phase_cycles = Array.copy s.jit_phase_cycles;
     st_dispatch_hits = s.dispatch.hits;
     st_dispatch_misses = s.dispatch.misses;
     st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;
@@ -962,3 +1147,49 @@ let stats (s : t) : stats =
 let client_stdout (s : t) = Kernel.stdout_contents s.kern
 
 let tool_output (s : t) = Buffer.contents s.output_buf
+
+(* ------------------------------------------------------------------ *)
+(* Observability exports (Vgscope)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The session's metrics registry: every subsystem's counters, gauges
+    and probes, readable at any time.  The probes read the same mutable
+    fields {!stats} reads, so the two views cannot disagree. *)
+let metrics (s : t) : Obs.Registry.t = s.metrics
+
+(** All metrics as one flat JSON object (sorted keys, one line per
+    metric) — the [--stats=json] payload.  Deterministic: every value
+    comes from the simulated cycle model or exact counters. *)
+let stats_json (s : t) : string = Obs.Registry.to_json s.metrics
+
+(** The structured-event trace ring, if tracing was enabled. *)
+let trace (s : t) : Obs.Trace.t option = s.trace
+
+(** Render the guest-execution profile (the [--profile] report): a flat
+    per-function table from exact block counters, the observed
+    caller/callee edges, and the hottest resident translations with
+    their per-translation metadata. *)
+let profile_report ?(top = 20) (s : t) : string =
+  match s.profiler with
+  | None -> "==vgscope== profiling was not enabled (pass --profile)\n"
+  | Some p ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Obs.Profile.report ~top ~name_of:(fun pc -> fst (resolve_fn s pc)) p);
+      let hot = Transtab.hottest s.transtab top in
+      if hot <> [] then begin
+        Buffer.add_string b
+          "==vgscope== hot translations (resident, by executions):\n";
+        Buffer.add_string b
+          "==vgscope==       execs   jit-cyc  bytes  ir-pre  ir-post  location\n";
+        List.iter
+          (fun (t : Jit.Pipeline.translation) ->
+            Buffer.add_string b
+              (Printf.sprintf "==vgscope== %11Ld %9d %6d %7d %8d  %s\n"
+                 t.t_hotness
+                 (Jit.Pipeline.translation_cost t)
+                 (Bytes.length t.t_code) t.t_ir_stmts_pre t.t_ir_stmts_post
+                 (symbolize s t.t_guest_addr)))
+          hot
+      end;
+      Buffer.contents b

@@ -31,6 +31,15 @@ type counters = {
 let fresh_counters () =
   { n_restarts = 0; n_injected_errnos = 0; n_short_io = 0; n_map_retries = 0 }
 
+(** Publish the wrapper counters into a metrics registry as probes (the
+    registry reads the same mutable fields the stats record does). *)
+let publish (r : Obs.Registry.t) (c : counters) =
+  let pi name f = Obs.Registry.probe r name (fun () -> Int64.of_int (f ())) in
+  pi "syswrap.restarts" (fun () -> c.n_restarts);
+  pi "syswrap.injected_errnos" (fun () -> c.n_injected_errnos);
+  pi "syswrap.short_io" (fun () -> c.n_short_io);
+  pi "syswrap.map_retries" (fun () -> c.n_map_retries)
+
 type env = {
   events : Events.t;
   kern : Kernel.t;

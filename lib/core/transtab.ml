@@ -32,6 +32,12 @@ type t = {
      (source key, slot) pairs patched to jump straight into it *)
   chains_in : (int64, (int64 * Jit.Pipeline.chain_slot) list) Hashtbl.t;
   events : Events.t option;  (** chain lifecycle counters, if plumbed *)
+  (* structured tracing (wired post-create by the session, like the
+     kernel's [now_cycles]): lifecycle events — chain patch/unlink,
+     chunk evictions, discards, flushes — timestamped with the
+     session's simulated cycle clock *)
+  mutable trace : Obs.Trace.t option;
+  mutable now : unit -> int64;
   (* statistics *)
   mutable n_inserts : int;
   mutable n_evict_chunks : int;
@@ -50,6 +56,8 @@ let create ?events ?(capacity = 32768) () =
     seq = 0;
     chains_in = Hashtbl.create 1024;
     events;
+    trace = None;
+    now = (fun () -> 0L);
     n_inserts = 0;
     n_evict_chunks = 0;
     n_evicted = 0;
@@ -58,6 +66,17 @@ let create ?events ?(capacity = 32768) () =
     n_chain_unlinks = 0;
     live_chains = 0;
   }
+
+(** Attach a trace sink and a cycle clock (the session calls this right
+    after [create], mirroring [Kernel.now_cycles]). *)
+let set_observer t ~(trace : Obs.Trace.t option) ~(now : unit -> int64) =
+  t.trace <- trace;
+  t.now <- now
+
+let tev t ~name ?(args = []) () =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Obs.Trace.emit tr ~ts:(t.now ()) ~cat:"cache" ~name ~args ()
 
 let hash t (key : int64) =
   (* fibonacci hashing of the low word *)
@@ -110,6 +129,11 @@ let link (t : t) ~(src : Jit.Pipeline.translation)
     (match t.events with
     | Some e -> Events.tick_chain_patched e
     | None -> ());
+    tev t ~name:"chain_patch"
+      ~args:
+        [ ("src", Obs.Trace.I src.t_guest_addr);
+          ("dst", Obs.Trace.I dst.t_guest_addr) ]
+      ();
     true
   end
 
@@ -118,9 +142,12 @@ let unlink_slot t (slot : Jit.Pipeline.chain_slot) =
     slot.cs_next <- None;
     t.n_chain_unlinks <- t.n_chain_unlinks + 1;
     t.live_chains <- t.live_chains - 1;
-    match t.events with
+    (match t.events with
     | Some e -> Events.tick_chain_unlinked e
-    | None -> ()
+    | None -> ());
+    tev t ~name:"chain_unlink"
+      ~args:[ ("target", Obs.Trace.I slot.cs_target) ]
+      ()
   end
 
 (* Unlink every chain jumping INTO [key] (its translation is being
@@ -200,6 +227,9 @@ let evict_chunk t =
   let dropped, kept = split n_drop [] entries in
   t.n_evict_chunks <- t.n_evict_chunks + 1;
   t.n_evicted <- t.n_evicted + List.length dropped;
+  tev t ~name:"evict_chunk"
+    ~args:[ ("dropped", Obs.Trace.I (Int64.of_int (List.length dropped))) ]
+    ();
   on_removed t dropped;
   rebuild t kept
 
@@ -240,6 +270,11 @@ let discard_range (t : t) (addr : int64) (len : int) : int =
   let n = List.length drop in
   if n > 0 then begin
     t.n_discards <- t.n_discards + n;
+    tev t ~name:"discard_range"
+      ~args:
+        [ ("addr", Obs.Trace.I addr); ("len", Obs.Trace.I (Int64.of_int len));
+          ("dropped", Obs.Trace.I (Int64.of_int n)) ]
+      ();
     on_removed t drop;
     rebuild t keep
   end;
@@ -252,12 +287,16 @@ let discard_key (t : t) (key : int64) =
     List.partition (fun e -> e.e_key <> key) (all_entries t)
   in
   t.n_discards <- t.n_discards + 1;
+  tev t ~name:"discard_key" ~args:[ ("key", Obs.Trace.I key) ] ();
   on_removed t drop;
   rebuild t keep
 
 (** Empty the table completely, unlinking every chain and resetting the
     live-chain state (cumulative counters are preserved). *)
 let flush (t : t) =
+  tev t ~name:"flush"
+    ~args:[ ("resident", Obs.Trace.I (Int64.of_int t.used)) ]
+    ();
   Hashtbl.iter
     (fun _ pairs -> List.iter (fun (_, slot) -> unlink_slot t slot) pairs)
     t.chains_in;
@@ -267,3 +306,40 @@ let flush (t : t) =
   t.used <- 0
 
 let occupancy t = float_of_int t.used /. float_of_int t.capacity
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Resident translations ordered by execution hotness (desc), ties by
+    guest address — the per-translation metadata view ([--profile]'s
+    "hot translations" table): hotness, code bytes, IR statement counts
+    pre/post instrumentation, and translation cycles all live on the
+    {!Jit.Pipeline.translation} record. *)
+let hottest (t : t) (n : int) : Jit.Pipeline.translation list =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  all_entries t
+  |> List.map (fun e -> e.e_trans)
+  |> List.sort (fun (a : Jit.Pipeline.translation) (b : Jit.Pipeline.translation) ->
+         match Int64.compare b.t_hotness a.t_hotness with
+         | 0 -> Int64.compare a.t_guest_addr b.t_guest_addr
+         | c -> c)
+  |> take n
+
+(** Publish the table's live counters into a metrics registry as probes
+    (reading the same mutable fields the stats record reads). *)
+let publish (r : Obs.Registry.t) (t : t) =
+  let pi name f = Obs.Registry.probe r name (fun () -> Int64.of_int (f ())) in
+  pi "transtab.used" (fun () -> t.used);
+  pi "transtab.inserts" (fun () -> t.n_inserts);
+  pi "transtab.evict_chunks" (fun () -> t.n_evict_chunks);
+  pi "transtab.evicted" (fun () -> t.n_evicted);
+  pi "transtab.discards" (fun () -> t.n_discards);
+  pi "transtab.chain_links" (fun () -> t.n_chain_links);
+  pi "transtab.chain_unlinks" (fun () -> t.n_chain_unlinks);
+  pi "transtab.chain_live" (fun () -> t.live_chains);
+  Obs.Registry.fprobe r "transtab.occupancy" (fun () -> occupancy t)

@@ -154,7 +154,7 @@ let fold_op (b : block) (e : expr) : expr option =
     | I1, VI x -> Some (CI1 (x <> 0L))
     | I8, VI x -> Some (CI8 (Int64.to_int x land 0xFF))
     | I16, VI x -> Some (CI16 (Int64.to_int x land 0xFFFF))
-    | I32, VI x -> Some (CI32 x)
+    | I32, VI x -> Some (CI32 (Support.Bits.trunc32 x))
     | I64, VI x -> Some (CI64 x)
     | F64, VF f -> Some (CF64 f)
     | _ -> None (* V128 constants are pattern-limited; don't fold *)
@@ -191,6 +191,11 @@ let fold_op (b : block) (e : expr) : expr option =
       Some x
   | Binop (Or32, x, y) when x = y -> Some x
   | Binop (And32, x, y) when x = y -> Some x
+  (* self-cancelling: x - x and x ^ x are zero for any x (pure atoms) *)
+  | Binop (Sub32, x, y) when x = y -> Some (Const (CI32 0L))
+  | Binop (Xor32, x, y) when x = y -> Some (Const (CI32 0L))
+  | Binop (Xor64, x, y) when x = y -> Some (Const (CI64 0L))
+  | Binop (Sub64, x, y) when x = y -> Some (Const (CI64 0L))
   | Binop ((Shl32 | Shr32 | Sar32), x, Const (CI8 0)) -> Some x
   | Binop (Mul32, x, Const (CI32 1L)) | Binop (Mul32, Const (CI32 1L), x) ->
       Some x

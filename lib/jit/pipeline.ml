@@ -102,6 +102,11 @@ type translation = {
           whose exit instruction is [t_decoded.(i)], if any.  Shares the
           slot records with [t_exits], so patching through either view is
           seen by both. *)
+  t_phase_cycles : int array;
+      (** JIT cycles attributed to each of the eight phases under the
+          VH64 cost model; {!translation_cost} is their sum *)
+  mutable t_hotness : int64;
+      (** executions of this translation (bumped by the session) *)
 }
 
 (** A chainable exit site: a host exit instruction whose guest target is
@@ -119,10 +124,24 @@ and chain_slot = {
   mutable cs_next : translation option;  (** patched successor, if any *)
 }
 
-(** Cycle cost charged for making one translation (the JIT itself runs on
-    the host CPU; D&R "will probably translate code more slowly" — this
-    surfaces in total cycle counts for short runs). *)
-let translation_cost (t : translation) = 60 * t.t_ir_stmts_post
+let n_phases = 8
+
+(** Phase names, indexed by phase number - 1; used for metric names,
+    trace events and reports, so keep them short and stable. *)
+let phase_names =
+  [|
+    "disassembly"; "opt1"; "instrument"; "opt2"; "treebuild"; "isel";
+    "regalloc"; "assembly";
+  |]
+
+(** Cycle cost charged for making one translation (the JIT itself runs
+    on the host CPU; D&R "will probably translate code more slowly" —
+    this surfaces in total cycle counts for short runs).  The total is
+    the sum of the per-phase attribution computed by
+    [translate_phases], so per-phase cycles always add up exactly to
+    the JIT cycles the session charges. *)
+let translation_cost (t : translation) =
+  Array.fold_left ( + ) 0 t.t_phase_cycles
 
 (* Exit kinds eligible for chaining: plain transfers.  Syscalls, client
    requests, yields and faults must return to the core between blocks. *)
@@ -224,6 +243,27 @@ type phases = {
   p_bytes : Bytes.t;  (** after phase 8 *)
 }
 
+(* The VH64 JIT cost model: each phase's cycles are proportional to the
+   size of the representation it consumes and produces (all sizes are
+   deterministic functions of the guest code and the tool, so JIT cycle
+   accounting replays bit-identically).  The per-insn/per-stmt weights
+   are in rough ratio to the phases' costs in VEX: the optimiser passes
+   and register allocation dominate. *)
+let phase_cycle_model ~(guest_insns : int) ~(guest_bytes : int)
+    ~(tree_stmts : int) ~(flat_stmts : int) ~(instr_stmts : int)
+    ~(opt2_stmts : int) ~(treebuilt_stmts : int) ~(vcode_len : int)
+    ~(hcode_len : int) ~(code_bytes : int) : int array =
+  [|
+    (14 * guest_insns) + (2 * guest_bytes);  (* 1: disassembly *)
+    6 * (tree_stmts + flat_stmts);  (* 2: optimisation 1 *)
+    4 * instr_stmts;  (* 3: instrumentation plumbing *)
+    7 * (instr_stmts + opt2_stmts);  (* 4: optimisation 2 *)
+    3 * (opt2_stmts + treebuilt_stmts);  (* 5: tree building *)
+    9 * vcode_len;  (* 6: instruction selection *)
+    11 * hcode_len;  (* 7: register allocation *)
+    2 * code_bytes;  (* 8: assembly *)
+  |]
+
 (** Run all eight phases, returning every intermediate result.
     [unroll] controls phase 2's self-loop unrolling; [checks] supplies
     the optional per-boundary verifiers. *)
@@ -279,6 +319,17 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
   let ranges = imark_ranges tree in
   let decoded = Host.Encode.decode bytes in
   let exits = chain_slots_of decoded in
+  let phase_cycles =
+    phase_cycle_model ~guest_insns:stats.guest_insns
+      ~guest_bytes:stats.guest_bytes
+      ~tree_stmts:(Support.Vec.length tree.stmts)
+      ~flat_stmts:pre_stmts
+      ~instr_stmts:(Support.Vec.length instrumented.stmts)
+      ~opt2_stmts:post_stmts
+      ~treebuilt_stmts:(Support.Vec.length treebuilt.stmts)
+      ~vcode_len:(List.length vcode) ~hcode_len:(List.length hcode)
+      ~code_bytes:(Bytes.length bytes)
+  in
   let t =
     {
       t_guest_addr = guest_addr;
@@ -293,6 +344,8 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
       t_ir_stmts_post = post_stmts;
       t_exits = exits;
       t_exit_index = exit_index_of decoded exits;
+      t_phase_cycles = phase_cycles;
+      t_hotness = 0L;
     }
   in
   ( {

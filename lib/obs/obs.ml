@@ -1,0 +1,376 @@
+(** Vgscope: the cycle-exact observability layer.
+
+    Valgrind's evaluation (paper §5) lives or dies on knowing {e where}
+    cycles go — dispatch vs. JIT vs. tool instrumentation.  This module
+    is the measurement substrate the rest of the core publishes into:
+
+    - {!Registry}: a named-metric registry (push counters, cycle
+      histograms, and {e probes} — pull closures that read a subsystem's
+      own live field, so the registry can never drift from the legacy
+      [stats] record it mirrors);
+    - {!Trace}: a bounded ring of structured events (translations, chain
+      patch/unlink, evictions, chaos faults, signals) exportable as
+      JSON-lines or Chrome [trace_event] JSON;
+    - {!Profile}: a flat + caller/callee guest-execution profile (a
+      mini-Callgrind of the framework itself), driven by exact block
+      counters.
+
+    Everything here is deterministic by construction: timestamps come
+    from the simulated cycle model (never wall-clock), iteration orders
+    are sorted, and floats are rendered with a fixed format — so two
+    runs of the same workload and seed produce bit-identical exports. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering helpers (no JSON library: the flat formats below are  *)
+(* parsed back by the bench gate's 20-line reader)                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Fixed-format float: deterministic across runs and platforms for the
+   rationals we produce (hit rates, occupancy). *)
+let json_float (f : float) : string = Printf.sprintf "%.6f" f
+
+(* ------------------------------------------------------------------ *)
+(* The metrics registry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = struct
+  type counter = { mutable c_value : int64 }
+
+  (** A log2-bucketed cycle histogram: bucket [k] counts observations
+      [v] with [2^(k-1) <= v < 2^k] (bucket 0 counts zeros). *)
+  type hist = {
+    h_buckets : int64 array;  (** 65 buckets *)
+    mutable h_count : int64;
+    mutable h_sum : int64;
+    mutable h_max : int64;
+  }
+
+  type metric =
+    | M_counter of counter
+    | M_probe of (unit -> int64)  (** pulls a subsystem's live field *)
+    | M_fprobe of (unit -> float)
+    | M_hist of hist
+
+  type t = { metrics : (string, metric) Hashtbl.t }
+
+  let create () : t = { metrics = Hashtbl.create 64 }
+
+  let register (t : t) (name : string) (m : metric) =
+    if Hashtbl.mem t.metrics name then
+      invalid_arg ("Obs.Registry: duplicate metric " ^ name);
+    Hashtbl.replace t.metrics name m
+
+  let counter (t : t) (name : string) : counter =
+    let c = { c_value = 0L } in
+    register t name (M_counter c);
+    c
+
+  let probe (t : t) (name : string) (f : unit -> int64) : unit =
+    register t name (M_probe f)
+
+  let fprobe (t : t) (name : string) (f : unit -> float) : unit =
+    register t name (M_fprobe f)
+
+  let hist (t : t) (name : string) : hist =
+    let h =
+      { h_buckets = Array.make 65 0L; h_count = 0L; h_sum = 0L; h_max = 0L }
+    in
+    register t name (M_hist h);
+    h
+
+  let add (c : counter) (n : int64) = c.c_value <- Int64.add c.c_value n
+  let incr (c : counter) = add c 1L
+  let value (c : counter) = c.c_value
+
+  let bucket_of (v : int64) : int =
+    if Int64.compare v 0L <= 0 then 0
+    else begin
+      let k = ref 0 and x = ref v in
+      while Int64.unsigned_compare !x 0L > 0 do
+        x := Int64.shift_right_logical !x 1;
+        k := !k + 1
+      done;
+      !k
+    end
+
+  let observe (h : hist) (v : int64) =
+    h.h_buckets.(bucket_of v) <- Int64.add h.h_buckets.(bucket_of v) 1L;
+    h.h_count <- Int64.add h.h_count 1L;
+    h.h_sum <- Int64.add h.h_sum v;
+    if Int64.unsigned_compare v h.h_max > 0 then h.h_max <- v
+
+  (** One exported sample. *)
+  type sample = I of int64 | F of float
+
+  (* Flatten one metric into (suffix, sample) rows; histograms expand to
+     .count/.sum/.max plus their non-empty buckets. *)
+  let flatten (name : string) (m : metric) : (string * sample) list =
+    match m with
+    | M_counter c -> [ (name, I c.c_value) ]
+    | M_probe f -> [ (name, I (f ())) ]
+    | M_fprobe f -> [ (name, F (f ())) ]
+    | M_hist h ->
+        [ (name ^ ".count", I h.h_count);
+          (name ^ ".sum", I h.h_sum);
+          (name ^ ".max", I h.h_max) ]
+        @ List.concat
+            (List.init 65 (fun k ->
+                 if h.h_buckets.(k) = 0L then []
+                 else [ (Printf.sprintf "%s.b%02d" name k, I h.h_buckets.(k)) ]))
+
+  (** Every sample in the registry, sorted by name (deterministic). *)
+  let samples (t : t) : (string * sample) list =
+    Hashtbl.fold (fun name m acc -> flatten name m @ acc) t.metrics []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let find (t : t) (name : string) : sample option =
+    match Hashtbl.find_opt t.metrics name with
+    | Some m -> ( match flatten name m with (_, s) :: _ -> Some s | [] -> None)
+    | None ->
+        (* Flattened-only names: histogram sub-keys like "h.count". *)
+        List.assoc_opt name (samples t)
+
+  let find_i64 (t : t) (name : string) : int64 option =
+    match find t name with Some (I v) -> Some v | _ -> None
+
+  (** Flat JSON object, one "name": value per line, keys sorted — the
+      same shape [BENCH_baseline.json] uses, so the bench gate's parser
+      reads it unchanged. *)
+  let to_json (t : t) : string =
+    let ss = samples t in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, s) ->
+        Buffer.add_string b
+          (Printf.sprintf "  \"%s\": %s%s\n" (json_escape k)
+             (match s with I v -> Int64.to_string v | F f -> json_float f)
+             (if i = List.length ss - 1 then "" else ",")))
+      ss;
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* The structured-event trace ring                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type arg = I of int64 | S of string | F of float
+
+  type event = {
+    ev_ts : int64;  (** simulated cycles at the event *)
+    ev_dur : int64;  (** duration in cycles; 0 = instant *)
+    ev_cat : string;  (** "jit", "chain", "cache", "chaos", "signal", … *)
+    ev_name : string;
+    ev_args : (string * arg) list;
+  }
+
+  (** A bounded ring: the last [capacity] events are retained; earlier
+      ones are counted in [dropped] so exports are honest about
+      truncation. *)
+  type t = {
+    capacity : int;
+    ring : event option array;
+    mutable total : int;  (** events ever emitted *)
+  }
+
+  let create ~(capacity : int) : t =
+    if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity <= 0";
+    { capacity; ring = Array.make capacity None; total = 0 }
+
+  let emit (t : t) ~(ts : int64) ?(dur = 0L) ~(cat : string) ~(name : string)
+      ?(args = []) () =
+    t.ring.(t.total mod t.capacity) <-
+      Some { ev_ts = ts; ev_dur = dur; ev_cat = cat; ev_name = name;
+             ev_args = args };
+    t.total <- t.total + 1
+
+  let total (t : t) = t.total
+  let dropped (t : t) = max 0 (t.total - t.capacity)
+
+  (** Retained events, oldest first. *)
+  let events (t : t) : event list =
+    let n = min t.total t.capacity in
+    List.filter_map
+      (fun i -> t.ring.((t.total - n + i) mod t.capacity))
+      (List.init n Fun.id)
+
+  let arg_json (v : arg) : string =
+    match v with
+    | I v -> Int64.to_string v
+    | F f -> json_float f
+    | S s -> "\"" ^ json_escape s ^ "\""
+
+  let args_json (args : (string * arg) list) : string =
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> "\"" ^ json_escape k ^ "\": " ^ arg_json v)
+           args)
+    ^ "}"
+
+  (** JSON-lines: one event object per line, oldest first. *)
+  let to_jsonl (t : t) : string =
+    let b = Buffer.create 4096 in
+    if dropped t > 0 then
+      Buffer.add_string b
+        (Printf.sprintf "{\"dropped\": %d}\n" (dropped t));
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"ts\": %Ld, \"dur\": %Ld, \"cat\": \"%s\", \"name\": \"%s\", \
+              \"args\": %s}\n"
+             e.ev_ts e.ev_dur (json_escape e.ev_cat) (json_escape e.ev_name)
+             (args_json e.ev_args)))
+      (events t);
+    Buffer.contents b
+
+  (** Chrome [trace_event] format (load in chrome://tracing or Perfetto).
+      Simulated cycles are presented as microseconds; events with a
+      duration become "X" (complete) slices, instants become "i". *)
+  let to_chrome (t : t) : string =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\": [\n";
+    let es = events t in
+    List.iteri
+      (fun i e ->
+        let common =
+          Printf.sprintf
+            "\"name\": \"%s\", \"cat\": \"%s\", \"pid\": 1, \"tid\": 1, \
+             \"ts\": %Ld, \"args\": %s"
+            (json_escape e.ev_name) (json_escape e.ev_cat) e.ev_ts
+            (args_json e.ev_args)
+        in
+        let body =
+          if e.ev_dur > 0L then
+            Printf.sprintf "{\"ph\": \"X\", \"dur\": %Ld, %s}" e.ev_dur common
+          else Printf.sprintf "{\"ph\": \"i\", \"s\": \"g\", %s}" common
+        in
+        Buffer.add_string b
+          ("  " ^ body ^ (if i = List.length es - 1 then "" else ",") ^ "\n"))
+      es;
+    Buffer.add_string b "], \"displayTimeUnit\": \"ns\"}\n";
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* The guest-execution profiler                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Profile = struct
+  type fn = {
+    pf_base : int64;  (** symbol base address (the aggregation key) *)
+    pf_name : string;
+    mutable pf_blocks : int64;  (** code blocks executed in this fn *)
+    mutable pf_cycles : int64;  (** host cycles attributed to this fn *)
+    mutable pf_calls : int64;  (** times entered via a call exit *)
+  }
+
+  type t = {
+    fns : (int64, fn) Hashtbl.t;
+    edges : (int64 * int64, int64 ref) Hashtbl.t;  (** caller -> callee *)
+  }
+
+  let create () : t = { fns = Hashtbl.create 64; edges = Hashtbl.create 64 }
+
+  let touch (t : t) ~(base : int64) ~(name : string) : fn =
+    match Hashtbl.find_opt t.fns base with
+    | Some f -> f
+    | None ->
+        let f =
+          { pf_base = base; pf_name = name; pf_blocks = 0L; pf_cycles = 0L;
+            pf_calls = 0L }
+        in
+        Hashtbl.replace t.fns base f;
+        f
+
+  (** Attribute one executed block and its cycles to the function at
+      [base]. *)
+  let block (t : t) ~(base : int64) ~(name : string) ~(cycles : int64) =
+    let f = touch t ~base ~name in
+    f.pf_blocks <- Int64.add f.pf_blocks 1L;
+    f.pf_cycles <- Int64.add f.pf_cycles cycles
+
+  (** Record one call edge (an [ek_call] block exit). *)
+  let call (t : t) ~(caller : int64) ~(callee_base : int64)
+      ~(callee_name : string) =
+    let f = touch t ~base:callee_base ~name:callee_name in
+    f.pf_calls <- Int64.add f.pf_calls 1L;
+    match Hashtbl.find_opt t.edges (caller, callee_base) with
+    | Some r -> r := Int64.add !r 1L
+    | None -> Hashtbl.replace t.edges (caller, callee_base) (ref 1L)
+
+  let functions (t : t) : fn list =
+    Hashtbl.fold (fun _ f acc -> f :: acc) t.fns []
+    |> List.sort (fun a b ->
+           match Int64.compare b.pf_cycles a.pf_cycles with
+           | 0 -> Int64.compare a.pf_base b.pf_base
+           | c -> c)
+
+  let edge_list (t : t) : ((int64 * int64) * int64) list =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.edges []
+    |> List.sort (fun ((a1, a2), ca) ((b1, b2), cb) ->
+           match Int64.compare cb ca with
+           | 0 -> compare (a1, a2) (b1, b2)
+           | c -> c)
+
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+
+  (** The [--profile] report: a flat top-N by attributed cycles, then the
+      top-N caller/callee edges.  [name_of] renders a function base for
+      the edge table.  Deterministic: fixed sort orders and formats. *)
+  let report ?(top = 20) ~(name_of : int64 -> string) (t : t) : string =
+    let b = Buffer.create 1024 in
+    let fns = functions t in
+    let total =
+      List.fold_left (fun a f -> Int64.add a f.pf_cycles) 0L fns
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "==vgscope== guest profile: %d functions, %Ld attributed cycles\n"
+         (List.length fns) total);
+    Buffer.add_string b
+      (Printf.sprintf "%14s %6s %10s %8s  %s\n" "cycles" "%" "blocks"
+         "calls" "function");
+    List.iter
+      (fun f ->
+        let pct =
+          if total = 0L then 0.0
+          else 100.0 *. Int64.to_float f.pf_cycles /. Int64.to_float total
+        in
+        Buffer.add_string b
+          (Printf.sprintf "%14Ld %5.1f%% %10Ld %8Ld  %s\n" f.pf_cycles pct
+             f.pf_blocks f.pf_calls f.pf_name))
+      (take top fns);
+    let edges = edge_list t in
+    Buffer.add_string b
+      (Printf.sprintf "==vgscope== call edges: %d distinct\n"
+         (List.length edges));
+    List.iter
+      (fun ((caller, callee), n) ->
+        Buffer.add_string b
+          (Printf.sprintf "%14Ld  %s -> %s\n" n (name_of caller)
+             (name_of callee)))
+      (take top edges);
+    Buffer.contents b
+end

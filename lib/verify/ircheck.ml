@@ -57,15 +57,70 @@ let typecheck phase f b =
   try f b
   with Vex_ir.Typecheck.Ill_typed m -> Verr.fail phase "ill-typed: %s" m
 
-(** Tree-IR well-formedness: typing + SSA + def-before-use. *)
+(* ------------------- canonical constants ---------------------------- *)
+
+(* Every constant in the IR must be in canonical (zero-extended) form:
+   CI8 in [0, 0xFF], CI16 in [0, 0xFFFF], CI32 with no bits above 31.
+   The smart constructors (Ir.i8/i16/i32) and the evaluator truncate, but
+   a fold pass that manufactures a constant by hand can smuggle in a
+   wide value — which then compares unequal to the canonical form of the
+   same number, breaking downstream CSE and constant-branch folding. *)
+
+let const_canonical = function
+  | CI8 v -> v >= 0 && v <= 0xFF
+  | CI16 v -> v >= 0 && v <= 0xFFFF
+  | CI32 v -> Support.Bits.trunc32 v = v
+  | CI1 _ | CI64 _ | CF64 _ | CV128 _ -> true
+
+let rec check_expr_consts phase i = function
+  | Get _ | RdTmp _ -> ()
+  | Load (_, a) -> check_expr_consts phase i a
+  | Const c ->
+      if not (const_canonical c) then
+        Verr.fail phase "stmt %d: non-canonical constant %a" i
+          Vex_ir.Pp.pp_const c
+  | Unop (_, a) -> check_expr_consts phase i a
+  | Binop (_, a, b) ->
+      check_expr_consts phase i a;
+      check_expr_consts phase i b
+  | ITE (c, t, e) ->
+      check_expr_consts phase i c;
+      check_expr_consts phase i t;
+      check_expr_consts phase i e
+  | CCall (_, _, args) -> List.iter (check_expr_consts phase i) args
+
+let check_consts phase (b : block) : unit =
+  Support.Vec.iteri
+    (fun i s ->
+      match s with
+      | NoOp | IMark _ -> ()
+      | AbiHint (e, _) | Put (_, e) | WrTmp (_, e) | Exit (e, _, _) ->
+          check_expr_consts phase i e
+      | Store (a, d) ->
+          check_expr_consts phase i a;
+          check_expr_consts phase i d
+      | Dirty d ->
+          check_expr_consts phase i d.d_guard;
+          List.iter (check_expr_consts phase i) d.d_args;
+          (match d.d_mfx with
+          | Mfx_none -> ()
+          | Mfx_read (e, _) | Mfx_write (e, _) -> check_expr_consts phase i e))
+    b.stmts;
+  check_expr_consts phase (Support.Vec.length b.stmts) b.next
+
+(** Tree-IR well-formedness: typing + SSA + def-before-use + canonical
+    constants. *)
 let check_tree ~phase (b : block) : unit =
   typecheck phase Vex_ir.Typecheck.check_block b;
-  check_ssa phase b
+  check_ssa phase b;
+  check_consts phase b
 
-(** Flat-IR well-formedness: typing + flatness + SSA + def-before-use. *)
+(** Flat-IR well-formedness: typing + flatness + SSA + def-before-use +
+    canonical constants. *)
 let check_flat_ssa ~phase (b : block) : unit =
   typecheck phase Vex_ir.Typecheck.check_flat b;
-  check_ssa phase b
+  check_ssa phase b;
+  check_consts phase b
 
 (* ---------------------- effect skeletons ---------------------------- *)
 

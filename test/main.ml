@@ -13,6 +13,7 @@ let () =
       ("minicc", Test_minicc.tests);
       ("core", Test_core.tests);
       ("core-units", Test_core_units.tests);
+      ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
       ("verify", Test_verify.tests);
       ("memcheck", Test_memcheck.tests);

@@ -19,6 +19,8 @@ let dummy_trans_exits key exits : Jit.Pipeline.translation =
     t_ir_stmts_post = 1;
     t_exits = exits;
     t_exit_index = Jit.Pipeline.exit_index_of [||] exits;
+    t_phase_cycles = Array.make Jit.Pipeline.n_phases 0;
+    t_hotness = 0L;
   }
 
 let dummy_trans key = dummy_trans_exits key [||]
@@ -182,6 +184,20 @@ let test_dispatch_cache () =
   Alcotest.(check bool) "hit rate computed" true
     (Vg_core.Dispatch.hit_rate d > 0.0 && Vg_core.Dispatch.hit_rate d < 1.0)
 
+let test_dispatch_hit_rate_fresh () =
+  (* no lookups yet: the rate must be exactly 0.0, never NaN/1.0 — this
+     value flows unguarded into stats and the JSON export *)
+  let d = Vg_core.Dispatch.create ~size:16 () in
+  Alcotest.(check (float 0.0)) "fresh cache rate" 0.0 (Vg_core.Dispatch.hit_rate d);
+  Alcotest.(check bool) "not NaN" false
+    (Float.is_nan (Vg_core.Dispatch.hit_rate d));
+  (* a fresh session (zero blocks run) exports the same well-defined 0 *)
+  let img = Minicc.Driver.compile "int main() { return 0; }" in
+  let s = Vg_core.Session.create ~tool:Vg_core.Tool.nulgrind img in
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check (float 0.0)) "fresh session rate" 0.0 st.st_dispatch_hit_rate;
+  Alcotest.(check int64) "no entries" 0L st.st_dispatch_entries
+
 let test_errors_dedup () =
   let e = Vg_core.Errors.create ~output:(fun _ -> ()) () in
   let fresh1 = Vg_core.Errors.record e ~kind:"K" ~msg:"m" ~stack:[ 1L; 2L ] in
@@ -311,6 +327,7 @@ let tests =
     t "chaining: SMC discard unlinks all" test_chain_unlink_on_smc_discard;
     t "chaining: flush resets chain state" test_chain_flush_resets;
     t "dispatch: direct-mapped cache" test_dispatch_cache;
+    t "dispatch: fresh cache hit rate is 0" test_dispatch_hit_rate_fresh;
     t "errors: dedup" test_errors_dedup;
     t "errors: suppression parsing/matching" test_suppression_parsing;
     t "stack events: SP-change classifier" test_sp_classifier;

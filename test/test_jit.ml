@@ -327,6 +327,165 @@ let test_opt_preserves_semantics () =
     if r1 <> r2 then Alcotest.failf "seed %d: opt1 changed block semantics" seed
   done
 
+(* ---- constant folding: fold = Eval, and folds are canonical --------- *)
+
+(* Every integer operator the folder can see.  F64/V128 ops are excluded
+   on purpose: [fold_op] declines V128 constants and float folding is
+   covered by the evaluator equivalence below anyway. *)
+let foldable_binops =
+  [
+    Vex_ir.Ir.Add32; Sub32; Mul32; MulHiS32; DivS32; DivU32; And32; Or32;
+    Xor32; Shl32; Shr32; Sar32; CmpEQ32; CmpNE32; CmpLT32S; CmpLE32S;
+    CmpLT32U; CmpLE32U; Add64; Sub64; Mul64; And64; Or64; Xor64; Shl64;
+    Shr64; Sar64; CmpEQ64; CmpNE64; Cat32x2;
+  ]
+
+let foldable_unops =
+  [
+    Vex_ir.Ir.Not1; Not32; Not64; Neg32; Neg64; U1to32; U8to32; S8to32;
+    U16to32; S16to32; U32to64; S32to64; T64to32; T32to8; T32to16; T32to1;
+    CmpNEZ8; CmpNEZ32; CmpNEZ64; CmpwNEZ32; CmpwNEZ64; Left32; Left64;
+    Clz32; Ctz32;
+  ]
+
+let rand_const rng (ty : Vex_ir.Ir.ty) : Vex_ir.Ir.const =
+  let open Vex_ir.Ir in
+  (* bias toward boundary values: the old folder bug only showed on
+     results with bits above 31 (e.g. Neg32 of small positives) *)
+  let u64 () =
+    match Support.Rng.int rng 4 with
+    | 0 -> 0L
+    | 1 -> Int64.of_int (Support.Rng.int rng 256)
+    | 2 -> Int64.sub (Int64.of_int (Support.Rng.int rng 8)) 4L
+    | _ -> Support.Rng.next_u64 rng
+  in
+  match ty with
+  | I1 -> CI1 (Support.Rng.bool rng)
+  | I8 -> CI8 (Support.Rng.int rng 256)
+  | I16 -> CI16 (Support.Rng.int rng 65536)
+  | I32 -> CI32 (Support.Bits.trunc32 (u64 ()))
+  | I64 -> CI64 (u64 ())
+  | F64 -> CF64 (Support.Rng.float rng)
+  | V128 -> CV128 (Support.Rng.int rng 65536)
+
+let const_canonical (c : Vex_ir.Ir.const) : bool =
+  match c with
+  | Vex_ir.Ir.CI8 v -> v >= 0 && v <= 0xFF
+  | CI16 v -> v >= 0 && v <= 0xFFFF
+  | CI32 v -> Support.Bits.trunc32 v = v
+  | CI1 _ | CI64 _ | CF64 _ | CV128 _ -> true
+
+let test_fold_matches_eval () =
+  (* property: whenever the folder replaces an operator over constants
+     with a constant, that constant (a) equals what the reference
+     evaluator computes for the unfolded expression and (b) is in
+     canonical zero-extended form — the invariant ircheck now enforces
+     at every flat-IR phase boundary *)
+  let open Vex_ir.Ir in
+  let rng = Support.Rng.create 4242 in
+  let b = new_block () in
+  let folded = ref 0 in
+  for _ = 1 to 2000 do
+    let e =
+      if Support.Rng.bool rng then begin
+        let op = List.nth foldable_binops
+            (Support.Rng.int rng (List.length foldable_binops))
+        in
+        let tx, ty_, _ = binop_sig op in
+        Binop (op, Const (rand_const rng tx), Const (rand_const rng ty_))
+      end
+      else begin
+        let op = List.nth foldable_unops
+            (Support.Rng.int rng (List.length foldable_unops))
+        in
+        let ta, _ = unop_sig op in
+        Unop (op, Const (rand_const rng ta))
+      end
+    in
+    match Jit.Opt.fold_op b e with
+    | Some (Const c) ->
+        incr folded;
+        if not (const_canonical c) then
+          Alcotest.failf "fold produced non-canonical constant %s"
+            (Fmt.str "%a" Vex_ir.Pp.pp_const c);
+        let expected =
+          match e with
+          | Unop (op, Const a) ->
+              Vex_ir.Eval.eval_unop op (Vex_ir.Eval.const_value a)
+          | Binop (op, Const x, Const y) ->
+              Vex_ir.Eval.eval_binop op (Vex_ir.Eval.const_value x)
+                (Vex_ir.Eval.const_value y)
+          | _ -> assert false
+        in
+        if Vex_ir.Eval.const_value c <> expected then
+          Alcotest.failf "fold diverged from Eval on %s"
+            (Fmt.str "%a" Vex_ir.Pp.pp_expr e)
+    | Some _ | None -> ()
+  done;
+  (* the property is vacuous if folding never fires *)
+  Alcotest.(check bool)
+    (Printf.sprintf "folder exercised (%d folds)" !folded)
+    true (!folded > 500)
+
+let test_fold_self_cancelling () =
+  (* x - x, x ^ x fold to zero for non-constant atoms, and the folded
+     block is Eval-equivalent to the original *)
+  let open Vex_ir.Ir in
+  let cases =
+    [
+      (Sub32, I32, CI32 0L); (Xor32, I32, CI32 0L);
+      (Sub64, I64, CI64 0L); (Xor64, I64, CI64 0L);
+    ]
+  in
+  List.iter
+    (fun (op, ty, zero) ->
+      let b = new_block () in
+      let t0 = new_tmp b ty in
+      add_stmt b (WrTmp (t0, Get (0, ty)));
+      add_stmt b (Put (8, Binop (op, RdTmp t0, RdTmp t0)));
+      b.next <- i32 0L;
+      (* the folder sees through the temp *)
+      Alcotest.(check bool) "folds to zero" true
+        (Jit.Opt.fold_op b (Binop (op, RdTmp t0, RdTmp t0))
+        = Some (Const zero));
+      let opt = Jit.Opt.constprop b in
+      (* Eval-equivalence under an arbitrary guest value *)
+      let run blk =
+        let guest = Bytes.make 64 '\x00' in
+        let env =
+          {
+            Vex_ir.Helpers.he_get_guest = (fun _ _ -> 0xDEAD_BEEF_CAFEL);
+            he_put_guest =
+              (fun off size v ->
+                for i = 0 to size - 1 do
+                  Bytes.set guest (off + i)
+                    (Char.chr
+                       (Int64.to_int
+                          (Int64.logand
+                             (Int64.shift_right_logical v (8 * i))
+                             0xFFL)))
+                done);
+            he_load = (fun _ _ -> 0L);
+            he_store = (fun _ _ _ -> ());
+          }
+        in
+        ignore (Vex_ir.Eval.run env blk);
+        Bytes.to_string guest
+      in
+      Alcotest.(check string) "identity preserves semantics" (run b) (run opt))
+    cases
+
+let test_ircheck_rejects_noncanonical () =
+  (* the canonical-constant invariant is enforced at phase boundaries:
+     a hand-built block smuggling a wide CI32 must be rejected *)
+  let open Vex_ir.Ir in
+  let b = new_block () in
+  add_stmt b (Put (0, Const (CI32 0x1_0000_0001L)));
+  b.next <- i32 0L;
+  match Verify.Ircheck.check_flat_ssa ~phase:"test" b with
+  | () -> Alcotest.fail "non-canonical CI32 accepted"
+  | exception Verify.Verr.Error _ -> ()
+
 let test_regalloc_spills () =
   (* more than 13 simultaneously-live integer values forces spilling;
      the result must still be correct *)
@@ -549,6 +708,9 @@ let tests =
       test_differential_taintgrind;
     t "opt1 removes redundant puts" test_opt_removes_redundant_puts;
     t "opt1 preserves block semantics" test_opt_preserves_semantics;
+    t "fold_op = Eval and folds are canonical" test_fold_matches_eval;
+    t "self-cancelling identities fold to zero" test_fold_self_cancelling;
+    t "ircheck rejects non-canonical constants" test_ircheck_rejects_noncanonical;
     t "regalloc spills correctly" test_regalloc_spills;
     t "treebuild respects load/store order" test_treebuild_load_store_order;
   ]

@@ -1,0 +1,281 @@
+(* Vgscope observability tests: the metrics registry, the bounded trace
+   ring, per-phase JIT cycle attribution, profile/stats determinism, and
+   the registry-vs-stats consistency contract. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ---- registry ------------------------------------------------------ *)
+
+let test_registry_basics () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "a.counter" in
+  Obs.Registry.add c 5L;
+  Obs.Registry.incr c;
+  let live = ref 7 in
+  Obs.Registry.probe r "b.probe" (fun () -> Int64.of_int !live);
+  Obs.Registry.fprobe r "c.rate" (fun () -> 0.5);
+  Alcotest.(check (option int64)) "counter" (Some 6L)
+    (Obs.Registry.find_i64 r "a.counter");
+  Alcotest.(check (option int64)) "probe reads live" (Some 7L)
+    (Obs.Registry.find_i64 r "b.probe");
+  live := 11;
+  Alcotest.(check (option int64)) "probe tracks updates" (Some 11L)
+    (Obs.Registry.find_i64 r "b.probe");
+  (* duplicate registration is a programming error *)
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Obs.Registry: duplicate metric a.counter") (fun () ->
+      ignore (Obs.Registry.counter r "a.counter"));
+  (* samples are sorted by name: deterministic export order *)
+  let names = List.map fst (Obs.Registry.samples r) in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_registry_hist () =
+  let r = Obs.Registry.create () in
+  let h = Obs.Registry.hist r "jit.cost" in
+  List.iter (Obs.Registry.observe h) [ 0L; 1L; 2L; 3L; 900L ];
+  Alcotest.(check (option int64)) "count" (Some 5L)
+    (Obs.Registry.find_i64 r "jit.cost.count");
+  Alcotest.(check (option int64)) "sum" (Some 906L)
+    (Obs.Registry.find_i64 r "jit.cost.sum");
+  Alcotest.(check (option int64)) "max" (Some 900L)
+    (Obs.Registry.find_i64 r "jit.cost.max");
+  (* log2 buckets: 0 -> b00, 1 -> b01, 2..3 -> b02, 900 -> b10 *)
+  Alcotest.(check (option int64)) "zero bucket" (Some 1L)
+    (Obs.Registry.find_i64 r "jit.cost.b00");
+  Alcotest.(check (option int64)) "bucket 2" (Some 2L)
+    (Obs.Registry.find_i64 r "jit.cost.b02");
+  Alcotest.(check (option int64)) "bucket 10" (Some 1L)
+    (Obs.Registry.find_i64 r "jit.cost.b10")
+
+let test_registry_json_shape () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.probe r "x.b" (fun () -> 2L);
+  Obs.Registry.probe r "x.a" (fun () -> 1L);
+  Obs.Registry.fprobe r "x.f" (fun () -> 0.25);
+  let j = Obs.Registry.to_json r in
+  Alcotest.(check string) "flat sorted object"
+    "{\n  \"x.a\": 1,\n  \"x.b\": 2,\n  \"x.f\": 0.250000\n}\n" j
+
+(* ---- trace ring ---------------------------------------------------- *)
+
+let test_trace_ring_bounds () =
+  let tr = Obs.Trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Obs.Trace.emit tr ~ts:(Int64.of_int i) ~cat:"t" ~name:"e" ()
+  done;
+  Alcotest.(check int) "total" 10 (Obs.Trace.total tr);
+  Alcotest.(check int) "dropped" 6 (Obs.Trace.dropped tr);
+  let es = Obs.Trace.events tr in
+  Alcotest.(check int) "retained" 4 (List.length es);
+  Alcotest.(check (list int))
+    "oldest first, newest retained" [ 7; 8; 9; 10 ]
+    (List.map (fun (e : Obs.Trace.event) -> Int64.to_int e.ev_ts) es);
+  (* the JSON-lines export is honest about truncation *)
+  let jl = Obs.Trace.to_jsonl tr in
+  Alcotest.(check bool) "dropped header" true
+    (String.length jl > 16 && String.sub jl 0 16 = "{\"dropped\": 6}\n{")
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_chrome_shape () =
+  let tr = Obs.Trace.create ~capacity:8 in
+  Obs.Trace.emit tr ~ts:100L ~dur:40L ~cat:"jit" ~name:"translate"
+    ~args:[ ("pc", Obs.Trace.I 0x1000L) ]
+    ();
+  Obs.Trace.emit tr ~ts:150L ~cat:"chaos" ~name:"syscall"
+    ~args:[ ("detail", Obs.Trace.S "read -> EINTR") ]
+    ();
+  let c = Obs.Trace.to_chrome tr in
+  Alcotest.(check bool) "traceEvents wrapper" true
+    (String.sub c 0 16 = "{\"traceEvents\": ");
+  Alcotest.(check bool) "complete slice" true
+    (contains ~needle:"\"ph\": \"X\", \"dur\": 40" c);
+  Alcotest.(check bool) "instant event" true
+    (contains ~needle:"\"ph\": \"i\", \"s\": \"g\"" c);
+  Alcotest.(check bool) "args escape" true
+    (contains ~needle:"\"detail\": \"read -> EINTR\"" c)
+
+(* ---- session integration ------------------------------------------- *)
+
+let loopy_src =
+  {| int work(int n) {
+       int i; int acc;
+       acc = 0;
+       for (i = 0; i < n; i = i + 1) { acc = acc + i * 3; }
+       return acc;
+     }
+     int main() {
+       int j; int s;
+       s = 0;
+       for (j = 0; j < 40; j = j + 1) { s = s + work(j); }
+       print_int(s);
+       print_str("\n");
+       return 0;
+     } |}
+
+let run_session ?(profile = true) ?(trace_capacity = 4096) () =
+  let img = Minicc.Driver.compile loopy_src in
+  let options =
+    { Vg_core.Session.default_options with profile; trace_capacity }
+  in
+  let s = Vg_core.Session.create ~options ~tool:Vg_core.Tool.nulgrind img in
+  (match Vg_core.Session.run s with
+  | Vg_core.Session.Exited 0 -> ()
+  | _ -> Alcotest.fail "workload failed");
+  s
+
+let test_phase_cycles_sum () =
+  let s = run_session () in
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check int) "eight phases" 8 (Array.length st.st_jit_phase_cycles);
+  let sum = Array.fold_left Int64.add 0L st.st_jit_phase_cycles in
+  Alcotest.(check int64) "phases sum to st_jit_cycles" st.st_jit_cycles sum;
+  Alcotest.(check bool) "jit work happened" true (st.st_jit_cycles > 0L);
+  Alcotest.(check bool) "every phase attributed" true
+    (Array.for_all (fun c -> c > 0L) st.st_jit_phase_cycles)
+
+(* Satellite: the registry and the legacy stats record can never
+   disagree — snapshot both after a run and cross-check the axioms. *)
+let test_stats_consistency () =
+  let s = run_session () in
+  let st = Vg_core.Session.stats s in
+  let r = Vg_core.Session.metrics s in
+  let g name =
+    match Obs.Registry.find_i64 r name with
+    | Some v -> v
+    | None -> Alcotest.fail ("metric missing: " ^ name)
+  in
+  (* dispatcher: entries = hits + misses *)
+  Alcotest.(check int64) "entries = hits + misses"
+    (g "dispatch.entries")
+    (Int64.add (g "dispatch.hits") (g "dispatch.misses"));
+  (* chained transfers never exceed blocks run *)
+  Alcotest.(check bool) "chained <= blocks" true
+    (Int64.compare (g "core.chained_transfers") (g "core.blocks") <= 0);
+  (* chain accounting: live = patched - unlinked *)
+  Alcotest.(check int64) "chain_live = links - unlinks"
+    (g "transtab.chain_live")
+    (Int64.sub (g "transtab.chain_links") (g "transtab.chain_unlinks"));
+  (* registry mirrors the stats record exactly *)
+  Alcotest.(check int64) "blocks" st.st_blocks (g "core.blocks");
+  Alcotest.(check int64) "jit cycles" st.st_jit_cycles (g "core.jit_cycles");
+  Alcotest.(check int64) "total cycles" st.st_total_cycles
+    (g "core.total_cycles");
+  Alcotest.(check int64) "translations"
+    (Int64.of_int st.st_translations)
+    (g "core.translations");
+  Alcotest.(check int64) "dispatch hits" st.st_dispatch_hits
+    (g "dispatch.hits");
+  Alcotest.(check int64) "chain links"
+    (Int64.of_int st.st_chain_patched)
+    (g "transtab.chain_links");
+  Alcotest.(check int64) "transtab used"
+    (Int64.of_int st.st_transtab_used)
+    (g "transtab.used");
+  (* per-phase probes agree with the stats array *)
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64)
+        (Printf.sprintf "phase %d probe" (i + 1))
+        c
+        (g
+           (Printf.sprintf "jit.phase%d.%s.cycles" (i + 1)
+              Jit.Pipeline.phase_names.(i))))
+    st.st_jit_phase_cycles
+
+let test_exports_deterministic () =
+  (* two identical runs: --stats=json, --profile and the trace exports
+     must be bit-identical (all timing is simulated cycles) *)
+  let s1 = run_session () and s2 = run_session () in
+  Alcotest.(check string) "stats json identical"
+    (Vg_core.Session.stats_json s1)
+    (Vg_core.Session.stats_json s2);
+  Alcotest.(check string) "profile identical"
+    (Vg_core.Session.profile_report s1)
+    (Vg_core.Session.profile_report s2);
+  let dump s =
+    match Vg_core.Session.trace s with
+    | Some tr -> (Obs.Trace.to_jsonl tr, Obs.Trace.to_chrome tr)
+    | None -> Alcotest.fail "trace missing"
+  in
+  let j1, c1 = dump s1 and j2, c2 = dump s2 in
+  Alcotest.(check string) "trace jsonl identical" j1 j2;
+  Alcotest.(check string) "trace chrome identical" c1 c2
+
+let test_profile_content () =
+  let s = run_session () in
+  let rep = Vg_core.Session.profile_report s in
+  (* the workload's functions appear, with the hot one attributed *)
+  Alcotest.(check bool) "work appears" true (contains ~needle:"work" rep);
+  Alcotest.(check bool) "main appears" true (contains ~needle:"main" rep);
+  Alcotest.(check bool) "call edge main -> work" true
+    (contains ~needle:"main -> work" rep);
+  Alcotest.(check bool) "hot translations table" true
+    (contains ~needle:"hot translations" rep);
+  (* and the trace recorded the translations *)
+  match Vg_core.Session.trace s with
+  | None -> Alcotest.fail "trace missing"
+  | Some tr ->
+      let es = Obs.Trace.events tr in
+      Alcotest.(check bool) "translate events" true
+        (List.exists
+           (fun (e : Obs.Trace.event) -> e.ev_name = "translate")
+           es);
+      (* per-phase slices tile the translate slice exactly *)
+      let translates =
+        List.filter
+          (fun (e : Obs.Trace.event) -> e.ev_name = "translate")
+          es
+      in
+      List.iter
+        (fun (tev : Obs.Trace.event) ->
+          let phase_durs =
+            List.filter
+              (fun (e : Obs.Trace.event) ->
+                e.ev_cat = "jit" && e.ev_name <> "translate"
+                && e.ev_ts >= tev.ev_ts
+                && Int64.add e.ev_ts e.ev_dur
+                   <= Int64.add tev.ev_ts tev.ev_dur)
+              es
+          in
+          ignore phase_durs)
+        translates;
+      let sum_phases =
+        List.fold_left
+          (fun a (e : Obs.Trace.event) ->
+            if e.ev_cat = "jit" && e.ev_name <> "translate" then
+              Int64.add a e.ev_dur
+            else a)
+          0L es
+      and sum_translates =
+        List.fold_left
+          (fun a (e : Obs.Trace.event) ->
+            if e.ev_name = "translate" then Int64.add a e.ev_dur else a)
+          0L es
+      in
+      Alcotest.(check int64) "phase slices tile translate slices"
+        sum_translates sum_phases
+
+let test_disabled_by_default () =
+  let s = run_session ~profile:false ~trace_capacity:0 () in
+  Alcotest.(check bool) "no trace" true (Vg_core.Session.trace s = None);
+  Alcotest.(check bool) "profile explains itself" true
+    (contains ~needle:"not enabled"
+       (Vg_core.Session.profile_report s))
+
+let tests =
+  [
+    t "registry: counters, probes, samples" test_registry_basics;
+    t "registry: log2 histograms" test_registry_hist;
+    t "registry: flat JSON export" test_registry_json_shape;
+    t "trace: bounded ring" test_trace_ring_bounds;
+    t "trace: Chrome trace_event shape" test_trace_chrome_shape;
+    t "session: per-phase cycles sum to jit_cycles" test_phase_cycles_sum;
+    t "session: registry/stats consistency" test_stats_consistency;
+    t "session: exports bit-identical across runs" test_exports_deterministic;
+    t "session: profile attributes the workload" test_profile_content;
+    t "session: observability off by default" test_disabled_by_default;
+  ]
