@@ -137,8 +137,12 @@ let all_metrics (rs : row list) : (string * int64) list =
               if i < Array.length r.b_jit_phases then r.b_jit_phases.(i)
               else 0L) ))
 
-let write_json ~(path : string) ?scale () =
-  let ms = all_metrics (rows ?scale ()) in
+(* [extra] lets the caller fold further metric families (the tier
+   matrix) into the same gate file, so one baseline carries all of
+   them. *)
+let write_json ~(path : string) ?scale ?(extra : (string * int64) list = [])
+    () =
+  let ms = all_metrics (rows ?scale ()) @ extra in
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri

@@ -10,10 +10,11 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [fig1|fig2|fig3|table1|table2|dispatch|chain|chainjson|chaincheck|caa|transtab|loc|micro|all]*";
+    "usage: main.exe \
+     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|chainjson|chaincheck|tiercheck|caa|transtab|loc|micro|all]*";
   print_endline "       table2 options: --scale N --programs a,b,c";
   print_endline "       chainjson options: --out FILE";
-  print_endline "       chaincheck options: --baseline FILE --out FILE";
+  print_endline "       chaincheck/tiercheck options: --baseline FILE --out FILE";
   exit 1
 
 let () =
@@ -52,8 +53,15 @@ let () =
     | "table2" -> Table2.run ~scale:!scale ~programs:!programs ()
     | "dispatch" -> Dispatch_bench.run ()
     | "chain" -> Chain_bench.run ~scale:!scale ()
-    | "chainjson" -> Chain_bench.write_json ~path:!out ~scale:!scale ()
+    | "tier" -> Tier_bench.run ~scale:!scale ()
+    | "chainjson" ->
+        Chain_bench.write_json ~path:!out ~scale:!scale
+          ~extra:(Tier_bench.metrics ~scale:!scale ())
+          ()
     | "chaincheck" -> Chain_bench.check ~baseline:!baseline ~current:!out
+    | "tiercheck" ->
+        Chain_bench.check ~baseline:!baseline ~current:!out;
+        Tier_bench.check_current ~current:!out
     | "caa" -> Caa_bench.run ()
     | "transtab" -> Transtab_bench.run ()
     | "loc" -> Loc_bench.run ()
@@ -66,6 +74,7 @@ let () =
         Table2.run ~scale:!scale ~programs:!programs ();
         Dispatch_bench.run ();
         Chain_bench.run ~scale:!scale ();
+        Tier_bench.run ~scale:!scale ();
         Caa_bench.run ();
         Transtab_bench.run ();
         Loc_bench.run ();

@@ -1,0 +1,171 @@
+(** Tiered-JIT benchmark: the tier-matrix behind the CI bench gate.
+
+    Runs each chaining-suite workload under Nulgrind in three modes —
+    tiered (the default: tier-0 quick translation, hotness promotion and
+    trace superblocks), [--tier0-only] (quick translations that are
+    never promoted), and [--no-tier0] (every block pays the full
+    optimizing pipeline up front, the pre-tiering behaviour) — and
+    reports JIT cycles per mode, promotion/superblock activity, and
+    whether client output is bit-identical across all three.
+
+    [metrics] feeds the per-tier cycle metrics into the same flat JSON
+    the chaining gate uses ({!Chain_bench.write_json}), so one baseline
+    file carries both; [check_current] additionally enforces the tiering
+    win itself: tiered JIT cycles must come in below full-pipeline JIT
+    cycles with outputs equal. *)
+
+let tiered_options = Vg_core.Session.default_options
+
+let tier0_only_options =
+  { Vg_core.Session.default_options with
+    promote_threshold = 0;
+    superblocks = false }
+
+let full_options =
+  { Vg_core.Session.default_options with tier0 = false; superblocks = false }
+
+type row = {
+  t_name : string;
+  t_jit_tiered : int64;  (** JIT cycles, tiered mode *)
+  t_jit_tier0_only : int64;
+  t_jit_full : int64;
+  t_total_tiered : int64;  (** modelled total cycles, tiered mode *)
+  t_total_full : int64;
+  t_tier0_made : int;  (** quick translations made (tiered mode) *)
+  t_promotions : int;
+  t_superblocks : int;
+  t_outputs_equal : bool;  (** stdout identical across all three modes *)
+}
+
+let run_one ?(scale = 1) (name : string) : row option =
+  match Workloads.find name with
+  | None ->
+      Printf.printf "!! unknown workload %s\n" name;
+      None
+  | Some w ->
+      let img = Workloads.compile ~scale w in
+      let run options = Harness.run_tool ~options Vg_core.Tool.nulgrind img in
+      let tiered = run tiered_options in
+      let t0only = run tier0_only_options in
+      let full = run full_options in
+      Some
+        {
+          t_name = name;
+          t_jit_tiered = tiered.tr_stats.st_jit_cycles;
+          t_jit_tier0_only = t0only.tr_stats.st_jit_cycles;
+          t_jit_full = full.tr_stats.st_jit_cycles;
+          t_total_tiered = tiered.tr_cycles;
+          t_total_full = full.tr_cycles;
+          t_tier0_made = tiered.tr_stats.st_translations_tier0;
+          t_promotions = tiered.tr_stats.st_promotions;
+          t_superblocks = tiered.tr_stats.st_translations_super;
+          t_outputs_equal =
+            tiered.tr_stdout = full.tr_stdout
+            && t0only.tr_stdout = full.tr_stdout;
+        }
+
+let rows ?scale () : row list =
+  List.filter_map (run_one ?scale) Chain_bench.suite
+
+let pct_less (now : int64) (before : int64) : float =
+  if before = 0L then 0.0
+  else 100.0 *. (1.0 -. (Int64.to_float now /. Int64.to_float before))
+
+(** The human-readable tier matrix (also what CI posts to the job step
+    summary). *)
+let run ?scale () =
+  Harness.section
+    "Tiered JIT: translation cycles per tier (tiered vs tier0-only vs full)";
+  Printf.printf "%-9s %11s %11s %11s %6s %6s %6s %6s %5s\n" "program"
+    "jit(tier)" "jit(t0)" "jit(full)" "save%" "t0" "promo" "super" "out=";
+  Harness.hr ();
+  let rs = rows ?scale () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %11Ld %11Ld %11Ld %5.1f%% %6d %6d %6d %5b\n%!"
+        r.t_name r.t_jit_tiered r.t_jit_tier0_only r.t_jit_full
+        (pct_less r.t_jit_tiered r.t_jit_full)
+        r.t_tier0_made r.t_promotions r.t_superblocks r.t_outputs_equal)
+    rs;
+  Harness.hr ();
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  let jt = sum (fun r -> r.t_jit_tiered) and jf = sum (fun r -> r.t_jit_full) in
+  Printf.printf
+    "%-9s %11Ld %11s %11Ld %5.1f%%  (gate: tiered < full, outputs equal)\n"
+    "total" jt "" jf (pct_less jt jf);
+  if Int64.unsigned_compare jt jf >= 0 then
+    print_endline "!! tiered JIT cycles did not beat the full pipeline";
+  if not (List.for_all (fun r -> r.t_outputs_equal) rs) then
+    print_endline "!! tier modes produced different client output"
+
+(* Per-tier metrics for the flat JSON gate file.  The "cycles_" prefix
+   puts every entry under the gate's 10% regression tolerance
+   automatically. *)
+let metrics_of_row (r : row) : (string * int64) list =
+  [
+    (r.t_name ^ ".cycles_jit_tiered", r.t_jit_tiered);
+    (r.t_name ^ ".cycles_jit_tier0_only", r.t_jit_tier0_only);
+    (r.t_name ^ ".cycles_jit_full", r.t_jit_full);
+    (r.t_name ^ ".cycles_total_tiered", r.t_total_tiered);
+    (r.t_name ^ ".tier_promotions", Int64.of_int r.t_promotions);
+    (r.t_name ^ ".tier_superblocks", Int64.of_int r.t_superblocks);
+    (r.t_name ^ ".tier_outputs_equal", if r.t_outputs_equal then 1L else 0L);
+  ]
+
+let metrics ?scale () : (string * int64) list =
+  let rs = rows ?scale () in
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  List.concat_map metrics_of_row rs
+  @ [
+      ("total.cycles_jit_tiered", sum (fun r -> r.t_jit_tiered));
+      ("total.cycles_jit_tier0_only", sum (fun r -> r.t_jit_tier0_only));
+      ("total.cycles_jit_full", sum (fun r -> r.t_jit_full));
+      ( "total.tier_outputs_equal",
+        if List.for_all (fun r -> r.t_outputs_equal) rs then 1L else 0L );
+    ]
+
+(** The tiering gate proper, over an already-written metrics file:
+    tiered JIT cycles must come in strictly below the full-pipeline JIT
+    cycles, and every [*.tier_outputs_equal] must be 1.  Exits non-zero
+    on failure so CI can gate on it. *)
+let check_current ~(current : string) =
+  let cur = Chain_bench.read_json current in
+  if cur = [] then begin
+    Printf.printf "tier gate FAILED: no metrics parsed from %s\n" current;
+    exit 1
+  end;
+  let failures = ref 0 in
+  (match
+     ( List.assoc_opt "total.cycles_jit_tiered" cur,
+       List.assoc_opt "total.cycles_jit_full" cur )
+   with
+  | Some tiered, Some full ->
+      if Int64.unsigned_compare tiered full >= 0 then begin
+        incr failures;
+        Printf.printf "!! tiered JIT cycles %Ld >= full-pipeline %Ld\n"
+          tiered full
+      end
+      else
+        Printf.printf "ok tiered JIT cycles %Ld < full-pipeline %Ld (-%.1f%%)\n"
+          tiered full (pct_less tiered full)
+  | _ ->
+      incr failures;
+      print_endline "!! total.cycles_jit_tiered/full missing from metrics");
+  List.iter
+    (fun (k, v) ->
+      let suffix = "tier_outputs_equal" in
+      let n = String.length suffix in
+      if
+        String.length k >= n
+        && String.sub k (String.length k - n) n = suffix
+        && v = 0L
+      then begin
+        incr failures;
+        Printf.printf "!! %s: tier modes produced different output\n" k
+      end)
+    cur;
+  if !failures > 0 then begin
+    Printf.printf "tier gate FAILED: %d problem(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "tier gate passed"

@@ -35,8 +35,8 @@ let load_image (path : string) : Guest.Image.t =
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
-let run tool_name no_chaining no_verify smc_mode stats profile trace_file
-    stdin_file supp_file path =
+let run tool_name no_chaining no_verify smc_mode tier0_only no_tier0
+    promote_threshold stats profile trace_file stdin_file supp_file path =
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -63,6 +63,10 @@ let run tool_name no_chaining no_verify smc_mode stats profile trace_file
     | "all" -> Vg_core.Session.Smc_all
     | _ -> Vg_core.Session.Smc_stack
   in
+  if tier0_only && no_tier0 then begin
+    prerr_endline "valgrind: --tier0-only and --no-tier0 are mutually exclusive";
+    exit 2
+  end;
   let options =
     {
       Vg_core.Session.default_options with
@@ -71,6 +75,15 @@ let run tool_name no_chaining no_verify smc_mode stats profile trace_file
       verify_jit = not no_verify;
       profile;
       trace_capacity = (if trace_file = None then 0 else 65536);
+      tier0 = not no_tier0;
+      promote_threshold =
+        (if tier0_only then 0
+         else
+           Option.value promote_threshold
+             ~default:Vg_core.Session.default_options.promote_threshold);
+      superblocks =
+        Vg_core.Session.default_options.superblocks
+        && not (tier0_only || no_tier0);
     }
   in
   let s = Vg_core.Session.create ~options ~tool img in
@@ -119,6 +132,15 @@ let run tool_name no_chaining no_verify smc_mode stats profile trace_file
         st.st_chained st.st_chain_patched st.st_chain_unlinked;
       Printf.eprintf "==vg== verifier: %d phase-boundary checks\n"
         st.st_verify_checks;
+      Printf.eprintf
+        "==vg== tiers: %d quick, %d full, %d superblocks  (%d promotions, \
+         %d failed, %d aborted traces)\n"
+        st.st_translations_tier0 st.st_translations_full
+        st.st_translations_super st.st_promotions st.st_promotions_failed
+        st.st_superblock_aborts;
+      Printf.eprintf "==vg== jit cycles: tier0=%Ld full=%Ld\n"
+        st.st_jit_cycles_tier0
+        (Int64.sub st.st_jit_cycles st.st_jit_cycles_tier0);
       Printf.eprintf "==vg== jit cycles by phase:";
       Array.iteri
         (fun i c ->
@@ -172,6 +194,32 @@ let cmd =
       & opt string "stack"
       & info [ "smc-check" ] ~doc:"Self-modifying-code checks: none|stack|all.")
   in
+  let tier0_only =
+    Arg.(
+      value & flag
+      & info [ "tier0-only" ]
+          ~doc:
+            "Stay in the tier-0 quick translator: hot blocks are never \
+             promoted to the optimizing pipeline and no superblocks form.")
+  in
+  let no_tier0 =
+    Arg.(
+      value & flag
+      & info [ "no-tier0" ]
+          ~doc:
+            "Disable the quick tier (the pre-tiering behaviour): every \
+             block pays the full optimizing pipeline up front.")
+  in
+  let promote_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "promote-threshold" ] ~docv:"N"
+          ~doc:
+            "Promote a tier-0 translation to the optimizing pipeline once \
+             its block has executed $(docv) times (default \
+             $(b,256); 0 disables promotion).")
+  in
   let stats =
     Arg.(
       value
@@ -222,8 +270,9 @@ let cmd =
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
-      const run $ tool $ no_chaining $ no_verify $ smc $ stats $ profile
-      $ trace_file $ stdin_file $ supp $ path)
+      const run $ tool $ no_chaining $ no_verify $ smc $ tier0_only
+      $ no_tier0 $ promote_threshold $ stats $ profile $ trace_file
+      $ stdin_file $ supp $ path)
 
 (* cmdliner's optional-value arguments consume a following bare token,
    so "--stats PROGRAM" would swallow the program path.  Rewrite the

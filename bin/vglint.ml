@@ -15,7 +15,10 @@
     [verify_jit] enabled, so all eight phase boundaries plus the
     tool-instrumentation lints run on every translation; any verifier
     error (a false positive, since these tools are correct) fails the
-    run. *)
+    run.  The corpus runs twice per cell — tiered (quick tier, hotness
+    promotion, superblocks) and tier0-only (quick translations never
+    promoted) — so the verifiers are exercised over every pipeline shape
+    the session can produce. *)
 
 let tools : (string * Vg_core.Tool.t) list =
   [
@@ -44,6 +47,26 @@ let run_mutate () : bool =
     (List.length outcomes);
   ok
 
+(* aggressive tiering knobs so the short corpus runs actually exercise
+   promotion and superblock formation under verification *)
+let corpus_modes : (string * Vg_core.Session.options) list =
+  [
+    ( "tiered",
+      {
+        Vg_core.Session.default_options with
+        max_blocks = 50_000L;
+        promote_threshold = 8;
+        trace_threshold = 64;
+      } );
+    ( "tier0-only",
+      {
+        Vg_core.Session.default_options with
+        max_blocks = 50_000L;
+        promote_threshold = 0;
+        superblocks = false;
+      } );
+  ]
+
 let run_corpus () : bool =
   print_endline "== vglint: tool x workload corpus, verification on ==";
   let failed = ref 0 in
@@ -57,21 +80,24 @@ let run_corpus () : bool =
       let img = Workloads.compile ~scale:1 w in
       List.iter
         (fun (tname, tool) ->
-          let options =
-            (* verification of translations happens up front; fuel keeps
-               slow tools (redux, memcheck-origins) from dominating *)
-            { Vg_core.Session.default_options with max_blocks = 50_000L }
-          in
-          let s = Vg_core.Session.create ~options ~tool img in
-          try
-            let (_ : Vg_core.Session.exit_reason) = Vg_core.Session.run s in
-            let st = Vg_core.Session.stats s in
-            Fmt.pr "%-10s %-16s ok (%d translations, %d checks)@." wname
-              tname st.st_translations st.st_verify_checks
-          with Verify.Verr.Error _ as e ->
-            incr failed;
-            Fmt.pr "%-10s %-16s VERIFY FAILED: %s@." wname tname
-              (Verify.Verr.to_string e))
+          (* fuel (max_blocks) keeps slow tools (redux, memcheck-origins)
+             from dominating; verification happens per translation *)
+          List.iter
+            (fun (mname, options) ->
+              let s = Vg_core.Session.create ~options ~tool img in
+              try
+                let (_ : Vg_core.Session.exit_reason) =
+                  Vg_core.Session.run s
+                in
+                let st = Vg_core.Session.stats s in
+                Fmt.pr "%-10s %-16s %-10s ok (%d translations, %d checks)@."
+                  wname tname mname st.st_translations st.st_verify_checks
+              with Verify.Verr.Error _ as e ->
+                incr failed;
+                Fmt.pr "%-10s %-16s %-10s VERIFY FAILED: %s@." wname tname
+                  mname
+                  (Verify.Verr.to_string e))
+            corpus_modes)
         tools)
     corpus_workloads;
   !failed = 0

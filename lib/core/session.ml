@@ -65,6 +65,24 @@ type options = {
           patch/unlink, evictions, chaos faults, signals, degradations).
           0 (the default) disables tracing.  Export with {!trace} +
           {!Obs.Trace.to_jsonl}/{!Obs.Trace.to_chrome}. *)
+  tier0 : bool;
+      (** tiered JIT (on by default): translate cold blocks with the
+          cheap tier-0 quick pipeline (shared front end, identity
+          phases 4/5, template back end) and promote them to the full
+          optimizing pipeline when they turn hot.  Off: every block pays
+          the full pipeline up front (the pre-tiering behaviour). *)
+  promote_threshold : int;
+      (** executions after which a tier-0 translation is retranslated
+          with the optimizing pipeline (0 = never promote) *)
+  superblocks : bool;
+      (** trace superblock formation (on by default): when a chained
+          exit stays hot, stitch the blocks along the hot path into one
+          superblock translation so the optimiser and the tool see
+          across block boundaries *)
+  trace_threshold : int;
+      (** chained transfers through one exit site before the path it
+          starts is stitched into a superblock (0 = never) *)
+  trace_max_blocks : int;  (** max constituent blocks per superblock *)
 }
 
 let default_options =
@@ -86,6 +104,11 @@ let default_options =
     interp_fallback = true;
     profile = false;
     trace_capacity = 0;
+    tier0 = true;
+    promote_threshold = 256;
+    superblocks = true;
+    trace_threshold = 16384;
+    trace_max_blocks = 3;
   }
 
 type exit_reason =
@@ -123,6 +146,18 @@ type t = {
   mutable uninstrumented_steps : int;
       (** last-resort single-instruction steps (no instrumentation) *)
   mutable chaos_flushes : int;  (** forced transtab flushes (chaos) *)
+  (* tiered JIT *)
+  mutable translations_tier0 : int;  (** quick-tier translations made *)
+  mutable translations_full : int;  (** full-pipeline translations made *)
+  mutable translations_super : int;  (** superblock translations made *)
+  mutable promotions : int;  (** tier-0 -> full retranslations *)
+  mutable promotions_failed : int;
+      (** promotion attempts that failed (the tier-0 translation keeps
+          running; e.g. chaos condemned the retranslation) *)
+  mutable superblock_aborts : int;
+      (** trace-formation attempts abandoned (path would not stitch, or
+          the combined translation failed) *)
+  mutable jit_cycles_tier0 : int64;  (** [jit_cycles] spent in tier 0 *)
   sysw : Syswrap.counters;  (** wrapper restart/retry accounting *)
   (* observability (Vgscope) *)
   metrics : Obs.Registry.t;
@@ -134,6 +169,9 @@ type t = {
   jit_phase_cycles : int64 array;
       (** [jit_cycles] split across the eight pipeline phases; the
           entries always sum to [jit_cycles] exactly *)
+  jit_phase_cycles_tier0 : int64 array;
+      (** the tier-0 share of [jit_phase_cycles], same indexing; the
+          entries sum to [jit_cycles_tier0] exactly *)
   fn_cache : (int64, string * int64) Hashtbl.t;
       (** block pc -> (function name, base), for profile attribution *)
   (* last-N dispatched block addresses, for crash contexts *)
@@ -195,11 +233,26 @@ let publish_metrics (s : t) =
   pi "core.interp_fallbacks" (fun () -> s.interp_fallbacks);
   pi "core.uninstrumented_steps" (fun () -> s.uninstrumented_steps);
   pi "core.chaos_flushes" (fun () -> s.chaos_flushes);
+  (* tiered JIT: translation counts and cycle split per tier.  "full"
+     cycles cover the optimizing pipeline wherever it ran — promoted
+     retranslations and superblocks included. *)
+  pi "jit.tier0.translations" (fun () -> s.translations_tier0);
+  pi "jit.full.translations" (fun () -> s.translations_full);
+  pi "jit.super.translations" (fun () -> s.translations_super);
+  pi "jit.promotions" (fun () -> s.promotions);
+  pi "jit.promotions_failed" (fun () -> s.promotions_failed);
+  pi "jit.superblock_aborts" (fun () -> s.superblock_aborts);
+  pL "jit.tier0.cycles" (fun () -> s.jit_cycles_tier0);
+  pL "jit.full.cycles" (fun () -> Int64.sub s.jit_cycles s.jit_cycles_tier0);
   for i = 0 to Jit.Pipeline.n_phases - 1 do
     pL
       (Printf.sprintf "jit.phase%d.%s.cycles" (i + 1)
          Jit.Pipeline.phase_names.(i))
-      (fun () -> s.jit_phase_cycles.(i))
+      (fun () -> s.jit_phase_cycles.(i));
+    pL
+      (Printf.sprintf "jit.tier0.phase%d.%s.cycles" (i + 1)
+         Jit.Pipeline.phase_names.(i))
+      (fun () -> s.jit_phase_cycles_tier0.(i))
   done;
   Dispatch.publish r s.dispatch;
   Transtab.publish r s.transtab;
@@ -264,6 +317,13 @@ let create ?(options = default_options) ~(tool : Tool.t)
       interp_fallbacks = 0;
       uninstrumented_steps = 0;
       chaos_flushes = 0;
+      translations_tier0 = 0;
+      translations_full = 0;
+      translations_super = 0;
+      promotions = 0;
+      promotions_failed = 0;
+      superblock_aborts = 0;
+      jit_cycles_tier0 = 0L;
       sysw = Syswrap.fresh_counters ();
       metrics = Obs.Registry.create ();
       trace =
@@ -272,6 +332,7 @@ let create ?(options = default_options) ~(tool : Tool.t)
          else None);
       profiler = (if options.profile then Some (Obs.Profile.create ()) else None);
       jit_phase_cycles = Array.make Jit.Pipeline.n_phases 0L;
+      jit_phase_cycles_tier0 = Array.make Jit.Pipeline.n_phases 0L;
       fn_cache = Hashtbl.create 256;
       dispatch_trace = Array.make 16 0L;
       dispatch_trace_n = 0;
@@ -523,9 +584,13 @@ let wants_smc_check (s : t) (pc : int64) : bool =
              && Int64.unsigned_compare pc hi < 0)
            s.regstacks.stacks
 
-let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
-  let fetch_pc = Redirect.resolve s.redirect pc in
-  let fetch addr = Aspace.fetch_u8 s.mem addr in
+(* The per-boundary checks for one translation request: the Vglint
+   verifiers composed with any chaos-condemned forced failures.  The
+   quick tier calls every boundary hook too (with [pre == post] at the
+   identity phases), so both verification coverage and the chaos
+   failure contract are tier-independent. *)
+let translation_checks (s : t) ~(fetch_pc : int64) :
+    Jit.Pipeline.checks option =
   let verify_checks =
     if s.opts.verify_jit then
       Some
@@ -541,18 +606,16 @@ let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
     | Some c -> Chaos.translation_checks c ~pc:fetch_pc
     | None -> None
   in
-  let checks =
-    match (verify_checks, chaos_checks) with
-    | Some a, Some b -> Some (Jit.Pipeline.compose_checks a b)
-    | (Some _ as a), None -> a
-    | None, (Some _ as b) -> b
-    | None, None -> None
-  in
-  let t =
-    Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ?checks ~fetch
-      ~instrument:(instrument_fn s) fetch_pc
-  in
-  let t = { t with t_guest_addr = pc; t_smc_check = wants_smc_check s fetch_pc } in
+  match (verify_checks, chaos_checks) with
+  | Some a, Some b -> Some (Jit.Pipeline.compose_checks a b)
+  | (Some _ as a), None -> a
+  | None, (Some _ as b) -> b
+  | None, None -> None
+
+(* Charge a fresh translation's cycles (total and per-tier), count it,
+   mirror it into the trace, and make it resident. *)
+let account_translation (s : t) ~(pc : int64) (t : Jit.Pipeline.translation)
+    : unit =
   let start = total_cycles s in
   let cost = Jit.Pipeline.translation_cost t in
   Array.iteri
@@ -561,6 +624,18 @@ let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
         Int64.add s.jit_phase_cycles.(i) (Int64.of_int c))
     t.t_phase_cycles;
   s.jit_cycles <- Int64.add s.jit_cycles (Int64.of_int cost);
+  (match t.t_tier with
+  | Jit.Pipeline.Tier_quick ->
+      Array.iteri
+        (fun i c ->
+          s.jit_phase_cycles_tier0.(i) <-
+            Int64.add s.jit_phase_cycles_tier0.(i) (Int64.of_int c))
+        t.t_phase_cycles;
+      s.jit_cycles_tier0 <- Int64.add s.jit_cycles_tier0 (Int64.of_int cost);
+      s.translations_tier0 <- s.translations_tier0 + 1
+  | Jit.Pipeline.Tier_full -> s.translations_full <- s.translations_full + 1
+  | Jit.Pipeline.Tier_super ->
+      s.translations_super <- s.translations_super + 1);
   s.translations_made <- s.translations_made + 1;
   (* trace: one summary slice for the translation plus one slice per
      phase, tiled end to end on the simulated timeline *)
@@ -570,6 +645,7 @@ let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
         ~name:"translate"
         ~args:
           [ ("pc", Obs.Trace.I pc);
+            ("tier", Obs.Trace.S (Jit.Pipeline.tier_name t.t_tier));
             ("stmts_pre", Obs.Trace.I (Int64.of_int t.t_ir_stmts_pre));
             ("stmts_post", Obs.Trace.I (Int64.of_int t.t_ir_stmts_post));
             ("code_bytes", Obs.Trace.I (Int64.of_int (Bytes.length t.t_code))) ]
@@ -584,8 +660,27 @@ let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
           ts := Int64.add !ts (Int64.of_int c))
         t.t_phase_cycles
   | None -> ());
-  Transtab.insert s.transtab pc t;
+  Transtab.insert s.transtab pc t
+
+let translate_tier (s : t) ~(tier : Jit.Pipeline.tier) (pc : int64) :
+    Jit.Pipeline.translation =
+  let fetch_pc = Redirect.resolve s.redirect pc in
+  let fetch addr = Aspace.fetch_u8 s.mem addr in
+  let checks = translation_checks s ~fetch_pc in
+  let t =
+    Jit.Pipeline.translate ~unroll:s.opts.unroll_loops ?checks ~tier ~fetch
+      ~instrument:(instrument_fn s) fetch_pc
+  in
+  let t = { t with t_guest_addr = pc; t_smc_check = wants_smc_check s fetch_pc } in
+  account_translation s ~pc t;
   t
+
+(* Tier selection for a cold block: quick when tiering is on. *)
+let translate (s : t) (pc : int64) : Jit.Pipeline.translation =
+  let tier =
+    if s.opts.tier0 then Jit.Pipeline.Tier_quick else Jit.Pipeline.Tier_full
+  in
+  translate_tier s ~tier pc
 
 (* find-or-translate via the scheduler (slow path) *)
 let scheduler_find (s : t) (pc : int64) : Jit.Pipeline.translation =
@@ -734,6 +829,138 @@ let lookup_via_dispatcher (s : t) (pc : int64) : Jit.Pipeline.translation =
       Dispatch.update s.dispatch pc t;
       t
 
+(* -- tiered JIT: promotion and trace superblocks ------------------- *)
+
+(* Hotness promotion: retranslate a hot tier-0 block with the optimizing
+   pipeline.  [Transtab.insert] on the same key unlinks every chain into
+   the quick translation and the dispatcher entry is refreshed, so the
+   replacement happens exactly once and no stale pointer survives.  A
+   failed attempt (e.g. chaos condemned the retranslation) marks the
+   quick translation so it keeps running without a retry storm. *)
+let promote (s : t) (pc : int64) (t0 : Jit.Pipeline.translation) :
+    Jit.Pipeline.translation =
+  match translate_tier s ~tier:Jit.Pipeline.Tier_full pc with
+  | exception (Guest.Decode.Truncated | Jit.Pipeline.Translation_failure _)
+    ->
+      t0.t_no_promote <- true;
+      s.promotions_failed <- s.promotions_failed + 1;
+      tev s ~cat:"jit" ~name:"promote_failed"
+        ~args:[ ("pc", Obs.Trace.I pc) ]
+        ();
+      (match s.opts.chaos with
+      | Some c -> Chaos.note_recovery c "promotion_failed"
+      | None -> ());
+      t0
+  | t ->
+      t.t_hotness <- t0.t_hotness;
+      s.promotions <- s.promotions + 1;
+      Dispatch.update s.dispatch pc t;
+      tev s ~cat:"jit" ~name:"promote" ~args:[ ("pc", Obs.Trace.I pc) ] ();
+      t
+
+(* Trace selection: starting from the full-tier translation whose hot
+   exit just fired, greedily follow the hottest boring chainable exit
+   into resident full-tier translations.  Stops at cycles, redirected
+   addresses, cold or non-boring exits, missing/other-tier translations,
+   or the length cap.  Everything consulted (slot heat, tier, residency)
+   is a deterministic function of the execution history, so formation
+   replays bit-identically. *)
+let select_trace (s : t) (src : Jit.Pipeline.translation) : int64 list =
+  (* successors must be at least half as hot as the trigger threshold:
+     on a straight hot path the downstream slots trail the trigger by at
+     most one transfer, while genuinely cold side paths stay excluded *)
+  let min_hot = Int64.of_int ((s.opts.trace_threshold + 1) / 2) in
+  let rec go (visited : int64 list) (t : Jit.Pipeline.translation) (n : int)
+      : int64 list =
+    if n >= s.opts.trace_max_blocks then List.rev visited
+    else
+      let best =
+        Array.fold_left
+          (fun best (sl : Jit.Pipeline.chain_slot) ->
+            if
+              sl.Jit.Pipeline.cs_kind <> HA.ek_boring
+              || Int64.unsigned_compare sl.cs_hot min_hot < 0
+              || List.mem sl.cs_target visited
+              || Redirect.resolve s.redirect sl.cs_target <> sl.cs_target
+              || Transtab.covered_by_super s.transtab sl.cs_target
+            then best
+            else
+              match best with
+              | Some (b : Jit.Pipeline.chain_slot)
+                when Int64.unsigned_compare b.cs_hot sl.cs_hot >= 0 ->
+                  best
+              | _ -> Some sl)
+          None t.t_exits
+      in
+      match best with
+      | None -> List.rev visited
+      | Some sl -> (
+          match Transtab.find s.transtab sl.cs_target with
+          | Some nt when nt.t_tier = Jit.Pipeline.Tier_full ->
+              go (sl.cs_target :: visited) nt (n + 1)
+          | _ -> List.rev visited)
+  in
+  go [ src.t_guest_addr ] src 1
+
+(* Stitch the hot path starting at [head] into one superblock
+   translation and make it resident under the head's key (the
+   constituent translations stay resident under theirs, so side exits
+   fall back to them).  Unstitchable or failed traces just count an
+   abort — execution continues on the per-block translations. *)
+let form_superblock (s : t) (head : Jit.Pipeline.translation) : unit =
+  let pc = head.t_guest_addr in
+  let path = select_trace s head in
+  if List.length path < 2 then
+    s.superblock_aborts <- s.superblock_aborts + 1
+  else
+    let fetch addr = Aspace.fetch_u8 s.mem addr in
+    let checks = translation_checks s ~fetch_pc:pc in
+    match
+      Jit.Pipeline.translate_trace ~unroll:s.opts.unroll_loops ?checks
+        ~fetch ~instrument:(instrument_fn s) path
+    with
+    | exception (Guest.Decode.Truncated | Jit.Pipeline.Translation_failure _)
+      ->
+        s.superblock_aborts <- s.superblock_aborts + 1;
+        tev s ~cat:"jit" ~name:"superblock_abort"
+          ~args:[ ("pc", Obs.Trace.I pc) ]
+          ();
+        (match s.opts.chaos with
+        | Some c -> Chaos.note_recovery c "superblock_abort"
+        | None -> ())
+    | None -> s.superblock_aborts <- s.superblock_aborts + 1
+    | Some t ->
+        (* SMC policy is per constituent: check whenever any stitched
+           range wants it.  [t_guest_ranges] spans every constituent, so
+           discard-by-range invalidation needs no special casing. *)
+        let t =
+          {
+            t with
+            t_smc_check = List.exists (wants_smc_check s) t.t_constituents;
+          }
+        in
+        account_translation s ~pc t;
+        Dispatch.update s.dispatch pc t;
+        tev s ~cat:"jit" ~name:"superblock"
+          ~args:
+            [ ("pc", Obs.Trace.I pc);
+              ("blocks", Obs.Trace.I (Int64.of_int (List.length t.t_constituents))) ]
+          ()
+
+(* Bump a chained exit's heat; at exactly the threshold (once per slot),
+   try to stitch the hot path it starts into a superblock. *)
+let note_chained_transfer (s : t) (src : Jit.Pipeline.translation)
+    (slot : Jit.Pipeline.chain_slot) : unit =
+  slot.cs_hot <- Int64.add slot.cs_hot 1L;
+  if
+    s.opts.superblocks && s.opts.trace_threshold > 0
+    && slot.cs_hot = Int64.of_int s.opts.trace_threshold
+    && src.t_tier = Jit.Pipeline.Tier_full
+    && slot.cs_kind = HA.ek_boring
+    && Redirect.resolve s.redirect src.t_guest_addr = src.t_guest_addr
+    && not (Transtab.covered_by_super s.transtab src.t_guest_addr)
+  then form_superblock s src
+
 let find_translation (s : t) (pc : int64) : Jit.Pipeline.translation =
   match s.last_exit with
   | Some (src, slot) when s.opts.chaining && slot.cs_target = pc -> (
@@ -745,6 +972,7 @@ let find_translation (s : t) (pc : int64) : Jit.Pipeline.translation =
           charge s s.opts.chain_cost;
           s.chained_transfers <- Int64.add s.chained_transfers 1L;
           Events.tick_chain_followed s.events;
+          note_chained_transfer s src slot;
           t
       | None ->
           (* first warm transit of this exit: dispatch normally, then
@@ -948,6 +1176,19 @@ let run_block (s : t) =
         raise (Jit.Pipeline.Translation_failure msg);
       run_block_interp s th ~pc
   | `T t -> (
+      (* tiered JIT: a quick translation that crossed the hotness
+         threshold is promoted to the optimizing tier before running *)
+      let t =
+        if
+          t.t_tier = Jit.Pipeline.Tier_quick
+          && s.opts.promote_threshold > 0
+          && (not t.t_no_promote)
+          && Int64.unsigned_compare t.t_hotness
+               (Int64.of_int s.opts.promote_threshold)
+             >= 0
+        then promote s pc t
+        else t
+      in
       t.t_hotness <- Int64.add t.t_hotness 1L;
       s.cpu.hregs.(HA.gsp) <- th.ts_addr;
       let env = helper_env s in
@@ -1089,6 +1330,17 @@ type stats = {
   st_jit_phase_cycles : int64 array;
       (** [st_jit_cycles] attributed to the eight pipeline phases; the
           entries sum to [st_jit_cycles] exactly *)
+  (* tiered JIT *)
+  st_translations_tier0 : int;  (** quick-tier translations made *)
+  st_translations_full : int;  (** full-pipeline translations made *)
+  st_translations_super : int;  (** superblock translations made *)
+  st_promotions : int;  (** tier-0 -> full retranslations *)
+  st_promotions_failed : int;  (** promotion attempts that failed *)
+  st_superblock_aborts : int;  (** abandoned trace formations *)
+  st_jit_cycles_tier0 : int64;  (** the tier-0 share of [st_jit_cycles] *)
+  st_jit_phase_cycles_tier0 : int64 array;
+      (** the tier-0 share of [st_jit_phase_cycles]; the entries sum to
+          [st_jit_cycles_tier0] exactly *)
   st_dispatch_hits : int64;
   st_dispatch_misses : int64;
   st_dispatch_hit_rate : float;
@@ -1123,6 +1375,14 @@ let stats (s : t) : stats =
     st_retranslations_smc = s.retranslations_smc;
     st_verify_checks = s.verify_checks;
     st_jit_phase_cycles = Array.copy s.jit_phase_cycles;
+    st_translations_tier0 = s.translations_tier0;
+    st_translations_full = s.translations_full;
+    st_translations_super = s.translations_super;
+    st_promotions = s.promotions;
+    st_promotions_failed = s.promotions_failed;
+    st_superblock_aborts = s.superblock_aborts;
+    st_jit_cycles_tier0 = s.jit_cycles_tier0;
+    st_jit_phase_cycles_tier0 = Array.copy s.jit_phase_cycles_tier0;
     st_dispatch_hits = s.dispatch.hits;
     st_dispatch_misses = s.dispatch.misses;
     st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;
@@ -1181,12 +1441,13 @@ let profile_report ?(top = 20) (s : t) : string =
         Buffer.add_string b
           "==vgscope== hot translations (resident, by executions):\n";
         Buffer.add_string b
-          "==vgscope==       execs   jit-cyc  bytes  ir-pre  ir-post  location\n";
+          "==vgscope==       execs  tier   jit-cyc  bytes  ir-pre  ir-post  location\n";
         List.iter
           (fun (t : Jit.Pipeline.translation) ->
             Buffer.add_string b
-              (Printf.sprintf "==vgscope== %11Ld %9d %6d %7d %8d  %s\n"
+              (Printf.sprintf "==vgscope== %11Ld %5s %9d %6d %7d %8d  %s\n"
                  t.t_hotness
+                 (Jit.Pipeline.tier_name t.t_tier)
                  (Jit.Pipeline.translation_cost t)
                  (Bytes.length t.t_code) t.t_ir_stmts_pre t.t_ir_stmts_post
                  (symbolize s t.t_guest_addr)))

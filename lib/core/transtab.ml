@@ -307,6 +307,22 @@ let flush (t : t) =
 
 let occupancy t = float_of_int t.used /. float_of_int t.capacity
 
+(** Is [pc] a constituent of some resident superblock?  Trace formation
+    refuses to re-cover such blocks: the per-block translations of a hot
+    loop stay resident for side-exit fallback and their exits keep
+    getting hotter, so without this guard every block of an
+    already-stitched loop would eventually head its own overlapping
+    superblock of the same region, re-paying the optimizing pipeline for
+    code that is already covered. *)
+let covered_by_super (t : t) (pc : int64) : bool =
+  Array.exists
+    (function
+      | Some e ->
+          e.e_trans.Jit.Pipeline.t_tier = Jit.Pipeline.Tier_super
+          && List.mem pc e.e_trans.Jit.Pipeline.t_constituents
+      | None -> false)
+    t.slots
+
 (* ------------------------------------------------------------------ *)
 (* Observability                                                        *)
 (* ------------------------------------------------------------------ *)

@@ -84,6 +84,26 @@ let compose_checks (a : checks) (b : checks) : checks =
         b.ck_bytes ~hcode ~bytes);
   }
 
+(** Which pipeline produced a translation (tiered JIT).
+
+    - [Tier_quick]: the cheap tier-0 quick-translate for cold blocks.
+      The shared front end (disassembly, opt1, instrumentation) runs
+      unchanged — so the tool instruments exactly the IR it would see in
+      the optimizing tier and the event stream is bit-identical — but
+      phases 4 and 5 are skipped (identity transforms) and the back end
+      template-emits host code straight from the flat instrumented IR.
+    - [Tier_full]: the eight-phase optimizing pipeline.
+    - [Tier_super]: a trace superblock — several chained-hot guest
+      blocks stitched into one region and run through the full pipeline,
+      so the optimizer and the instrumenters see across the original
+      block boundaries. *)
+type tier = Tier_quick | Tier_full | Tier_super
+
+let tier_name = function
+  | Tier_quick -> "tier0"
+  | Tier_full -> "full"
+  | Tier_super -> "super"
+
 (** A finished translation. *)
 type translation = {
   t_guest_addr : int64;  (** guest address this was translated from *)
@@ -105,8 +125,16 @@ type translation = {
   t_phase_cycles : int array;
       (** JIT cycles attributed to each of the eight phases under the
           VH64 cost model; {!translation_cost} is their sum *)
+  t_tier : tier;  (** which pipeline produced this translation *)
+  t_constituents : int64 list;
+      (** guest start addresses of the blocks this translation covers:
+          [[t_guest_addr]] for ordinary translations, the stitched path
+          (head first) for superblocks *)
   mutable t_hotness : int64;
       (** executions of this translation (bumped by the session) *)
+  mutable t_no_promote : bool;
+      (** set when a promotion attempt failed (e.g. under fault
+          injection) so the session does not retry every execution *)
 }
 
 (** A chainable exit site: a host exit instruction whose guest target is
@@ -122,6 +150,9 @@ and chain_slot = {
   cs_target : int64;  (** the constant guest destination *)
   cs_kind : Host.Arch.exit_kind;
   mutable cs_next : translation option;  (** patched successor, if any *)
+  mutable cs_hot : int64;
+      (** chained transfers taken through this slot; drives trace
+          superblock formation *)
 }
 
 let n_phases = 8
@@ -157,11 +188,23 @@ let chain_slots_of (code : Host.Arch.insn array) : chain_slot array =
       match insn with
       | Host.Arch.ExitIf (_, ek, dest) when chainable_ek ek ->
           slots :=
-            { cs_index = i; cs_target = dest; cs_kind = ek; cs_next = None }
+            {
+              cs_index = i;
+              cs_target = dest;
+              cs_kind = ek;
+              cs_next = None;
+              cs_hot = 0L;
+            }
             :: !slots
       | Host.Arch.GotoI (ek, dest) when chainable_ek ek ->
           slots :=
-            { cs_index = i; cs_target = dest; cs_kind = ek; cs_next = None }
+            {
+              cs_index = i;
+              cs_target = dest;
+              cs_kind = ek;
+              cs_next = None;
+              cs_hot = 0L;
+            }
             :: !slots
       | _ -> ())
     code;
@@ -264,15 +307,48 @@ let phase_cycle_model ~(guest_insns : int) ~(guest_bytes : int)
     2 * code_bytes;  (* 8: assembly *)
   |]
 
-(** Run all eight phases, returning every intermediate result.
-    [unroll] controls phase 2's self-loop unrolling; [checks] supplies
-    the optional per-boundary verifiers. *)
-let translate_phases ?(unroll = true) ?(checks : checks option)
-    ~(fetch : int64 -> int) ~(instrument : instrument) (guest_addr : int64) :
+(* The tier-0 cost model: only decode, instrumentation hooks and
+   assembly are paid (the copy-and-annotate economics of lib/caa).
+   Phase 2 is charged as a single flattening walk over the tree — the
+   quick tier still *runs* the full opt1 so the tool instruments
+   exactly the IR the optimizing tier would hand it (event-stream
+   parity across promotion), but a real quick tier would only flatten,
+   and the deterministic cost model prices that.  Phases 4 and 5 are
+   identity transforms and cost nothing; the back end is a template
+   emitter — no tree matching over rebuilt expressions, no
+   coalescing-quality allocation — charged far below the optimizing
+   weights.  Quick code is longer, so the bigger vcode/hcode/byte
+   counts claw some of that back honestly. *)
+let quick_phase_cycle_model ~(guest_insns : int) ~(guest_bytes : int)
+    ~(tree_stmts : int) ~(flat_stmts : int) ~(instr_stmts : int)
+    ~(vcode_len : int) ~(hcode_len : int) ~(code_bytes : int) : int array =
+  ignore flat_stmts;
+  [|
+    (14 * guest_insns) + (2 * guest_bytes);  (* 1: disassembly *)
+    2 * tree_stmts;  (* 2: flattening walk only *)
+    4 * instr_stmts;  (* 3: instrumentation plumbing *)
+    0;  (* 4: optimisation 2 skipped *)
+    0;  (* 5: tree building skipped *)
+    vcode_len;  (* 6: template instruction selection *)
+    hcode_len;  (* 7: single-pass linear-scan allocation *)
+    2 * code_bytes;  (* 8: assembly *)
+  |]
+
+(** Run the pipeline over an already-disassembled [tree], returning
+    every intermediate result.  This is the shared body of
+    {!translate_phases} (which disassembles one guest block) and the
+    superblock path (which stitches several).  [tier] selects the
+    pipeline: [Tier_quick] keeps the front end (so the tool instruments
+    exactly the IR the optimizing tier would hand it) but makes phases 4
+    and 5 identity transforms — every boundary check still fires, with
+    [pre == post] at the skipped phases, so verification and fault
+    injection cover the quick tier with no special cases. *)
+let translate_tree ?(unroll = true) ?(checks : checks option)
+    ?(tier = Tier_full) ?(constituents : int64 list option)
+    ~(fetch : int64 -> int) ~(instrument : instrument)
+    ((tree, stats) : Vex_ir.Ir.block * Disasm.stats) (guest_addr : int64) :
     phases * translation =
   let ck f = match checks with None -> () | Some c -> f c in
-  (* 1: disassembly *)
-  let tree, stats = Disasm.superblock ~fetch guest_addr in
   ck (fun c -> c.ck_tree tree);
   (* 2: optimisation 1 *)
   let flat = Opt.opt1 ~unroll tree in
@@ -287,16 +363,24 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
    with Vex_ir.Typecheck.Ill_typed m ->
      raise (Translation_failure ("instrumented IR ill-typed: " ^ m)));
   ck (fun c -> c.ck_instrumented ~pre:flat ~post:instrumented);
-  (* 4: optimisation 2 *)
-  let opt2 = Opt.opt2 instrumented in
+  (* 4: optimisation 2; 5: tree building — identity in the quick tier *)
+  let opt2, treebuilt =
+    match tier with
+    | Tier_quick ->
+        ck (fun c -> c.ck_opt2 ~pre:instrumented ~post:instrumented);
+        ck (fun c -> c.ck_treebuilt ~pre:instrumented ~post:instrumented);
+        (instrumented, instrumented)
+    | Tier_full | Tier_super ->
+        let opt2 = Opt.opt2 instrumented in
+        (try Vex_ir.Typecheck.check_flat opt2
+         with Vex_ir.Typecheck.Ill_typed m ->
+           raise (Translation_failure ("phase 4 output ill-typed: " ^ m)));
+        ck (fun c -> c.ck_opt2 ~pre:instrumented ~post:opt2);
+        let treebuilt = Treebuild.build opt2 in
+        ck (fun c -> c.ck_treebuilt ~pre:opt2 ~post:treebuilt);
+        (opt2, treebuilt)
+  in
   let post_stmts = Support.Vec.length opt2.stmts in
-  (try Vex_ir.Typecheck.check_flat opt2
-   with Vex_ir.Typecheck.Ill_typed m ->
-     raise (Translation_failure ("phase 4 output ill-typed: " ^ m)));
-  ck (fun c -> c.ck_opt2 ~pre:instrumented ~post:opt2);
-  (* 5: tree building *)
-  let treebuilt = Treebuild.build opt2 in
-  ck (fun c -> c.ck_treebuilt ~pre:opt2 ~post:treebuilt);
   (* 6: instruction selection *)
   let vcode, n_int, n_vec, n_label =
     try Isel.select treebuilt
@@ -320,15 +404,25 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
   let decoded = Host.Encode.decode bytes in
   let exits = chain_slots_of decoded in
   let phase_cycles =
-    phase_cycle_model ~guest_insns:stats.guest_insns
-      ~guest_bytes:stats.guest_bytes
-      ~tree_stmts:(Support.Vec.length tree.stmts)
-      ~flat_stmts:pre_stmts
-      ~instr_stmts:(Support.Vec.length instrumented.stmts)
-      ~opt2_stmts:post_stmts
-      ~treebuilt_stmts:(Support.Vec.length treebuilt.stmts)
-      ~vcode_len:(List.length vcode) ~hcode_len:(List.length hcode)
-      ~code_bytes:(Bytes.length bytes)
+    match tier with
+    | Tier_quick ->
+        quick_phase_cycle_model ~guest_insns:stats.guest_insns
+          ~guest_bytes:stats.guest_bytes
+          ~tree_stmts:(Support.Vec.length tree.stmts)
+          ~flat_stmts:pre_stmts
+          ~instr_stmts:(Support.Vec.length instrumented.stmts)
+          ~vcode_len:(List.length vcode) ~hcode_len:(List.length hcode)
+          ~code_bytes:(Bytes.length bytes)
+    | Tier_full | Tier_super ->
+        phase_cycle_model ~guest_insns:stats.guest_insns
+          ~guest_bytes:stats.guest_bytes
+          ~tree_stmts:(Support.Vec.length tree.stmts)
+          ~flat_stmts:pre_stmts
+          ~instr_stmts:(Support.Vec.length instrumented.stmts)
+          ~opt2_stmts:post_stmts
+          ~treebuilt_stmts:(Support.Vec.length treebuilt.stmts)
+          ~vcode_len:(List.length vcode) ~hcode_len:(List.length hcode)
+          ~code_bytes:(Bytes.length bytes)
   in
   let t =
     {
@@ -345,7 +439,11 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
       t_exits = exits;
       t_exit_index = exit_index_of decoded exits;
       t_phase_cycles = phase_cycles;
+      t_tier = tier;
+      t_constituents =
+        (match constituents with Some cs -> cs | None -> [ guest_addr ]);
       t_hotness = 0L;
+      t_no_promote = false;
     }
   in
   ( {
@@ -363,10 +461,39 @@ let translate_phases ?(unroll = true) ?(checks : checks option)
     },
     t )
 
+(** Run all eight phases over one guest block, returning every
+    intermediate result.  [unroll] controls phase 2's self-loop
+    unrolling; [checks] supplies the optional per-boundary verifiers;
+    [tier] selects the quick or the optimizing pipeline. *)
+let translate_phases ?(unroll = true) ?checks ?(tier = Tier_full) ~fetch
+    ~instrument (guest_addr : int64) : phases * translation =
+  let tree_stats = Disasm.superblock ~fetch guest_addr in
+  translate_tree ~unroll ?checks ~tier ~fetch ~instrument tree_stats
+    guest_addr
+
 (** Run all eight phases, returning just the translation. *)
-let translate ?(unroll = true) ?checks ~fetch ~instrument guest_addr :
-    translation =
-  snd (translate_phases ~unroll ?checks ~fetch ~instrument guest_addr)
+let translate ?(unroll = true) ?checks ?(tier = Tier_full) ~fetch ~instrument
+    guest_addr : translation =
+  snd (translate_phases ~unroll ?checks ~tier ~fetch ~instrument guest_addr)
+
+(** Stitch the guest blocks along a hot chained [path] into one
+    superblock and translate it with the full optimizing pipeline, so
+    the optimiser and the tool see across the original block
+    boundaries.  Returns [None] when fewer than two blocks stitch (the
+    trace is not worth a combined translation); the caller falls back to
+    the constituent translations, which stay resident under their own
+    keys — a side exit from the superblock simply dispatches into
+    them. *)
+let translate_trace ?(unroll = true) ?checks ~fetch ~instrument
+    (path : int64 list) : translation option =
+  match Superblock.build ~fetch path with
+  | None -> None
+  | Some (tree, stats, stitched) ->
+      let head = List.hd stitched in
+      Some
+        (snd
+           (translate_tree ~unroll ?checks ~tier:Tier_super
+              ~constituents:stitched ~fetch ~instrument (tree, stats) head))
 
 (** Run the front half of the pipeline only (phases 1–4), returning the
     instrumented, optimised flat IR.  This is the graceful-degradation

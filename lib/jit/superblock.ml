@@ -1,0 +1,165 @@
+(** Trace superblock formation: stitch a hot chained path of guest
+    blocks into one IR region, so the optimizing pipeline and the tool's
+    instrumenter see across the original block boundaries ("Optimizing
+    Binary Code Produced by Valgrind" pursues the same across-block
+    payoff).
+
+    Stitching happens at the guest level: each constituent block is
+    re-disassembled and appended with its temporaries renamed into the
+    combined block's namespace.  Only [Jk_boring] edges are stitched.
+    When a constituent falls through to the next path element the
+    statements are appended directly; when it reaches it via a taken
+    conditional branch (a final [Exit] whose target is the next
+    element), the branch is inverted — the old fallthrough becomes the
+    side exit and the trace continues straight through — exactly the
+    transformation that makes a trace profitable.  Side exits keep their
+    guest-address targets, so leaving the superblock simply dispatches
+    into the constituent translations, which stay resident under their
+    own keys. *)
+
+open Vex_ir.Ir
+
+let rec rename_expr (off : int) (e : expr) : expr =
+  match e with
+  | RdTmp t -> RdTmp (t + off)
+  | Get _ | Const _ -> e
+  | Load (ty, a) -> Load (ty, rename_expr off a)
+  | Unop (o, a) -> Unop (o, rename_expr off a)
+  | Binop (o, a, b) -> Binop (o, rename_expr off a, rename_expr off b)
+  | ITE (c, t, f) ->
+      ITE (rename_expr off c, rename_expr off t, rename_expr off f)
+  | CCall (f, ty, args) -> CCall (f, ty, List.map (rename_expr off) args)
+
+let rename_stmt (off : int) (s : stmt) : stmt =
+  match s with
+  | NoOp | IMark _ -> s
+  | AbiHint (e, l) -> AbiHint (rename_expr off e, l)
+  | Put (o, e) -> Put (o, rename_expr off e)
+  | WrTmp (t, e) -> WrTmp (t + off, rename_expr off e)
+  | Store (a, d) -> Store (rename_expr off a, rename_expr off d)
+  | Dirty d ->
+      Dirty
+        {
+          d with
+          d_guard = rename_expr off d.d_guard;
+          d_args = List.map (rename_expr off) d.d_args;
+          d_tmp = Option.map (fun t -> t + off) d.d_tmp;
+          d_mfx =
+            (match d.d_mfx with
+            | Mfx_none -> Mfx_none
+            | Mfx_read (e, n) -> Mfx_read (rename_expr off e, n)
+            | Mfx_write (e, n) -> Mfx_write (rename_expr off e, n));
+        }
+  | Exit (g, jk, tgt) -> Exit (rename_expr off g, jk, tgt)
+
+(* Import [src]'s temporaries into [dst], returning the renaming
+   offset. *)
+let import_tyenv (dst : block) (src : block) : int =
+  let off = Support.Vec.length dst.tyenv in
+  Support.Vec.iter (fun ty -> ignore (new_tmp dst ty)) src.tyenv;
+  off
+
+(* Can control fall off [src] into [continue_pc] without leaving the
+   trace?  [`Straight]: the block's fallthrough is the next element.
+   [`Invert fall]: the block reaches it via a taken conditional branch
+   (final [Exit]); the returned [fall] is the old fallthrough address,
+   which becomes the inverted side exit's target. *)
+let stitchable (src : block) ~(continue_pc : int64) :
+    [ `Straight | `Invert of int64 ] option =
+  if src.jumpkind <> Jk_boring then None
+  else
+    match src.next with
+    | Const (CI32 v) when v = continue_pc -> Some `Straight
+    | Const (CI32 fall) -> (
+        let n = Support.Vec.length src.stmts in
+        if n = 0 then None
+        else
+          match Support.Vec.get src.stmts (n - 1) with
+          | Exit (_, Jk_boring, tgt) when tgt = continue_pc ->
+              Some (`Invert fall)
+          | _ -> None)
+    | _ -> None
+
+(* Append [src] to [dst] as a non-final constituent, per the
+   [stitchable] decision. *)
+let append_stitched (dst : block) (src : block)
+    (decision : [ `Straight | `Invert of int64 ]) : unit =
+  let off = import_tyenv dst src in
+  let n = Support.Vec.length src.stmts in
+  let keep = match decision with `Invert _ -> n - 1 | `Straight -> n in
+  for i = 0 to keep - 1 do
+    add_stmt dst (rename_stmt off (Support.Vec.get src.stmts i))
+  done;
+  match decision with
+  | `Straight -> ()
+  | `Invert fall -> (
+      match Support.Vec.get src.stmts (n - 1) with
+      | Exit (g, Jk_boring, _) ->
+          let ng = new_tmp dst I1 in
+          add_stmt dst (WrTmp (ng, Unop (Not1, rename_expr off g)));
+          add_stmt dst (Exit (RdTmp ng, Jk_boring, fall))
+      | _ -> assert false)
+
+(* Append [src] as the superblock's final constituent: all statements
+   plus its terminator. *)
+let append_final (dst : block) (src : block) : unit =
+  let off = import_tyenv dst src in
+  Support.Vec.iter (fun s -> add_stmt dst (rename_stmt off s)) src.stmts;
+  dst.next <- rename_expr off src.next;
+  dst.jumpkind <- src.jumpkind
+
+(** Stitch the guest blocks starting at the addresses in [path] (head
+    first) into one superblock.  The path is truncated at the first edge
+    that cannot be stitched (non-boring jumpkind, computed successor, or
+    a successor that is not the next path element); that constituent
+    becomes the final one, keeping its own terminator.  Returns the
+    combined block, aggregate disassembly stats and the list of
+    constituent start addresses actually stitched — or [None] when
+    fewer than two blocks stitch, in which case a combined translation
+    would buy nothing over the existing per-block ones. *)
+let build ~(fetch : int64 -> int) (path : int64 list) :
+    (block * Disasm.stats * int64 list) option =
+  match path with
+  | [] | [ _ ] -> None
+  | _ ->
+      let dst = new_block () in
+      let insns = ref 0 in
+      let bytes = ref 0 in
+      let stitched = ref [] in
+      let record pc (st : Disasm.stats) =
+        stitched := pc :: !stitched;
+        insns := !insns + st.guest_insns;
+        bytes := !bytes + st.guest_bytes
+      in
+      let rec go (pcs : int64 list) =
+        match pcs with
+        | [] -> ()
+        | pc :: rest -> (
+            match Disasm.superblock ~fetch pc with
+            | exception Guest.Decode.Truncated ->
+                (* The code at [pc] vanished between trace selection and
+                   now.  End the trace here; execution falls back to the
+                   dispatcher at [pc], which surfaces the fault at the
+                   right address. *)
+                dst.next <- i32 pc;
+                dst.jumpkind <- Jk_boring
+            | src, st -> (
+                let finish () = append_final dst src; record pc st in
+                match rest with
+                | next_pc :: _ -> (
+                    match stitchable src ~continue_pc:next_pc with
+                    | Some decision ->
+                        append_stitched dst src decision;
+                        record pc st;
+                        go rest
+                    | None -> finish ())
+                | [] -> finish ()))
+      in
+      go path;
+      let stitched = List.rev !stitched in
+      if List.length stitched < 2 then None
+      else
+        Some
+          ( dst,
+            { Disasm.guest_insns = !insns; guest_bytes = !bytes },
+            stitched )

@@ -81,12 +81,40 @@ let instrument (b : block) : block =
     b.stmts;
   nb
 
+let fetch_of (img : Guest.Image.t) (a : int64) : int =
+  Char.code (Bytes.get img.text (Int64.to_int (Int64.sub a img.text_addr)))
+
 let compile () : P.phases =
   let img = Guest.Asm.assemble corpus_src in
-  let fetch a =
-    Char.code (Bytes.get img.text (Int64.to_int (Int64.sub a img.text_addr)))
+  fst (P.translate_phases ~fetch:(fetch_of img) ~instrument img.entry)
+
+(* The same corpus through the tier-0 quick pipeline: phases 4 and 5 are
+   identity transforms there, but every boundary check still fires, so a
+   bug seeded into any quick-tier result must be caught just like in the
+   optimizing tier. *)
+let compile_quick () : P.phases =
+  let img = Guest.Asm.assemble corpus_src in
+  fst
+    (P.translate_phases ~tier:P.Tier_quick ~fetch:(fetch_of img) ~instrument
+       img.entry)
+
+(* And through the superblock path: the entry block stitched with the
+   [over] loop block (the conditional edge gets inverted), then the full
+   optimizing pipeline over the combined region. *)
+let compile_super () : P.phases =
+  let img = Guest.Asm.assemble corpus_src in
+  let fetch = fetch_of img in
+  let over =
+    match List.assoc_opt "over" img.symbols with
+    | Some a -> a
+    | None -> invalid_arg "mutate: corpus lost its 'over' label"
   in
-  fst (P.translate_phases ~fetch ~instrument img.entry)
+  match Jit.Superblock.build ~fetch [ img.entry; over ] with
+  | None -> invalid_arg "mutate: corpus path did not stitch"
+  | Some (tree, stats, stitched) ->
+      fst
+        (P.translate_tree ~tier:P.Tier_super ~constituents:stitched ~fetch
+           ~instrument (tree, stats) (List.hd stitched))
 
 (* ------------------------------------------------------------------ *)
 (* Block / listing surgery                                             *)
@@ -482,15 +510,30 @@ let run_one (base : P.phases) (m : mutation) : outcome =
         o_caught = starts_with ~prefix:m.m_expect ve_phase;
       }
 
-(** Compile the corpus, verify the clean build passes every check (no
-    false positives), then run every seeded mutation.  Returns the clean
-    result and all outcomes. *)
+(** Compile the corpus through all three pipelines — optimizing,
+    tier-0 quick and superblock — verify each clean build passes every
+    check (no false positives), then run every seeded mutation against
+    each.  Outcome names are prefixed with the pipeline they were seeded
+    into. *)
 let run () : outcome list =
-  let base = compile () in
-  (* the unmutated build must be clean — a false positive here would
-     invalidate the whole exercise *)
-  Check.check_all ~shadow base;
-  List.map (run_one base) mutations
+  let bases =
+    [
+      ("full", compile ());
+      ("tier0", compile_quick ());
+      ("super", compile_super ());
+    ]
+  in
+  List.concat_map
+    (fun (tag, base) ->
+      (* the unmutated build must be clean — a false positive here would
+         invalidate the whole exercise *)
+      Check.check_all ~shadow base;
+      List.map
+        (fun m ->
+          let o = run_one base m in
+          { o with o_name = tag ^ ":" ^ o.o_name })
+        mutations)
+    bases
 
 let all_caught (os : outcome list) : bool =
   List.for_all (fun o -> o.o_caught) os

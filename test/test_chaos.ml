@@ -172,7 +172,13 @@ let test_chain_consistency_under_chaos () =
   Alcotest.(check int) "live_chains counts the patched slots" !patched
     s.transtab.live_chains;
   Alcotest.(check int) "links - unlinks = live" !patched
-    (s.transtab.n_chain_links - s.transtab.n_chain_unlinks)
+    (s.transtab.n_chain_links - s.transtab.n_chain_unlinks);
+  (* tier counters partition the translation total even when chaos
+     forces retranslations and failed promotions along the way *)
+  Alcotest.(check int) "tier counters partition the total"
+    st.st_translations
+    (st.st_translations_tier0 + st.st_translations_full
+   + st.st_translations_super)
 
 (* ---- syscall restart + mapping retry -------------------------------- *)
 

@@ -480,6 +480,111 @@ let test_chaining_smc () =
   Alcotest.(check bool) "retranslated after hash mismatch" true
     (st.st_retranslations_smc >= 1)
 
+(* ---- tiered translation ---------------------------------------------- *)
+
+(* aggressive tiering knobs so the short test clients exercise promotion
+   and trace formation within a few hundred block executions *)
+let tiered_hot_options =
+  {
+    Vg_core.Session.default_options with
+    tier0 = true;
+    promote_threshold = 2;
+    superblocks = true;
+    trace_threshold = 8;
+    trace_max_blocks = 4;
+  }
+
+let full_only_options =
+  { Vg_core.Session.default_options with tier0 = false; superblocks = false }
+
+(* a hot multi-block loop with a conditional side path: every 4th
+   iteration takes the fallthrough, the rest branch over it, so a
+   superblock stitched along the hot path keeps leaving through its
+   side exit.  sum = 200 + 50*100 = 5200. *)
+let side_exit_src =
+  {|
+        .text
+        .global _start
+_start: movi r0, 0
+        movi r2, 200
+loop:   mov r3, r2
+        andi r3, 3
+        jnz skip
+        addi r0, 100
+skip:   inc r0
+        dec r2
+        jnz loop
+        mov r1, r0
+        movi r0, 1          ; sys_exit
+        syscall
+|}
+
+let test_promotion_exactly_once () =
+  (* with tier-0 on and superblocks off, every full-pipeline translation
+     is a promotion, and a promoted block never promotes again (the
+     replacement is Tier_full, which the promotion check skips) — so
+     promotions = full translations <= quick translations *)
+  let options =
+    { tiered_hot_options with promote_threshold = 4; superblocks = false }
+  in
+  let s, vr, out = run_valgrind ~options many_blocks_src in
+  check_vg_exit "tiered result correct" 4000 vr;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "hot blocks promoted" true (st.st_promotions > 0);
+  Alcotest.(check int) "every full translation is one promotion"
+    st.st_promotions st.st_translations_full;
+  Alcotest.(check bool) "at most one promotion per quick translation" true
+    (st.st_promotions <= st.st_translations_tier0);
+  Alcotest.(check int) "tier counters partition the total"
+    st.st_translations
+    (st.st_translations_tier0 + st.st_translations_full
+   + st.st_translations_super);
+  (* the same client through the full pipeline only must agree *)
+  let _, vr2, out2 = run_valgrind ~options:full_only_options many_blocks_src in
+  check_vg_exit "full-only result agrees" 4000 vr2;
+  Alcotest.(check string) "same client output" out2 out
+
+let test_superblock_side_exits () =
+  (* the stitched hot path leaves through its inverted side exit 50
+     times; guest state and the tool's event stream must be exactly what
+     block-by-block execution produces *)
+  let run options =
+    let img = Guest.Asm.assemble side_exit_src in
+    let s = Vg_core.Session.create ~options ~tool:Tools.Lackey.tool img in
+    let reason = Vg_core.Session.run s in
+    (s, reason, Vg_core.Session.client_stdout s, Vg_core.Session.tool_output s)
+  in
+  let s1, r1, out1, tool1 = run tiered_hot_options in
+  let _, r2, out2, tool2 = run full_only_options in
+  check_vg_exit "tiered exit" 5200 r1;
+  check_vg_exit "full-only exit" 5200 r2;
+  Alcotest.(check string) "same client output" out2 out1;
+  Alcotest.(check string) "same tool event totals" tool2 tool1;
+  let st = Vg_core.Session.stats s1 in
+  Alcotest.(check bool) "a superblock actually formed" true
+    (st.st_translations_super >= 1)
+
+let test_superblock_smc () =
+  (* the SMC client under aggressive tiering: whatever got promoted or
+     stitched over the patched range must be invalidated by the code
+     write, or the stale translation computes the wrong sum *)
+  let s, vr, _ = run_valgrind ~options:tiered_hot_options Test_guest.smc_stack_src in
+  check_vg_exit "smc result correct under tiering" 1077 vr;
+  let st = Vg_core.Session.stats s in
+  Alcotest.(check bool) "retranslated after hash mismatch" true
+    (st.st_retranslations_smc >= 1)
+
+let test_tiered_deterministic () =
+  (* two identical tiered runs must agree on every published metric
+     (promotion points, superblock formation, per-tier cycle splits) *)
+  let run () =
+    let img = Guest.Asm.assemble side_exit_src in
+    let s = Vg_core.Session.create ~options:tiered_hot_options ~tool:Vg_core.Tool.nulgrind img in
+    let _ = Vg_core.Session.run s in
+    Vg_core.Session.stats_json s
+  in
+  Alcotest.(check string) "bit-identical metrics" (run ()) (run ())
+
 let tests =
   [
     Alcotest.test_case "fact native" `Quick test_fact_native;
@@ -501,4 +606,11 @@ let tests =
     Alcotest.test_case "chaining under eviction pressure" `Quick
       test_chaining_eviction_pressure;
     Alcotest.test_case "chaining vs smc" `Quick test_chaining_smc;
+    Alcotest.test_case "tier0: promotion exactly once" `Quick
+      test_promotion_exactly_once;
+    Alcotest.test_case "superblocks: side exits equivalent" `Quick
+      test_superblock_side_exits;
+    Alcotest.test_case "superblocks vs smc" `Quick test_superblock_smc;
+    Alcotest.test_case "tiering deterministic" `Quick
+      test_tiered_deterministic;
   ]

@@ -20,7 +20,10 @@ let dummy_trans_exits key exits : Jit.Pipeline.translation =
     t_exits = exits;
     t_exit_index = Jit.Pipeline.exit_index_of [||] exits;
     t_phase_cycles = Array.make Jit.Pipeline.n_phases 0;
+    t_tier = Jit.Pipeline.Tier_full;
+    t_constituents = [ key ];
     t_hotness = 0L;
+    t_no_promote = false;
   }
 
 let dummy_trans key = dummy_trans_exits key [||]
@@ -34,9 +37,20 @@ let dummy_trans_with_exit key target :
       cs_target = target;
       cs_kind = Host.Arch.ek_boring;
       cs_next = None;
+      cs_hot = 0L;
     }
   in
   (dummy_trans_exits key [| slot |], slot)
+
+(* a superblock translation: guest ranges span every constituent, so a
+   discard hitting any of them must take the whole thing down *)
+let dummy_super head constituents : Jit.Pipeline.translation =
+  {
+    (dummy_trans head) with
+    t_tier = Jit.Pipeline.Tier_super;
+    t_constituents = constituents;
+    t_guest_ranges = List.map (fun pc -> (pc, 4)) constituents;
+  }
 
 let test_transtab_basics () =
   let tt = Vg_core.Transtab.create ~capacity:64 () in
@@ -71,6 +85,30 @@ let test_transtab_discard_range () =
   Alcotest.(check int) "one discarded" 1 n;
   Alcotest.(check bool) "0x1000 kept" true (Vg_core.Transtab.find tt 0x1000L <> None);
   Alcotest.(check bool) "0x2000 gone" true (Vg_core.Transtab.find tt 0x2000L = None)
+
+let test_super_discard_constituent () =
+  let tt = Vg_core.Transtab.create ~capacity:64 () in
+  (* constituent blocks stay resident under their own keys (side-exit
+     fallback); the superblock replaces the head's entry *)
+  List.iter
+    (fun k -> Vg_core.Transtab.insert tt k (dummy_trans k))
+    [ 0x2000L; 0x3000L ];
+  Vg_core.Transtab.insert tt 0x1000L
+    (dummy_super 0x1000L [ 0x1000L; 0x2000L; 0x3000L ]);
+  Alcotest.(check bool) "middle constituent is covered" true
+    (Vg_core.Transtab.covered_by_super tt 0x2000L);
+  Alcotest.(check bool) "unrelated pc is not" false
+    (Vg_core.Transtab.covered_by_super tt 0x4000L);
+  (* an SMC write inside the middle constituent: both the per-block
+     translation and the superblock spanning it must go *)
+  let n = Vg_core.Transtab.discard_range tt 0x2002L 1 in
+  Alcotest.(check int) "superblock and block discarded" 2 n;
+  Alcotest.(check bool) "superblock gone" true
+    (Vg_core.Transtab.find tt 0x1000L = None);
+  Alcotest.(check bool) "untouched constituent survives" true
+    (Vg_core.Transtab.find tt 0x3000L <> None);
+  Alcotest.(check bool) "coverage dissolved with the superblock" false
+    (Vg_core.Transtab.covered_by_super tt 0x3000L)
 
 (* ---- translation chaining: link/unlink invariants ------------------- *)
 
@@ -321,6 +359,8 @@ let tests =
     t "transtab: insert/find" test_transtab_basics;
     t "transtab: FIFO chunk eviction" test_transtab_fifo_eviction;
     t "transtab: discard range" test_transtab_discard_range;
+    t "transtab: constituent discard kills superblock"
+      test_super_discard_constituent;
     t "chaining: link requires residency" test_chain_link_basics;
     t "chaining: eviction unlinks" test_chain_unlink_on_eviction;
     t "chaining: discard range unlinks" test_chain_unlink_on_discard_range;
