@@ -19,6 +19,7 @@ let tools : (string * Vg_core.Tool.t) list =
     ("taintgrind", Tools.Taintgrind.tool);
     ("annelid", Tools.Annelid.tool);
     ("redux", Tools.Redux.tool);
+    ("drd", Tools.Drd.tool);
     ("icnti", Tools.Icnt.icnt_inline);
     ("icntc", Tools.Icnt.icnt_call);
   ]
@@ -35,7 +36,7 @@ let load_image (path : string) : Guest.Image.t =
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
-let run tool_name no_chaining no_verify smc_mode tier0_only no_tier0
+let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
     promote_threshold stats profile trace_file stdin_file supp_file path =
   let tool =
     match List.assoc_opt tool_name tools with
@@ -67,9 +68,14 @@ let run tool_name no_chaining no_verify smc_mode tier0_only no_tier0
     prerr_endline "valgrind: --tier0-only and --no-tier0 are mutually exclusive";
     exit 2
   end;
+  if cores < 1 then begin
+    prerr_endline "valgrind: --cores must be >= 1";
+    exit 2
+  end;
   let options =
     {
       Vg_core.Session.default_options with
+      cores;
       chaining = not no_chaining;
       smc_mode = smc;
       verify_jit = not no_verify;
@@ -171,6 +177,16 @@ let cmd =
   let tool =
     Arg.(value & opt string "memcheck" & info [ "tool" ] ~doc:"Tool plug-in to run.")
   in
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Simulated cores (default 1).  Threads are pinned to core \
+             (tid-1) mod $(docv) and the scheduler interleaves cores on \
+             cycle counts, so any value replays bit-identically; a \
+             single-threaded program behaves identically for every value.")
+  in
   let no_chaining =
     Arg.(
       value & flag
@@ -270,7 +286,7 @@ let cmd =
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
-      const run $ tool $ no_chaining $ no_verify $ smc $ tier0_only
+      const run $ tool $ cores $ no_chaining $ no_verify $ smc $ tier0_only
       $ no_tier0 $ promote_threshold $ stats $ profile $ trace_file
       $ stdin_file $ supp $ path)
 

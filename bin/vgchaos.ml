@@ -109,11 +109,13 @@ let write_file path text =
 
 (* [trace_to]: record the session's structured events and write them to
    <prefix>.jsonl + <prefix>.chrome.json (Chrome trace_event format). *)
-let run_one ?trace_to ~(tool : Vg_core.Tool.t) ~(img : Guest.Image.t)
-    ~(chaos : Chaos.t option) () : (outcome, string) result =
+let run_one ?trace_to ?(cores = 1) ~(tool : Vg_core.Tool.t)
+    ~(img : Guest.Image.t) ~(chaos : Chaos.t option) () :
+    (outcome, string) result =
   let options =
     {
       Vg_core.Session.default_options with
+      cores;
       max_blocks = 10_000L;
       verify_jit = false;
       (* small code cache: chunk eviction happens under every schedule *)
@@ -242,6 +244,94 @@ and run_cell_inner ~cell ~tool ~img ~seed : unit =
                         cell idem.o_faults h1.o_faults idem.o_fallbacks
                         h1.o_fallbacks))))
 
+(* ------------------------------------------------------------------ *)
+(* Sharded-scheduler cells: --cores 2 under the sharded schedule        *)
+(* ------------------------------------------------------------------ *)
+
+(* A 2-thread racy client (no locks: plain yields drive scheduling).
+   Under --cores 2 the inter-core interleaving is cycle-driven, so chaos
+   timing noise (handoff stalls, retire delays, fallback costs) shifts
+   it — equivalence with the fault-free baseline is not the contract
+   here.  Replay is: the same seed must reproduce the fault schedule
+   injection-for-injection and every output bit. *)
+let threaded_src =
+  {|
+int counter;
+int done1;
+int done2;
+char stk1[4096];
+char stk2[4096];
+
+void worker1() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) { counter = counter + 1; }
+  done1 = 1;
+  thread_exit();
+}
+
+void worker2() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) { counter = counter + 1; }
+  done2 = 1;
+  thread_exit();
+}
+
+int main() {
+  thread_create((int)&worker1, (int)stk1 + 4088, 0);
+  thread_create((int)&worker2, (int)stk2 + 4088, 0);
+  while (done1 == 0 || done2 == 0) { yield(); }
+  print_str("counter=");
+  print_int(counter);
+  print_str("\n");
+  return 0;
+}
+|}
+
+let run_sharded_cells ~(seed : int) ~(mcf : Guest.Image.t) : unit =
+  let img = Minicc.Driver.compile threaded_src in
+  List.iter
+    (fun (tname, tool) ->
+      let cell = Printf.sprintf "threads  %-16s seed %d x2 cores" tname seed in
+      let chaos_run () =
+        run_one ~cores:2 ~tool ~img
+          ~chaos:(Some (Chaos.create (Chaos.sharded ~seed)))
+          ()
+      in
+      match run_one ~cores:2 ~tool ~img ~chaos:None () with
+      | Error e -> fail cell ("cores=2 baseline raised " ^ e)
+      | Ok _ -> (
+          match (chaos_run (), chaos_run ()) with
+          | Error e, _ -> fail cell ("sharded schedule raised " ^ e)
+          | _, Error e -> fail cell ("sharded replay raised " ^ e)
+          | Ok c1, Ok c2 ->
+              expect cell "sharded replay fault log" (c1.o_log = c2.o_log);
+              expect_eq cell "sharded replay digest" c1.o_digest c2.o_digest;
+              expect_eq cell "sharded replay stdout" c1.o_stdout c2.o_stdout;
+              expect_eq cell "sharded replay tool output" c1.o_tool c2.o_tool;
+              Fmt.pr "%s ok (%d faults, replayed exactly)@." cell c1.o_faults))
+    [
+      ("nulgrind", Vg_core.Tool.nulgrind);
+      ("lackey", Tools.Lackey.tool);
+      ("memcheck", Tools.Memcheck.tool);
+    ];
+  (* a single-threaded client only ever steps core 0: even under the
+     idempotent fault schedule, --cores 2 must be bit-identical to the
+     --cores 1 fault-free baseline *)
+  let cell = Printf.sprintf "mcf      %-16s seed %d x2 cores" "memcheck" seed in
+  match
+    ( run_one ~tool:Tools.Memcheck.tool ~img:mcf ~chaos:None (),
+      run_one ~cores:2 ~tool:Tools.Memcheck.tool ~img:mcf
+        ~chaos:(Some (Chaos.create (Chaos.idempotent ~seed)))
+        () )
+  with
+  | Error e, _ -> fail cell ("baseline raised " ^ e)
+  | _, Error e -> fail cell ("idempotent cores=2 raised " ^ e)
+  | Ok base, Ok idem ->
+      expect_eq cell "single-thread cores=2 exit" base.o_exit idem.o_exit;
+      expect_eq cell "single-thread cores=2 stdout" base.o_stdout idem.o_stdout;
+      expect_eq cell "single-thread cores=2 tool output" base.o_tool idem.o_tool;
+      Fmt.pr "%s ok (single-threaded invariant under 2 cores)@." cell
+
 let run_sweep (seeds : int list) : bool =
   Fmt.pr "== vgchaos: fault-injection sweep, seeds %s ==@."
     (String.concat "," (List.map string_of_int seeds));
@@ -255,7 +345,10 @@ let run_sweep (seeds : int list) : bool =
               let cell = Printf.sprintf "%-8s %-16s seed %d" wname tname seed in
               run_cell ~cell ~tool ~img ~seed)
             tools)
-        imgs)
+        imgs;
+      match List.assoc_opt "mcf" imgs with
+      | Some mcf -> run_sharded_cells ~seed ~mcf
+      | None -> ())
     seeds;
   (* always leave one exemplar structured trace behind (a Chrome-loadable
      record of a full fault schedule), even when every cell passes *)
@@ -275,7 +368,7 @@ let run_sweep (seeds : int list) : bool =
 (* Single-cell mode (--seed): show the fault schedule                   *)
 (* ------------------------------------------------------------------ *)
 
-let run_single ~seed ~schedule ~tname ~wname ~trace_to : bool =
+let run_single ~seed ~schedule ~tname ~wname ~cores ~trace_to : bool =
   let tool =
     match List.assoc_opt tname tools with
     | Some t -> t
@@ -290,12 +383,13 @@ let run_single ~seed ~schedule ~tname ~wname ~trace_to : bool =
     match schedule with
     | "idempotent" -> Chaos.idempotent ~seed
     | "hostile" -> Chaos.hostile ~seed
-    | s -> failwith ("unknown schedule " ^ s ^ " (idempotent|hostile)")
+    | "sharded" -> Chaos.sharded ~seed
+    | s -> failwith ("unknown schedule " ^ s ^ " (idempotent|hostile|sharded)")
   in
   let c = Chaos.create cfg in
-  Fmt.pr "== vgchaos: %s under %s, %s schedule, seed %d ==@." wname tname
-    schedule seed;
-  match run_one ?trace_to ~tool ~img ~chaos:(Some c) () with
+  Fmt.pr "== vgchaos: %s under %s, %s schedule, seed %d, %d cores ==@." wname
+    tname schedule seed cores;
+  match run_one ?trace_to ~cores ~tool ~img ~chaos:(Some c) () with
   | Error e ->
       Fmt.pr "UNCAUGHT EXCEPTION: %s@." e;
       false
@@ -330,7 +424,11 @@ let () =
       in
       let tname = Option.value (flag "--tool" argv) ~default:"memcheck" in
       let wname = Option.value (flag "--workload" argv) ~default:"mcf" in
-      run_single ~seed ~schedule ~tname ~wname ~trace_to:(flag "--trace" argv)
+      let cores =
+        match flag "--cores" argv with None -> 1 | Some n -> int_of_string n
+      in
+      run_single ~seed ~schedule ~tname ~wname ~cores
+        ~trace_to:(flag "--trace" argv)
   in
   if not ok then begin
     prerr_endline "vgchaos: FAILED";

@@ -34,6 +34,15 @@ type config = {
       (** pin forced translation failures to one phase (1..8); [None]
           draws the phase uniformly per failure *)
   p_flush : float;  (** forced full code-cache flush, between blocks *)
+  p_handoff_stall : float;
+      (** stall cycles charged when the scheduler hands execution to a
+          different core (models cross-core migration cost under
+          contention); deterministic, so it perturbs the multi-core
+          interleaving without breaking replay *)
+  p_retire_delay : float;
+      (** hold the transtab's retire list one extra epoch at an epoch
+          boundary (stresses the grace-period machinery: dead
+          translations stay referenced-but-unfreed longer) *)
   max_injections : int;  (** stop injecting after this many (0 = no cap) *)
 }
 
@@ -53,6 +62,8 @@ let idempotent ~seed =
     p_translation_failure = 0.05;
     force_phase = None;
     p_flush = 0.002;
+    p_handoff_stall = 0.0;
+    p_retire_delay = 0.0;
     max_injections = 0;
   }
 
@@ -69,7 +80,21 @@ let hostile ~seed =
     p_translation_failure = 0.08;
     force_phase = None;
     p_flush = 0.003;
+    p_handoff_stall = 0.0;
+    p_retire_delay = 0.0;
     max_injections = 0;
+  }
+
+(** {!hostile} plus the multi-core fault points: core-handoff stalls
+    and epoch-retirement delays.  Meaningful with [--cores >= 2] (a
+    single core never hands off); stalls reshape the deterministic
+    interleaving, delays stretch the transtab grace period.  Replay
+    stays exact per seed. *)
+let sharded ~seed =
+  {
+    (hostile ~seed) with
+    p_handoff_stall = 0.05;
+    p_retire_delay = 0.25;
   }
 
 type t = {
@@ -244,6 +269,29 @@ let translation_checks t ~(pc : int64) : Jit.Pipeline.checks option =
 let flush_cache t : bool =
   if roll t t.cfg.p_flush then begin
     inject t "cache" "force full translation-table flush";
+    true
+  end
+  else false
+
+(** Stall the scheduler's handoff to [core]?  Eligible point: the
+    scheduler picked a different core than the one that stepped last.
+    Returns the stall in cycles (charged to the incoming core's
+    overhead), drawn from the stream so replay is exact. *)
+let handoff_stall t ~(core : int) : int option =
+  if roll t t.cfg.p_handoff_stall then begin
+    let cycles = 50 + Rng.int t.rng 200 in
+    inject t "sched"
+      (Printf.sprintf "stall handoff to core %d for %d cycles" core cycles);
+    Some cycles
+  end
+  else None
+
+(** Hold the transtab retire list one extra epoch?  Eligible point: a
+    scheduler epoch boundary with retired translations pending. *)
+let retire_delay t ~(pending : int) : bool =
+  if roll t t.cfg.p_retire_delay then begin
+    inject t "cache"
+      (Printf.sprintf "delay retirement of %d dead translations" pending);
     true
   end
   else false

@@ -30,3 +30,10 @@ let mem_do_leak_check = 0x1007L
 let taint_mark = 0x2001L (* args: [addr; len] *)
 let taint_clear = 0x2002L
 let taint_check = 0x2003L
+
+(* DRD (lockset race detector) requests.  The tool itself arbitrates
+   the lock: try-acquire returns 1 on success, 0 when another thread
+   holds it (the guest spins with yield between attempts), so
+   acquisition is atomic at block granularity under any core count. *)
+let drd_lock_acquire = 0x3001L (* args: [lock id] -> 0|1 *)
+let drd_lock_release = 0x3002L (* args: [lock id] *)

@@ -18,7 +18,15 @@
     {!Transtab.link}), most block boundaries never enter the dispatcher
     at all: the predecessor's exit site is patched on the first warm
     lookup and subsequent transfers bypass this cache entirely.  The
-    [entries] count therefore measures exactly what chaining saves. *)
+    [entries] count therefore measures exactly what chaining saves.
+
+    Each simulated core owns one of these caches.  Invalidation is
+    {e lazy}: the translation table retires translations by marking
+    them dead ([Jit.Pipeline.t_dead]) instead of broadcasting a flush
+    to every core, and a hit on a dead translation counts — and
+    behaves — as a miss.  The session additionally sweeps dead entries
+    out at scheduler epoch boundaries ({!purge_dead}), the moment the
+    retire list is actually freed. *)
 
 type t = {
   keys : int64 array;
@@ -49,28 +57,48 @@ let create ?(size = 8192) ?(fast_cost = default_fast_cost)
 let slot t key = Int64.to_int (Int64.unsigned_rem key (Int64.of_int t.size))
 
 (** Fast lookup. Some = hit (charge [fast_cost]); None = fall back to the
-    scheduler (charge [fast_cost + slow_cost]). *)
+    scheduler (charge [fast_cost + slow_cost]).  A slot holding a dead
+    (retired) translation is a miss: the entry is dropped and the caller
+    refills it from the translation table, which is how a core notices
+    retirement without any cross-core flush. *)
 let lookup (t : t) (key : int64) : Jit.Pipeline.translation option =
   let i = slot t key in
-  if t.keys.(i) = key then begin
-    t.hits <- Int64.add t.hits 1L;
-    t.values.(i)
-  end
-  else begin
-    t.misses <- Int64.add t.misses 1L;
-    None
-  end
+  match (if t.keys.(i) = key then t.values.(i) else None) with
+  | Some tr when not tr.Jit.Pipeline.t_dead ->
+      t.hits <- Int64.add t.hits 1L;
+      Some tr
+  | Some _ ->
+      (* stale: retired since it was cached here *)
+      t.keys.(i) <- Int64.minus_one;
+      t.values.(i) <- None;
+      t.misses <- Int64.add t.misses 1L;
+      None
+  | None ->
+      t.misses <- Int64.add t.misses 1L;
+      None
 
 let update (t : t) (key : int64) (v : Jit.Pipeline.translation) =
   let i = slot t key in
   t.keys.(i) <- key;
   t.values.(i) <- Some v
 
-(** Drop entries (after transtab eviction/discard, conservatively flush
-    everything — the real dispatcher cache is likewise just flushed). *)
+(** Drop everything (forced cache pressure / chaos flush). *)
 let flush (t : t) =
   Array.fill t.keys 0 t.size Int64.minus_one;
   Array.fill t.values 0 t.size None
+
+(** Sweep out entries whose translation has been retired.  Called by the
+    session when the transtab's retire list is freed at an epoch
+    boundary, so no cache slot outlives the translation it names.
+    Bookkeeping only: charges no simulated cycles. *)
+let purge_dead (t : t) =
+  for i = 0 to t.size - 1 do
+    match t.values.(i) with
+    | Some tr when tr.Jit.Pipeline.t_dead ->
+        t.keys.(i) <- Int64.minus_one;
+        t.values.(i) <- None
+    | _ -> ()
+  done
 
 (** Total over all states: a dispatcher that has never been entered has
     a hit rate of 0.0 (not 1.0, and never NaN — this value flows into
@@ -86,9 +114,10 @@ let entries t = Int64.add t.hits t.misses
 
 (** Publish this dispatcher's live counters into a metrics registry as
     probes: the registry reads the same mutable fields the legacy stats
-    record does, so the two can never disagree. *)
-let publish (r : Obs.Registry.t) (t : t) =
-  Obs.Registry.probe r "dispatch.hits" (fun () -> t.hits);
-  Obs.Registry.probe r "dispatch.misses" (fun () -> t.misses);
-  Obs.Registry.probe r "dispatch.entries" (fun () -> entries t);
-  Obs.Registry.fprobe r "dispatch.hit_rate" (fun () -> hit_rate t)
+    record does, so the two can never disagree.  [prefix] namespaces the
+    metrics (per-core caches publish under their core's prefix). *)
+let publish ?(prefix = "") (r : Obs.Registry.t) (t : t) =
+  Obs.Registry.probe r (prefix ^ "dispatch.hits") (fun () -> t.hits);
+  Obs.Registry.probe r (prefix ^ "dispatch.misses") (fun () -> t.misses);
+  Obs.Registry.probe r (prefix ^ "dispatch.entries") (fun () -> entries t);
+  Obs.Registry.fprobe r (prefix ^ "dispatch.hit_rate") (fun () -> hit_rate t)

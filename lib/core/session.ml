@@ -5,10 +5,21 @@
     §3.3, §3.9): it initialises the address-space manager, loads the
     client, initialises the tool, and then spends its life making,
     finding and running translations — none of the client's original
-    code is ever run.  It also owns thread serialisation (§3.14), signal
-    interception and between-blocks delivery (§3.15), self-modifying-code
-    checks (§3.16), client requests (§3.11) and function redirection
-    (§3.13). *)
+    code is ever run.  It also owns signal interception and
+    between-blocks delivery (§3.15), self-modifying-code checks (§3.16),
+    client requests (§3.11) and function redirection (§3.13).
+
+    Thread scheduling replaces the paper's §3.14 big lock with N
+    deterministic simulated cores ({!Engine}): threads are pinned to
+    cores, each core owns its fast-lookup cache, cycle clocks and
+    chaining state, and the scheduler always steps the core with the
+    lowest clock (ties to the lowest id).  Because the interleave is a
+    pure function of cycle counts — never wall time — execution is
+    bit-identical for a given [--cores N], and a single-threaded client
+    only ever touches core 0, making its output identical for {e any}
+    N.  Translation retirement is epoch-based (see {!Transtab}): cores
+    notice dead translations lazily, and the retire list is freed at
+    scheduler epoch boundaries. *)
 
 module GA = Guest.Arch
 module HA = Host.Arch
@@ -16,6 +27,11 @@ module HA = Host.Arch
 type smc_mode = Smc_none | Smc_stack | Smc_all
 
 type options = {
+  cores : int;
+      (** simulated cores (default 1).  Threads are pinned to core
+          [(tid - 1) mod cores]; the scheduler interleaves cores on
+          cycle counts, so any value replays bit-identically and a
+          single-threaded client behaves identically for every value. *)
   chaining : bool;
       (** direct translation chaining (on by default): patch a
           translation's constant-target exit sites to transfer straight
@@ -87,6 +103,7 @@ type options = {
 
 let default_options =
   {
+    cores = 1;
     chaining = true;
     chain_cost = 2;
     smc_mode = Smc_stack;
@@ -124,8 +141,8 @@ type t = {
   errors : Errors.t;
   threads : Threads.t;
   transtab : Transtab.t;
-  dispatch : Dispatch.t;
-  cpu : Host.Interp.cpu;
+  cores : Engine.t array;  (** the simulated cores, indexed by id *)
+  mutable active : Engine.t;  (** the core currently stepping *)
   redirect : Redirect.t;
   regstacks : Stack_events.registered_stacks;
   image : Guest.Image.t;
@@ -133,11 +150,10 @@ type t = {
   mutable instance : Tool.instance option;
   output_buf : Buffer.t;
   mutable echo_output : bool;
-  (* accounting *)
+  (* accounting.  Cycle counters (host/overhead/jit/smc), block counts,
+     chained transfers and chaining state live on each core's {!Engine};
+     [blocks_executed] here is the global total (fuel + poll cadence). *)
   mutable blocks_executed : int64;
-  mutable overhead_cycles : int64;  (** dispatch + scheduler + chain *)
-  mutable jit_cycles : int64;
-  mutable smc_cycles : int64;
   mutable translations_made : int;
   mutable retranslations_smc : int;
   mutable verify_checks : int;  (** boundary checks run by the verifier *)
@@ -157,7 +173,7 @@ type t = {
   mutable superblock_aborts : int;
       (** trace-formation attempts abandoned (path would not stitch, or
           the combined translation failed) *)
-  mutable jit_cycles_tier0 : int64;  (** [jit_cycles] spent in tier 0 *)
+  mutable jit_cycles_tier0 : int64;  (** JIT cycles spent in tier 0 *)
   sysw : Syswrap.counters;  (** wrapper restart/retry accounting *)
   (* observability (Vgscope) *)
   metrics : Obs.Registry.t;
@@ -174,17 +190,9 @@ type t = {
           entries sum to [jit_cycles_tier0] exactly *)
   fn_cache : (int64, string * int64) Hashtbl.t;
       (** block pc -> (function name, base), for profile attribution *)
-  (* last-N dispatched block addresses, for crash contexts *)
-  dispatch_trace : int64 array;
-  mutable dispatch_trace_n : int;  (** total blocks recorded *)
   mutable exit_reason : exit_reason option;
   (* stack-event helpers (registered lazily per session) *)
   mutable stack_helpers : Stack_events.helpers option;
-  (* chaining: the chainable exit site the previous block left through
-     (with its owning translation), if any *)
-  mutable last_exit :
-    (Jit.Pipeline.translation * Jit.Pipeline.chain_slot) option;
-  mutable chained_transfers : int64;
   (* core client-space allocator arena *)
   mutable arena_next : int64;
   arena_limit : int64;
@@ -196,9 +204,16 @@ type t = {
   mutable stack_hi : int64;
 }
 
+(** Total work cycles across every core (host + overhead + jit + smc;
+    idle padding excluded — idle is waiting, not work). *)
 let total_cycles (s : t) : int64 =
-  List.fold_left Int64.add 0L
-    [ s.cpu.cycles; s.overhead_cycles; s.jit_cycles; s.smc_cycles ]
+  Array.fold_left
+    (fun acc e -> Int64.add acc (Engine.work_cycles e))
+    0L s.cores
+
+(** Simulated wall time: the furthest-ahead core clock (work + idle). *)
+let wall_cycles (s : t) : int64 =
+  Array.fold_left (fun acc e -> max acc (Engine.clock e)) 0L s.cores
 
 let output s msg =
   Buffer.add_string s.output_buf msg;
@@ -218,15 +233,20 @@ let publish_metrics (s : t) =
   let r = s.metrics in
   let pL name f = Obs.Registry.probe r name f in
   let pi name f = pL name (fun () -> Int64.of_int (f ())) in
+  let sumL f =
+    Array.fold_left (fun acc e -> Int64.add acc (f e)) 0L s.cores
+  in
   pL "core.blocks" (fun () -> s.blocks_executed);
-  pL "core.host_cycles" (fun () -> s.cpu.cycles);
-  pL "core.host_insns" (fun () -> s.cpu.insns);
-  pL "core.overhead_cycles" (fun () -> s.overhead_cycles);
-  pL "core.jit_cycles" (fun () -> s.jit_cycles);
-  pL "core.smc_cycles" (fun () -> s.smc_cycles);
+  pL "core.host_cycles" (fun () -> sumL (fun e -> e.Engine.cpu.cycles));
+  pL "core.host_insns" (fun () -> sumL (fun e -> e.Engine.cpu.insns));
+  pL "core.overhead_cycles" (fun () -> sumL (fun e -> e.Engine.overhead_cycles));
+  pL "core.jit_cycles" (fun () -> sumL (fun e -> e.Engine.jit_cycles));
+  pL "core.smc_cycles" (fun () -> sumL (fun e -> e.Engine.smc_cycles));
   pL "core.total_cycles" (fun () -> total_cycles s);
-  pL "core.chained_transfers" (fun () -> s.chained_transfers);
+  pL "core.chained_transfers" (fun () -> sumL (fun e -> e.Engine.chained_transfers));
   pL "core.lock_handoffs" (fun () -> s.threads.lock_handoffs);
+  pi "sched.cores" (fun () -> Array.length s.cores);
+  pL "sched.wall_cycles" (fun () -> wall_cycles s);
   pi "core.translations" (fun () -> s.translations_made);
   pi "core.retranslations_smc" (fun () -> s.retranslations_smc);
   pi "core.verify_checks" (fun () -> s.verify_checks);
@@ -243,7 +263,8 @@ let publish_metrics (s : t) =
   pi "jit.promotions_failed" (fun () -> s.promotions_failed);
   pi "jit.superblock_aborts" (fun () -> s.superblock_aborts);
   pL "jit.tier0.cycles" (fun () -> s.jit_cycles_tier0);
-  pL "jit.full.cycles" (fun () -> Int64.sub s.jit_cycles s.jit_cycles_tier0);
+  pL "jit.full.cycles" (fun () ->
+      Int64.sub (sumL (fun e -> e.Engine.jit_cycles)) s.jit_cycles_tier0);
   for i = 0 to Jit.Pipeline.n_phases - 1 do
     pL
       (Printf.sprintf "jit.phase%d.%s.cycles" (i + 1)
@@ -254,7 +275,18 @@ let publish_metrics (s : t) =
          Jit.Pipeline.phase_names.(i))
       (fun () -> s.jit_phase_cycles_tier0.(i))
   done;
-  Dispatch.publish r s.dispatch;
+  (* dispatcher aggregates over the per-core caches (the per-core view
+     is published by each core under [sched.core<i>.dispatch.*]) *)
+  let dsum f = sumL (fun e -> f e.Engine.dispatch) in
+  pL "dispatch.hits" (fun () -> dsum (fun d -> d.Dispatch.hits));
+  pL "dispatch.misses" (fun () -> dsum (fun d -> d.Dispatch.misses));
+  pL "dispatch.entries" (fun () -> dsum Dispatch.entries);
+  Obs.Registry.fprobe r "dispatch.hit_rate" (fun () ->
+      let hits = dsum (fun d -> d.Dispatch.hits) in
+      let total = dsum Dispatch.entries in
+      if total = 0L then 0.0
+      else Int64.to_float hits /. Int64.to_float total);
+  Array.iter (fun e -> Engine.publish r e) s.cores;
   Transtab.publish r s.transtab;
   Syswrap.publish r s.sysw;
   match s.opts.chaos with
@@ -282,9 +314,16 @@ let create ?(options = default_options) ~(tool : Tool.t)
       ~mmap_limit:Layout.client_mmap_limit mem
   in
   kern.map_allowed <- Layout.client_map_allowed;
-  let threads = Threads.create mem in
+  if options.cores < 1 then invalid_arg "Session.create: cores must be >= 1";
+  let threads = Threads.create ~n_cores:options.cores mem in
   let errors = Errors.create () in
   let events = Events.create () in
+  let cores =
+    Array.init options.cores (fun id ->
+        Engine.create ~id ~mem ~dispatch_size:options.dispatch_size
+          ~fast_cost:options.dispatch_fast_cost
+          ~slow_cost:options.dispatch_slow_cost)
+  in
   let s =
     {
       opts = options;
@@ -294,12 +333,10 @@ let create ?(options = default_options) ~(tool : Tool.t)
       errors;
       threads;
       transtab =
-        Transtab.create ~events ~capacity:options.transtab_capacity ();
-      dispatch =
-        Dispatch.create ~size:options.dispatch_size
-          ~fast_cost:options.dispatch_fast_cost
-          ~slow_cost:options.dispatch_slow_cost ();
-      cpu = Host.Interp.create mem;
+        Transtab.create ~events ~capacity:options.transtab_capacity
+          ~shards:options.cores ();
+      cores;
+      active = cores.(0);
       redirect = Redirect.create mem;
       regstacks = Stack_events.make_registered_stacks ();
       image;
@@ -308,9 +345,6 @@ let create ?(options = default_options) ~(tool : Tool.t)
       output_buf = Buffer.create 1024;
       echo_output = false;
       blocks_executed = 0L;
-      overhead_cycles = 0L;
-      jit_cycles = 0L;
-      smc_cycles = 0L;
       translations_made = 0;
       retranslations_smc = 0;
       verify_checks = 0;
@@ -334,12 +368,8 @@ let create ?(options = default_options) ~(tool : Tool.t)
       jit_phase_cycles = Array.make Jit.Pipeline.n_phases 0L;
       jit_phase_cycles_tier0 = Array.make Jit.Pipeline.n_phases 0L;
       fn_cache = Hashtbl.create 256;
-      dispatch_trace = Array.make 16 0L;
-      dispatch_trace_n = 0;
       exit_reason = None;
       stack_helpers = None;
-      last_exit = None;
-      chained_transfers = 0L;
       arena_next = 0x1900_0000L;
       arena_limit = 0x1A00_0000L;
       sigreturn_tramp = 0L;
@@ -441,13 +471,13 @@ let client_alloc (s : t) (size : int) : int64 =
   addr
 
 let on_discard (s : t) (addr : int64) (len : int) =
-  (* discard_range also unlinks every chain into the dropped
-     translations (the correctness-critical §3.16 path) *)
-  let n = Transtab.discard_range s.transtab addr len in
-  if n > 0 then Dispatch.flush s.dispatch
+  (* discard_range unlinks every chain into the dropped translations
+     (the correctness-critical §3.16 path) and marks them dead; each
+     core's fast-lookup cache notices lazily (a hit on a dead
+     translation is a miss), so no cross-core flush is needed *)
+  ignore (Transtab.discard_range s.transtab addr len)
 
-let charge (s : t) c =
-  s.overhead_cycles <- Int64.add s.overhead_cycles (Int64.of_int c)
+let charge (s : t) c = Engine.charge s.active c
 
 let caps_of (s : t) : Tool.caps =
   {
@@ -461,6 +491,7 @@ let caps_of (s : t) : Tool.caps =
       (fun off size v ->
         Threads.put_state s.threads s.threads.current ~off ~size v);
     cur_eip = (fun () -> Threads.get_eip s.threads s.threads.current);
+    cur_tid = (fun () -> s.threads.current.tid);
     stack_trace =
       (fun () -> Threads.stack_trace s.threads s.threads.current ());
     symbolize = symbolize s;
@@ -623,7 +654,10 @@ let account_translation (s : t) ~(pc : int64) (t : Jit.Pipeline.translation)
       s.jit_phase_cycles.(i) <-
         Int64.add s.jit_phase_cycles.(i) (Int64.of_int c))
     t.t_phase_cycles;
-  s.jit_cycles <- Int64.add s.jit_cycles (Int64.of_int cost);
+  (* the requesting core pays for (and owns) the translation *)
+  t.t_core <- s.active.Engine.id;
+  s.active.Engine.jit_cycles <-
+    Int64.add s.active.Engine.jit_cycles (Int64.of_int cost);
   (match t.t_tier with
   | Jit.Pipeline.Tier_quick ->
       Array.iteri
@@ -692,14 +726,13 @@ let scheduler_find (s : t) (pc : int64) : Jit.Pipeline.translation =
 (* Signals (§3.15)                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fatal (s : t) (signal : int) =
+let fatal (s : t) (th : Threads.thread) (signal : int) =
   tev s ~cat:"signal" ~name:"fatal"
     ~args:[ ("sig", Obs.Trace.S (Kernel.Sig.name signal)) ]
     ();
   output s
     (Printf.sprintf "==vg== Process terminating with default action of %s\n"
        (Kernel.Sig.name signal));
-  let th = s.threads.current in
   let stack = Threads.stack_trace s.threads th () in
   List.iteri
     (fun i a ->
@@ -711,16 +744,15 @@ let fatal (s : t) (signal : int) =
     stack;
   s.exit_reason <- Some (Fatal_signal signal)
 
-(** Deliver [signal] to the current thread, between code blocks — so a
-    load/shadow-load pair is never separated (§3.15). *)
-let deliver_signal (s : t) (signal : int) =
+(** Deliver [signal] to [th], between code blocks — so a load/shadow-load
+    pair is never separated (§3.15). *)
+let deliver_signal (s : t) (th : Threads.thread) (signal : int) =
   match Kernel.handler_for s.kern signal with
-  | None -> fatal s signal
+  | None -> fatal s th signal
   | Some h ->
       tev s ~cat:"signal" ~name:"deliver"
         ~args:[ ("sig", Obs.Trace.S (Kernel.Sig.name signal)) ]
         ();
-      let th = s.threads.current in
       Threads.save_frame s.threads th;
       (* push the signal number argument and the sigreturn trampoline as
          the return address, then enter the handler *)
@@ -735,13 +767,17 @@ let deliver_signal (s : t) (signal : int) =
 let check_signals (s : t) =
   match Kernel.take_pending_signal s.kern with
   | None -> ()
-  | Some (tid, signal) ->
-      (* deliver when the target thread is current; otherwise switch it in
-         first (serialised execution makes this safe) *)
-      (match Threads.find s.threads tid with
-      | Some th when th.status = Threads.Runnable -> s.threads.current <- th
-      | _ -> ());
-      deliver_signal s signal
+  | Some (tid, signal) -> (
+      (* deliver into the target thread's ThreadState, and preempt its
+         core so the handler runs the next time that core steps (when
+         the target is on the stepping core, it runs immediately —
+         the single-core behaviour) *)
+      match Threads.find s.threads tid with
+      | Some th when th.status = Threads.Runnable ->
+          Threads.preempt s.threads th
+            ~make_current:(th.core = s.active.Engine.id);
+          deliver_signal s th signal
+      | _ -> deliver_signal s s.threads.current signal)
 
 (* ------------------------------------------------------------------ *)
 (* Client requests (§3.11)                                              *)
@@ -814,19 +850,23 @@ let handle_client_request (s : t) =
 let smc_ok (s : t) (t : Jit.Pipeline.translation) : bool =
   let fetch addr = try Aspace.read_u8 s.mem addr with Aspace.Fault _ -> 0 in
   let h = Jit.Pipeline.hash_guest_bytes fetch t.t_guest_ranges in
-  s.smc_cycles <- Int64.add s.smc_cycles (Int64.of_int (2 * t.t_guest_bytes));
+  let e = s.active in
+  e.Engine.smc_cycles <-
+    Int64.add e.Engine.smc_cycles (Int64.of_int (2 * t.t_guest_bytes));
   h = t.t_code_hash
 
-(* Dispatcher entry: fast-lookup cache, then the scheduler (§3.9). *)
+(* Dispatcher entry: the stepping core's fast-lookup cache, then the
+   scheduler (§3.9). *)
 let lookup_via_dispatcher (s : t) (pc : int64) : Jit.Pipeline.translation =
-  match Dispatch.lookup s.dispatch pc with
+  let d = s.active.Engine.dispatch in
+  match Dispatch.lookup d pc with
   | Some t ->
-      charge s s.dispatch.fast_cost;
+      charge s d.fast_cost;
       t
   | None ->
-      charge s (s.dispatch.fast_cost + s.dispatch.slow_cost);
+      charge s (d.fast_cost + d.slow_cost);
       let t = scheduler_find s pc in
-      Dispatch.update s.dispatch pc t;
+      Dispatch.update d pc t;
       t
 
 (* -- tiered JIT: promotion and trace superblocks ------------------- *)
@@ -854,7 +894,7 @@ let promote (s : t) (pc : int64) (t0 : Jit.Pipeline.translation) :
   | t ->
       t.t_hotness <- t0.t_hotness;
       s.promotions <- s.promotions + 1;
-      Dispatch.update s.dispatch pc t;
+      Dispatch.update s.active.Engine.dispatch pc t;
       tev s ~cat:"jit" ~name:"promote" ~args:[ ("pc", Obs.Trace.I pc) ] ();
       t
 
@@ -940,7 +980,7 @@ let form_superblock (s : t) (head : Jit.Pipeline.translation) : unit =
           }
         in
         account_translation s ~pc t;
-        Dispatch.update s.dispatch pc t;
+        Dispatch.update s.active.Engine.dispatch pc t;
         tev s ~cat:"jit" ~name:"superblock"
           ~args:
             [ ("pc", Obs.Trace.I pc);
@@ -962,25 +1002,28 @@ let note_chained_transfer (s : t) (src : Jit.Pipeline.translation)
   then form_superblock s src
 
 let find_translation (s : t) (pc : int64) : Jit.Pipeline.translation =
-  match s.last_exit with
+  let e = s.active in
+  match e.Engine.last_exit with
   | Some (src, slot) when s.opts.chaining && slot.cs_target = pc -> (
-      (* the previous block left through a chainable (constant-target)
-         exit site whose target is where we are going *)
+      (* the previous block on this core left through a chainable
+         (constant-target) exit site whose target is where we are going *)
       match slot.cs_next with
-      | Some t ->
+      | Some t when not t.Jit.Pipeline.t_dead ->
           (* patched: control transfers straight to the successor *)
           charge s s.opts.chain_cost;
-          s.chained_transfers <- Int64.add s.chained_transfers 1L;
+          e.Engine.chained_transfers <-
+            Int64.add e.Engine.chained_transfers 1L;
           Events.tick_chain_followed s.events;
           note_chained_transfer s src slot;
           t
-      | None ->
+      | _ ->
           (* first warm transit of this exit: dispatch normally, then
              patch the site so the dispatcher is bypassed from now on.
              [Transtab.link] refuses if either translation is no longer
-             resident (nothing would unlink the chain later). *)
+             resident (nothing would unlink the chain later); the link
+             is recorded in this core's chain shard. *)
           let t = lookup_via_dispatcher s pc in
-          ignore (Transtab.link s.transtab ~src ~slot ~dst:t);
+          ignore (Transtab.link s.transtab ~core:e.Engine.id ~src ~slot ~dst:t);
           t)
   | _ -> lookup_via_dispatcher s pc
 
@@ -993,15 +1036,30 @@ let do_thread_create (s : t) ~entry ~sp ~arg =
   Threads.put_reg s.threads th GA.reg_sp sp;
   Threads.put_reg s.threads th GA.reg_fp sp;
   Threads.put_eip s.threads th entry;
+  (* if the thread landed on an idle core, fast-forward that core to
+     the creating core's clock: a core cannot have executed the thread
+     before it existed *)
+  if
+    th.core <> s.active.Engine.id
+    && not
+         (List.exists
+            (fun (x : Threads.thread) ->
+              x.tid <> th.tid && x.status = Threads.Runnable)
+            (Threads.on_core s.threads th.core))
+  then Engine.fast_forward s.cores.(th.core) ~now:(Engine.clock s.active);
   th.tid
 
 let finish (s : t) (reason : exit_reason) =
   if s.exit_reason = None then s.exit_reason <- Some reason
 
-(* Record each dispatched block address in the crash-context ring. *)
-let trace_block (s : t) (pc : int64) =
-  s.dispatch_trace.(s.dispatch_trace_n mod Array.length s.dispatch_trace) <- pc;
-  s.dispatch_trace_n <- s.dispatch_trace_n + 1
+(* Rotate the stepping core to its next runnable thread, counting an
+   actual handoff (tid changed) against that core. *)
+let switch_thread (s : t) : bool =
+  let before = s.threads.current.tid in
+  let ok = Threads.switch_to_next s.threads in
+  if ok && s.threads.current.tid <> before then
+    s.active.Engine.handoffs <- Int64.add s.active.Engine.handoffs 1L;
+  ok
 
 (* Act on the exit kind a block left through — shared by the JIT path
    and the interpreted degradation paths, so a degraded block's
@@ -1021,28 +1079,30 @@ let handle_exit (s : t) (th : Threads.thread) ~(ek : int) ~(dest : int64) =
         let tid = do_thread_create s ~entry ~sp ~arg in
         Threads.put_reg s.threads th 0 (Int64.of_int tid)
     | Kernel.Thread_exit ->
+        (* the stepping core may be out of threads, but others may not
+           be: global exhaustion is the scheduler's call (no core has a
+           runnable thread), not this core's *)
         th.status <- Threads.Exited;
-        if not (Threads.switch_to_next s.threads) then
-          finish s (Exited 0)
-    | Kernel.Yield -> ignore (Threads.switch_to_next s.threads)
+        ignore (switch_thread s)
+    | Kernel.Yield -> ignore (switch_thread s)
     | Kernel.Sigreturn ->
         if not (Threads.restore_frame s.threads th) then
-          fatal s Kernel.Sig.sigsegv
+          fatal s th Kernel.Sig.sigsegv
   end
   else if ek = HA.ek_clientreq then handle_client_request s
   else if ek = HA.ek_sigill then begin
     output s
       (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" dest);
-    deliver_signal s Kernel.Sig.sigill
+    deliver_signal s th Kernel.Sig.sigill
   end
-  else if ek = HA.ek_yield then ignore (Threads.switch_to_next s.threads)
+  else if ek = HA.ek_yield then ignore (switch_thread s)
 
-let invalid_exec (s : t) (pc : int64) =
+let invalid_exec (s : t) (th : Threads.thread) (pc : int64) =
   (* jumping to unmapped/non-executable memory faults exactly like
      native execution: SIGSEGV, not SIGILL from decoding zero bytes *)
-  s.last_exit <- None;
+  s.active.Engine.last_exit <- None;
   output s (Printf.sprintf "==vg== Invalid exec at address 0x%LX\n" pc);
-  deliver_signal s Kernel.Sig.sigsegv
+  deliver_signal s th Kernel.Sig.sigsegv
 
 (* Last rung of the degradation ladder: execute one guest instruction
    directly against the ThreadState, uninstrumented.  Only reached when
@@ -1059,21 +1119,23 @@ let step_uninstrumented (s : t) (th : Threads.thread) =
   let put off size v = Threads.put_state s.threads th ~off ~size v in
   match Guest.Interp.step_external ~mem:s.mem ~get ~put with
   | exception Aspace.Fault f ->
-      s.last_exit <- None;
+      s.active.Engine.last_exit <- None;
       output s
         (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
            (Fmt.str "%a" Aspace.pp_access_kind f.kind)
            f.addr);
-      deliver_signal s Kernel.Sig.sigsegv
+      deliver_signal s th Kernel.Sig.sigsegv
   | exception Guest.Interp.Sigill at ->
       output s (Printf.sprintf "==vg== Illegal instruction at 0x%LX\n" at);
-      deliver_signal s Kernel.Sig.sigill
+      deliver_signal s th Kernel.Sig.sigill
   | exception Guest.Interp.Sigfpe _ ->
-      s.last_exit <- None;
-      deliver_signal s Kernel.Sig.sigfpe
+      s.active.Engine.last_exit <- None;
+      deliver_signal s th Kernel.Sig.sigfpe
   | cost, outcome -> (
       charge s cost;
       s.blocks_executed <- Int64.add s.blocks_executed 1L;
+      s.active.Engine.blocks_executed <-
+        Int64.add s.active.Engine.blocks_executed 1L;
       th.blocks_run <- Int64.add th.blocks_run 1L;
       match outcome with
       | Guest.Interp.X_next -> ()
@@ -1094,7 +1156,7 @@ let step_uninstrumented (s : t) (th : Threads.thread) =
    re-enters the JIT (where translation will normally succeed). *)
 let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
   s.interp_fallbacks <- s.interp_fallbacks + 1;
-  s.last_exit <- None;
+  s.active.Engine.last_exit <- None;
   tev s ~cat:"degrade" ~name:"interp_fallback"
     ~args:[ ("pc", Obs.Trace.I pc) ]
     ();
@@ -1107,7 +1169,7 @@ let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
       ~fetch:(fun a -> Aspace.fetch_u8 s.mem a)
       ~instrument:(instrument_fn s) fetch_pc
   with
-  | exception Guest.Decode.Truncated -> invalid_exec s pc
+  | exception Guest.Decode.Truncated -> invalid_exec s th pc
   | exception
       ( Jit.Pipeline.Translation_failure _ | Vex_ir.Typecheck.Ill_typed _
       | Failure _ | Invalid_argument _ | Not_found ) ->
@@ -1122,18 +1184,20 @@ let run_block_interp (s : t) (th : Threads.thread) ~(pc : int64) =
             (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
                (Fmt.str "%a" Aspace.pp_access_kind f.kind)
                f.addr);
-          deliver_signal s Kernel.Sig.sigsegv
+          deliver_signal s th Kernel.Sig.sigsegv
       | exception Vex_ir.Eval.Eval_error msg
         when msg = "integer division by zero" ->
-          deliver_signal s Kernel.Sig.sigfpe
+          deliver_signal s th Kernel.Sig.sigfpe
       | { Vex_ir.Eval.next_pc; jumpkind } ->
           Threads.put_eip s.threads th next_pc;
           s.blocks_executed <- Int64.add s.blocks_executed 1L;
+          s.active.Engine.blocks_executed <-
+            Int64.add s.active.Engine.blocks_executed 1L;
           th.blocks_run <- Int64.add th.blocks_run 1L;
           (match s.profiler with
           | Some p ->
               let name, base = resolve_fn s pc in
-              Obs.Profile.block p ~base ~name
+              Obs.Profile.block p ~core:s.active.Engine.id ~base ~name
                 ~cycles:(Int64.of_int interp_cost)
           | None -> ());
           handle_exit s th ~ek:(HA.ek_of_jumpkind jumpkind) ~dest:next_pc)
@@ -1148,9 +1212,9 @@ let acquire_translation (s : t) (pc : int64) :
   | t ->
       if t.t_smc_check && not (smc_ok s t) then begin
         (* §3.16: hash mismatch -> discard and retranslate.  discard_key
-           unlinks every chain pointing into the stale translation. *)
+           unlinks every chain pointing into the stale translation and
+           marks it dead; other cores' caches notice lazily. *)
         Transtab.discard_key s.transtab pc;
-        Dispatch.flush s.dispatch;
         s.retranslations_smc <- s.retranslations_smc + 1;
         tev s ~cat:"smc" ~name:"retranslate"
           ~args:[ ("pc", Obs.Trace.I pc) ]
@@ -1159,18 +1223,19 @@ let acquire_translation (s : t) (pc : int64) :
         | exception Guest.Decode.Truncated -> `Invalid_exec
         | exception Jit.Pipeline.Translation_failure m -> `Failed m
         | t' ->
-            Dispatch.update s.dispatch pc t';
+            Dispatch.update s.active.Engine.dispatch pc t';
             `T t'
       end
       else `T t
 
-(** Execute one code block of the current thread. *)
+(** Execute one code block of the stepping core's current thread. *)
 let run_block (s : t) =
+  let e = s.active in
   let th = s.threads.current in
   let pc = Threads.get_eip s.threads th in
-  trace_block s pc;
+  Engine.trace_block e pc;
   match acquire_translation s pc with
-  | `Invalid_exec -> invalid_exec s pc
+  | `Invalid_exec -> invalid_exec s th pc
   | `Failed msg ->
       if not s.opts.interp_fallback then
         raise (Jit.Pipeline.Translation_failure msg);
@@ -1190,22 +1255,22 @@ let run_block (s : t) =
         else t
       in
       t.t_hotness <- Int64.add t.t_hotness 1L;
-      s.cpu.hregs.(HA.gsp) <- th.ts_addr;
+      e.Engine.cpu.hregs.(HA.gsp) <- th.ts_addr;
       let env = helper_env s in
-      let prof_cycles0 = s.cpu.cycles in
-      match Host.Interp.run s.cpu ~env t.t_decoded with
+      let prof_cycles0 = e.Engine.cpu.cycles in
+      match Host.Interp.run e.Engine.cpu ~env t.t_decoded with
       | exception Aspace.Fault f ->
-          s.last_exit <- None;
+          e.Engine.last_exit <- None;
           output s
             (Printf.sprintf "==vg== Invalid %s at address 0x%LX\n"
                (Fmt.str "%a" Aspace.pp_access_kind f.kind)
                f.addr);
-          deliver_signal s Kernel.Sig.sigsegv
+          deliver_signal s th Kernel.Sig.sigsegv
       | exception Host.Interp.Host_sigfpe ->
-          s.last_exit <- None;
-          deliver_signal s Kernel.Sig.sigfpe
+          e.Engine.last_exit <- None;
+          deliver_signal s th Kernel.Sig.sigfpe
       | ek, dest, exit_site ->
-          s.last_exit <-
+          e.Engine.last_exit <-
             (if s.opts.chaining then
                match Jit.Pipeline.find_chain_slot t exit_site with
                | Some slot -> Some (t, slot)
@@ -1213,18 +1278,57 @@ let run_block (s : t) =
              else None);
           Threads.put_eip s.threads th dest;
           s.blocks_executed <- Int64.add s.blocks_executed 1L;
+          e.Engine.blocks_executed <- Int64.add e.Engine.blocks_executed 1L;
           th.blocks_run <- Int64.add th.blocks_run 1L;
           (match s.profiler with
           | Some p ->
               let name, base = resolve_fn s pc in
-              Obs.Profile.block p ~base ~name
-                ~cycles:(Int64.sub s.cpu.cycles prof_cycles0);
+              Obs.Profile.block p ~core:e.Engine.id ~base ~name
+                ~cycles:(Int64.sub e.Engine.cpu.cycles prof_cycles0);
               if ek = HA.ek_call then begin
                 let callee_name, callee_base = resolve_fn s dest in
                 Obs.Profile.call p ~caller:base ~callee_base ~callee_name
               end
           | None -> ());
           handle_exit s th ~ek ~dest)
+
+(* Scheduler epoch boundary: free translations retired a full epoch ago
+   and sweep them out of every core's fast-lookup cache and last-exit
+   record.  A chaos fault point ([p_retire_delay]) can hold the retire
+   list one extra epoch — the delayed schedule must stay safe, which the
+   [t_dead] lazy-miss rule guarantees.  Bookkeeping only: no cycles. *)
+let advance_epoch (s : t) =
+  let delay =
+    match s.opts.chaos with
+    | Some c when Transtab.retire_pending s.transtab > 0 ->
+        Chaos.retire_delay c ~pending:(Transtab.retire_pending s.transtab)
+    | _ -> false
+  in
+  let freed = Transtab.advance_epoch ~delay s.transtab in
+  if freed <> [] then
+    Array.iter
+      (fun e ->
+        Dispatch.purge_dead e.Engine.dispatch;
+        match e.Engine.last_exit with
+        | Some (src, _) when src.Jit.Pipeline.t_dead ->
+            e.Engine.last_exit <- None
+        | _ -> ())
+      s.cores
+
+(* The scheduler's core pick: among cores with a runnable thread, the
+   one with the lowest clock; ties go to the lowest id (the fold runs
+   in ascending id order, so an earlier equal clock wins).  [None]
+   means no thread anywhere can run — the session is done. *)
+let pick_core (s : t) : Engine.t option =
+  Array.fold_left
+    (fun best e ->
+      if not (Threads.has_runnable s.threads ~core:e.Engine.id) then best
+      else
+        match best with
+        | Some b when Int64.compare (Engine.clock b) (Engine.clock e) <= 0 ->
+            best
+        | _ -> Some e)
+    None s.cores
 
 let run_inner (s : t) : exit_reason =
   startup s;
@@ -1239,35 +1343,61 @@ let run_inner (s : t) : exit_reason =
         then finish s Out_of_fuel
         else begin
           (* chaos: forced code-cache pressure between blocks — every
-             resident translation and chain is dropped at once *)
+             resident translation and chain is dropped at once, on every
+             core *)
           (match s.opts.chaos with
           | Some c when Chaos.flush_cache c ->
               Transtab.flush s.transtab;
-              Dispatch.flush s.dispatch;
-              s.last_exit <- None;
+              Array.iter
+                (fun e ->
+                  Dispatch.flush e.Engine.dispatch;
+                  e.Engine.last_exit <- None)
+                s.cores;
               s.chaos_flushes <- s.chaos_flushes + 1
           | _ -> ());
-          (* periodic scheduler entry: signal poll + thread switch *)
-          if
-            Int64.rem s.blocks_executed (Int64.of_int s.opts.sched_poll_blocks)
-            = 0L
-          then begin
-            charge s s.dispatch.slow_cost;
-            check_signals s
-          end
-          else if not (Queue.is_empty s.kern.pending) then check_signals s;
-          if
-            s.opts.timeslice_blocks > 0
-            && Int64.rem s.blocks_executed
-                 (Int64.of_int s.opts.timeslice_blocks)
-               = Int64.of_int (s.opts.timeslice_blocks - 1)
-          then ignore (Threads.switch_to_next s.threads);
-          let th = s.threads.current in
-          if th.status <> Threads.Runnable then begin
-            if not (Threads.switch_to_next s.threads) then
-              finish s (Exited 0)
-          end
-          else run_block s
+          match pick_core s with
+          | None -> finish s (Exited 0)
+          | Some e ->
+              (* core handoff: chaos may model a migration stall on the
+                 incoming core (never fires at the default p = 0) *)
+              if e.Engine.id <> s.active.Engine.id then begin
+                (match s.opts.chaos with
+                | Some c -> (
+                    match Chaos.handoff_stall c ~core:e.Engine.id with
+                    | Some cycles -> Engine.charge e cycles
+                    | None -> ())
+                | None -> ());
+                s.active <- e
+              end;
+              Threads.select s.threads ~core:e.Engine.id;
+              (* periodic scheduler entry: signal poll + epoch advance *)
+              if
+                Int64.rem s.blocks_executed
+                  (Int64.of_int s.opts.sched_poll_blocks)
+                = 0L
+              then begin
+                charge s e.Engine.dispatch.slow_cost;
+                check_signals s;
+                advance_epoch s
+              end
+              else if not (Queue.is_empty s.kern.pending) then
+                check_signals s;
+              (* timeslice rotation keyed on the *thread's own* block
+                 count, so a thread that arrives mid-interval still gets
+                 a full slice (rotation used to key on the global block
+                 counter modulo, which starved late-arriving threads) *)
+              let th = s.threads.current in
+              if
+                s.opts.timeslice_blocks > 0
+                && th.status = Threads.Runnable
+                && Int64.compare
+                     (Int64.sub th.blocks_run th.slice_start)
+                     (Int64.of_int s.opts.timeslice_blocks)
+                   >= 0
+              then ignore (switch_thread s);
+              if s.threads.current.status <> Threads.Runnable then
+                ignore (switch_thread s)
+              else run_block s
         end);
     if s.exit_reason <> None then continue_ := false
   done;
@@ -1283,12 +1413,7 @@ let run_inner (s : t) : exit_reason =
    history for post-mortem rendering. *)
 let crash_context (s : t) (what : string) : Errors.crash_context =
   let th = s.threads.current in
-  let n = Array.length s.dispatch_trace in
-  let count = min s.dispatch_trace_n n in
-  let trace =
-    List.init count (fun i ->
-        s.dispatch_trace.((s.dispatch_trace_n - count + i) mod n))
-  in
+  let trace = Engine.recent_blocks s.active in
   {
     cc_what = what;
     cc_eip = Threads.get_eip s.threads th;
@@ -1324,6 +1449,10 @@ type stats = {
   st_jit_cycles : int64;
   st_smc_cycles : int64;
   st_total_cycles : int64;
+      (** work cycles summed over every core (idle excluded) *)
+  st_cores : int;  (** simulated cores this session ran with *)
+  st_wall_cycles : int64;
+      (** simulated wall time: the furthest-ahead core clock *)
   st_translations : int;
   st_retranslations_smc : int;
   st_verify_checks : int;  (** phase-boundary verifications run *)
@@ -1363,14 +1492,17 @@ type stats = {
 }
 
 let stats (s : t) : stats =
+  let sumL f = Array.fold_left (fun acc e -> Int64.add acc (f e)) 0L s.cores in
   {
     st_blocks = s.blocks_executed;
-    st_host_cycles = s.cpu.cycles;
-    st_host_insns = s.cpu.insns;
-    st_overhead_cycles = s.overhead_cycles;
-    st_jit_cycles = s.jit_cycles;
-    st_smc_cycles = s.smc_cycles;
+    st_host_cycles = sumL (fun e -> e.Engine.cpu.cycles);
+    st_host_insns = sumL (fun e -> e.Engine.cpu.insns);
+    st_overhead_cycles = sumL (fun e -> e.Engine.overhead_cycles);
+    st_jit_cycles = sumL (fun e -> e.Engine.jit_cycles);
+    st_smc_cycles = sumL (fun e -> e.Engine.smc_cycles);
     st_total_cycles = total_cycles s;
+    st_cores = Array.length s.cores;
+    st_wall_cycles = wall_cycles s;
     st_translations = s.translations_made;
     st_retranslations_smc = s.retranslations_smc;
     st_verify_checks = s.verify_checks;
@@ -1383,11 +1515,15 @@ let stats (s : t) : stats =
     st_superblock_aborts = s.superblock_aborts;
     st_jit_cycles_tier0 = s.jit_cycles_tier0;
     st_jit_phase_cycles_tier0 = Array.copy s.jit_phase_cycles_tier0;
-    st_dispatch_hits = s.dispatch.hits;
-    st_dispatch_misses = s.dispatch.misses;
-    st_dispatch_hit_rate = Dispatch.hit_rate s.dispatch;
-    st_dispatch_entries = Dispatch.entries s.dispatch;
-    st_chained = s.chained_transfers;
+    st_dispatch_hits = sumL (fun e -> e.Engine.dispatch.Dispatch.hits);
+    st_dispatch_misses = sumL (fun e -> e.Engine.dispatch.Dispatch.misses);
+    st_dispatch_hit_rate =
+      (let hits = sumL (fun e -> e.Engine.dispatch.Dispatch.hits) in
+       let total = sumL (fun e -> Dispatch.entries e.Engine.dispatch) in
+       if total = 0L then 0.0
+       else Int64.to_float hits /. Int64.to_float total);
+    st_dispatch_entries = sumL (fun e -> Dispatch.entries e.Engine.dispatch);
+    st_chained = sumL (fun e -> e.Engine.chained_transfers);
     st_chain_patched = s.transtab.n_chain_links;
     st_chain_unlinked = s.transtab.n_chain_unlinks;
     st_chain_live = s.transtab.live_chains;

@@ -7,27 +7,39 @@
     live in the core's own address-space region, and the running thread's
     block is what the host GSP register points at.
 
-    Thread execution is serialised: only one thread runs at a time; the
-    scheduler (in {!Session}) rotates after a 100,000-block timeslice or
-    at yielding/blocking system calls. *)
+    Threads are sharded over N simulated cores: a thread is pinned to
+    core [(tid - 1) mod n_cores] for life, and each core round-robins
+    among its own threads after a timeslice or at yielding/blocking
+    system calls.  With one core this degenerates to the paper's big
+    lock (§3.14): fully serialised execution.  Which core steps next is
+    the {!Session} scheduler's decision (lowest cycle count wins), so
+    this module only tracks membership and per-core current threads. *)
 
-type status = Runnable | Exited
+type status = Runnable | Blocked | Exited
 
 type thread = {
   tid : int;
+  core : int;  (** the simulated core this thread is pinned to *)
   ts_addr : int64;  (** address of this thread's ThreadState block *)
   mutable status : status;
   mutable sig_frames : Bytes.t list;
       (** saved guest+shadow state, for sigreturn (newest first) *)
   mutable blocks_run : int64;
+  mutable slice_start : int64;
+      (** [blocks_run] when this thread's current timeslice began; the
+          scheduler rotates when [blocks_run - slice_start] reaches the
+          timeslice, so a thread that yields mid-slice starts a fresh
+          slice on resume instead of inheriting the remainder *)
   mutable exit_value : int64;
 }
 
 type t = {
   mem : Aspace.t;
+  n_cores : int;
   mutable threads : thread list;  (** in creation order *)
   mutable next_tid : int;
-  mutable current : thread;
+  mutable current : thread;  (** thread of the core currently stepping *)
+  currents : thread option array;  (** per-core scheduled thread *)
   (* serialisation statistics *)
   mutable lock_handoffs : int64;
 }
@@ -47,18 +59,31 @@ let create_thread_state (mem : Aspace.t) (tid : int) : int64 =
   done;
   addr
 
-let create (mem : Aspace.t) : t =
+let create ?(n_cores = 1) (mem : Aspace.t) : t =
+  if n_cores < 1 then invalid_arg "Threads.create: n_cores must be >= 1";
   let main =
     {
       tid = 1;
+      core = 0;
       ts_addr = create_thread_state mem 1;
       status = Runnable;
       sig_frames = [];
       blocks_run = 0L;
+      slice_start = 0L;
       exit_value = 0L;
     }
   in
-  { mem; threads = [ main ]; next_tid = 2; current = main; lock_handoffs = 0L }
+  let currents = Array.make n_cores None in
+  currents.(0) <- Some main;
+  {
+    mem;
+    n_cores;
+    threads = [ main ];
+    next_tid = 2;
+    current = main;
+    currents;
+    lock_handoffs = 0L;
+  }
 
 let spawn (t : t) : thread =
   let tid = t.next_tid in
@@ -66,23 +91,54 @@ let spawn (t : t) : thread =
   let th =
     {
       tid;
+      core = (tid - 1) mod t.n_cores;
       ts_addr = create_thread_state t.mem tid;
       status = Runnable;
       sig_frames = [];
       blocks_run = 0L;
+      slice_start = 0L;
       exit_value = 0L;
     }
   in
   t.threads <- t.threads @ [ th ];
+  if t.currents.(th.core) = None then t.currents.(th.core) <- Some th;
   th
 
 let find (t : t) tid = List.find_opt (fun th -> th.tid = tid) t.threads
 let runnable (t : t) = List.filter (fun th -> th.status = Runnable) t.threads
 
-(** Hand the lock to the next runnable thread after [cur] (round-robin).
-    Returns false if no thread is runnable. *)
+(** Threads pinned to [core], in creation order. *)
+let on_core (t : t) (core : int) =
+  List.filter (fun th -> th.core = core) t.threads
+
+(** Does [core] have at least one runnable thread? *)
+let has_runnable (t : t) ~(core : int) : bool =
+  List.exists (fun th -> th.core = core && th.status = Runnable) t.threads
+
+(** Make [core]'s scheduled thread the current one (the session calls
+    this right before stepping the core).  If the core has never had a
+    thread scheduled, or its scheduled thread is gone, the first
+    runnable thread on the core is picked.  The caller guarantees the
+    core has a runnable thread ({!has_runnable}). *)
+let select (t : t) ~(core : int) : unit =
+  let th =
+    match t.currents.(core) with
+    | Some th -> th
+    | None ->
+        let th = List.find (fun x -> x.status = Runnable) (on_core t core) in
+        t.currents.(core) <- Some th;
+        th
+  in
+  t.current <- th
+
+(** Hand [t.current]'s core to its next runnable thread (round-robin
+    among the threads pinned to that core).  Returns false if the core
+    has no runnable thread.  The incoming thread starts a fresh
+    timeslice — even on a self-switch, so a single-thread core is not
+    re-checked every block. *)
 let switch_to_next (t : t) : bool =
-  match runnable t with
+  let mine = on_core t t.current.core in
+  match List.filter (fun th -> th.status = Runnable) mine with
   | [] -> false
   | rs ->
       let rec after = function
@@ -93,10 +149,22 @@ let switch_to_next (t : t) : bool =
             | [] -> List.hd rs)
         | _ :: rest -> after rest
       in
-      let next = after t.threads in
-      if next.tid <> t.current.tid then t.lock_handoffs <- Int64.add t.lock_handoffs 1L;
+      let next = after mine in
+      if next.tid <> t.current.tid then
+        t.lock_handoffs <- Int64.add t.lock_handoffs 1L;
+      next.slice_start <- next.blocks_run;
+      t.currents.(t.current.core) <- Some next;
       t.current <- next;
       true
+
+(** Preempt [th]'s core with [th] (signal delivery: the target thread
+    must run its handler next time its core steps).  When [make_current]
+    the session is stepping that very core, so [t.current] moves too —
+    the single-core behaviour of delivering into the running slot. *)
+let preempt (t : t) (th : thread) ~(make_current : bool) : unit =
+  t.currents.(th.core) <- Some th;
+  th.slice_start <- th.blocks_run;
+  if make_current then t.current <- th
 
 (** {2 Guest-state access} *)
 

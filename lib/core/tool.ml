@@ -16,6 +16,7 @@ type caps = {
       (** [read_guest off size]: current thread's guest state *)
   write_guest : int -> int -> int64 -> unit;
   cur_eip : unit -> int64;  (** guest PC of the current thread *)
+  cur_tid : unit -> int;  (** id of the current (executing) thread *)
   stack_trace : unit -> int64 list;  (** current thread, innermost first *)
   symbolize : int64 -> string;  (** address -> symbol+offset *)
   client_alloc : int -> int64;

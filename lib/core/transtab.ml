@@ -9,13 +9,26 @@
     The table additionally owns the {b chain index} for direct
     translation chaining (§3.9 extension): a reverse map from a resident
     translation's key to every chain slot (in other translations) that
-    has been patched to jump straight into it.  The invariant is that a
-    patched slot only ever points at a translation currently resident in
-    this table; every removal path — FIFO chunk eviction, range discard
-    (munmap / discard-translations client request), single-key discard
-    (SMC invalidation) and [flush] — unlinks all chains into the removed
-    translations first, so a stale jump into retired code can never be
-    followed. *)
+    has been patched to jump straight into it.  The index is sharded by
+    the simulated core that performed the patch, so per-core patch
+    traffic stays attributable and a core's chains can be audited
+    independently; removal paths walk every shard.  The invariant is
+    that a patched slot only ever points at a translation currently
+    resident in this table; every removal path — FIFO chunk eviction,
+    range discard (munmap / discard-translations client request),
+    single-key discard (SMC invalidation) and [flush] — unlinks all
+    chains into the removed translations first, so a stale jump into
+    retired code can never be followed.
+
+    {b Epoch-based retirement.}  With N simulated cores, other cores'
+    fast-lookup caches and last-exit records may still reference a
+    translation the moment it leaves the table, so removal never frees
+    eagerly.  Instead every removed translation is marked dead
+    ([t_dead]) and pushed onto an epoch-tagged {b retire list}; readers
+    treat a dead translation as a cache miss, and the session drains
+    the list at a scheduler epoch boundary — a point where every core
+    sits between blocks, the RCU grace period of this simulation —
+    only freeing entries whose tag predates the current epoch. *)
 
 type entry = {
   e_key : int64;
@@ -28,9 +41,10 @@ type t = {
   capacity : int;
   mutable used : int;
   mutable seq : int;
-  (* reverse chain index: key of a resident translation -> the
-     (source key, slot) pairs patched to jump straight into it *)
-  chains_in : (int64, (int64 * Jit.Pipeline.chain_slot) list) Hashtbl.t;
+  (* reverse chain index, sharded by patching core: shard[c] maps the
+     key of a resident translation to the (source key, slot) pairs core
+     [c] patched to jump straight into it *)
+  chain_shards : (int64, (int64 * Jit.Pipeline.chain_slot) list) Hashtbl.t array;
   events : Events.t option;  (** chain lifecycle counters, if plumbed *)
   (* structured tracing (wired post-create by the session, like the
      kernel's [now_cycles]): lifecycle events — chain patch/unlink,
@@ -38,6 +52,13 @@ type t = {
      session's simulated cycle clock *)
   mutable trace : Obs.Trace.t option;
   mutable now : unit -> int64;
+  (* epoch-based retirement *)
+  mutable epoch : int;  (** advanced at scheduler epoch boundaries *)
+  mutable retire_list : (int * entry) list;
+      (** (retirement epoch, entry), newest first; every e_trans here is
+          marked dead and out of the table, awaiting its grace period *)
+  mutable n_retired : int;  (** translations ever pushed to the list *)
+  mutable n_retire_freed : int;  (** translations freed after grace *)
   (* statistics *)
   mutable n_inserts : int;
   mutable n_evict_chunks : int;
@@ -46,18 +67,24 @@ type t = {
   mutable n_chain_links : int;  (** cumulative slots patched *)
   mutable n_chain_unlinks : int;  (** cumulative slots unlinked *)
   mutable live_chains : int;  (** currently-patched slots *)
+  chain_links_by_shard : int64 array;  (** cumulative patches per core *)
 }
 
-let create ?events ?(capacity = 32768) () =
+let create ?events ?(capacity = 32768) ?(shards = 1) () =
+  let shards = max 1 shards in
   {
     slots = Array.make capacity None;
     capacity;
     used = 0;
     seq = 0;
-    chains_in = Hashtbl.create 1024;
+    chain_shards = Array.init shards (fun _ -> Hashtbl.create 1024);
     events;
     trace = None;
     now = (fun () -> 0L);
+    epoch = 0;
+    retire_list = [];
+    n_retired = 0;
+    n_retire_freed = 0;
     n_inserts = 0;
     n_evict_chunks = 0;
     n_evicted = 0;
@@ -65,6 +92,7 @@ let create ?events ?(capacity = 32768) () =
     n_chain_links = 0;
     n_chain_unlinks = 0;
     live_chains = 0;
+    chain_links_by_shard = Array.make shards 0L;
   }
 
 (** Attach a trace sink and a cycle clock (the session calls this right
@@ -104,12 +132,12 @@ let resident t (key : int64) (tr : Jit.Pipeline.translation) : bool =
   match find t key with Some tr' -> tr' == tr | None -> false
 
 (** Patch [slot] (an exit site of resident translation [src]) to
-    transfer straight to [dst], registering the chain in the reverse
-    index.  Refuses — returning [false] — if the slot is already
-    patched or if either end is not resident (a translation evicted from
-    the table must not become a chain target: nothing would ever unlink
-    it). *)
-let link (t : t) ~(src : Jit.Pipeline.translation)
+    transfer straight to [dst], registering the chain in [core]'s shard
+    of the reverse index.  Refuses — returning [false] — if the slot is
+    already patched or if either end is not resident (a translation
+    evicted from the table must not become a chain target: nothing
+    would ever unlink it). *)
+let link ?(core = 0) (t : t) ~(src : Jit.Pipeline.translation)
     ~(slot : Jit.Pipeline.chain_slot) ~(dst : Jit.Pipeline.translation) :
     bool =
   if
@@ -119,12 +147,13 @@ let link (t : t) ~(src : Jit.Pipeline.translation)
   then false
   else begin
     slot.cs_next <- Some dst;
+    let shard = t.chain_shards.(core mod Array.length t.chain_shards) in
     let key = dst.t_guest_addr in
-    let prev =
-      Option.value ~default:[] (Hashtbl.find_opt t.chains_in key)
-    in
-    Hashtbl.replace t.chains_in key ((src.t_guest_addr, slot) :: prev);
+    let prev = Option.value ~default:[] (Hashtbl.find_opt shard key) in
+    Hashtbl.replace shard key ((src.t_guest_addr, slot) :: prev);
     t.n_chain_links <- t.n_chain_links + 1;
+    let c = core mod Array.length t.chain_links_by_shard in
+    t.chain_links_by_shard.(c) <- Int64.add t.chain_links_by_shard.(c) 1L;
     t.live_chains <- t.live_chains + 1;
     (match t.events with
     | Some e -> Events.tick_chain_patched e
@@ -151,44 +180,89 @@ let unlink_slot t (slot : Jit.Pipeline.chain_slot) =
   end
 
 (* Unlink every chain jumping INTO [key] (its translation is being
-   removed). *)
+   removed), across every core's shard. *)
 let unlink_into t (key : int64) =
-  match Hashtbl.find_opt t.chains_in key with
-  | None -> ()
-  | Some pairs ->
-      List.iter (fun (_, slot) -> unlink_slot t slot) pairs;
-      Hashtbl.remove t.chains_in key
+  Array.iter
+    (fun shard ->
+      match Hashtbl.find_opt shard key with
+      | None -> ()
+      | Some pairs ->
+          List.iter (fun (_, slot) -> unlink_slot t slot) pairs;
+          Hashtbl.remove shard key)
+    t.chain_shards
 
 (* Drop reverse-index records whose SOURCE translation is being removed:
    the slot dies with its owner, so the chain it carried is gone too. *)
 let purge_sources t (dropped : (int64, unit) Hashtbl.t) =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.chains_in [] in
-  List.iter
-    (fun k ->
-      match Hashtbl.find_opt t.chains_in k with
-      | None -> ()
-      | Some pairs ->
-          let keep, drop =
-            List.partition
-              (fun (src, _) -> not (Hashtbl.mem dropped src))
-              pairs
-          in
-          if drop <> [] then begin
-            List.iter (fun (_, slot) -> unlink_slot t slot) drop;
-            if keep = [] then Hashtbl.remove t.chains_in k
-            else Hashtbl.replace t.chains_in k keep
-          end)
-    keys
+  Array.iter
+    (fun shard ->
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) shard [] in
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt shard k with
+          | None -> ()
+          | Some pairs ->
+              let keep, drop =
+                List.partition
+                  (fun (src, _) -> not (Hashtbl.mem dropped src))
+                  pairs
+              in
+              if drop <> [] then begin
+                List.iter (fun (_, slot) -> unlink_slot t slot) drop;
+                if keep = [] then Hashtbl.remove shard k
+                else Hashtbl.replace shard k keep
+              end)
+        keys)
+    t.chain_shards
 
-(* Chain maintenance for a batch of removed entries: unlink everything
-   into them, then purge chains owned by them. *)
+(* Chain maintenance for a batch of removed entries — unlink everything
+   into them, then purge chains owned by them — and push them onto the
+   epoch-tagged retire list.  Chains are unlinked *eagerly* (a patched
+   [cs_next] must never point at a dead translation) but the
+   translations themselves stay allocated until the grace period
+   expires: another core's fast-lookup cache or last-exit record may
+   still hold them, and the [t_dead] mark is what turns those stale
+   references into misses. *)
 let on_removed t (removed : entry list) =
   if removed <> [] then begin
     let dropped = Hashtbl.create (List.length removed) in
     List.iter (fun e -> Hashtbl.replace dropped e.e_key ()) removed;
     Hashtbl.iter (fun k () -> unlink_into t k) dropped;
-    purge_sources t dropped
+    purge_sources t dropped;
+    List.iter
+      (fun e ->
+        e.e_trans.Jit.Pipeline.t_dead <- true;
+        t.retire_list <- (t.epoch, e) :: t.retire_list;
+        t.n_retired <- t.n_retired + 1)
+      removed
   end
+
+let retire_pending t = List.length t.retire_list
+
+(** Advance the table's epoch at a scheduler epoch boundary (every core
+    between blocks).  Entries retired in a {e previous} epoch have had a
+    full grace period — no core can have picked up a new reference since
+    they were marked dead — and are freed; entries retired in the
+    current epoch are kept one more round.  Returns the freed
+    translations so the session can purge any per-core cache slots still
+    naming them.  [delay] (a chaos fault point) keeps everything one
+    extra epoch. *)
+let advance_epoch ?(delay = false) (t : t) : Jit.Pipeline.translation list =
+  let freed, kept =
+    if delay then ([], t.retire_list)
+    else List.partition (fun (ep, _) -> ep < t.epoch) t.retire_list
+  in
+  t.retire_list <- kept;
+  t.epoch <- t.epoch + 1;
+  if freed <> [] then begin
+    t.n_retire_freed <- t.n_retire_freed + List.length freed;
+    tev t ~name:"retire_free"
+      ~args:
+        [ ("freed", Obs.Trace.I (Int64.of_int (List.length freed)));
+          ("epoch", Obs.Trace.I (Int64.of_int t.epoch)) ]
+      ()
+  end;
+  List.map (fun (_, e) -> e.e_trans) freed
 
 (* ------------------------------------------------------------------ *)
 (* Insertion and removal                                                *)
@@ -237,6 +311,7 @@ let insert (t : t) (key : int64) (trans : Jit.Pipeline.translation) =
   if t.used * 10 >= t.capacity * 8 then evict_chunk t;
   t.n_inserts <- t.n_inserts + 1;
   t.seq <- t.seq + 1;
+  trans.Jit.Pipeline.t_epoch <- t.epoch;
   let e = { e_key = key; e_trans = trans; e_seq = t.seq } in
   let rec probe i =
     match t.slots.(i) with
@@ -291,19 +366,31 @@ let discard_key (t : t) (key : int64) =
   on_removed t drop;
   rebuild t keep
 
-(** Empty the table completely, unlinking every chain and resetting the
-    live-chain state (cumulative counters are preserved). *)
+(** Empty the table completely, unlinking every chain and retiring every
+    resident translation (cumulative counters are preserved). *)
 let flush (t : t) =
   tev t ~name:"flush"
     ~args:[ ("resident", Obs.Trace.I (Int64.of_int t.used)) ]
     ();
-  Hashtbl.iter
-    (fun _ pairs -> List.iter (fun (_, slot) -> unlink_slot t slot) pairs)
-    t.chains_in;
-  Hashtbl.reset t.chains_in;
+  let resident = all_entries t in
+  Array.iter
+    (fun shard ->
+      Hashtbl.iter
+        (fun _ pairs -> List.iter (fun (_, slot) -> unlink_slot t slot) pairs)
+        shard;
+      Hashtbl.reset shard)
+    t.chain_shards;
   t.live_chains <- 0;
   t.slots <- Array.make t.capacity None;
-  t.used <- 0
+  t.used <- 0;
+  (* chains are already down and the table is empty: just mark and
+     push (on_removed would redo the unlink walk per entry) *)
+  List.iter
+    (fun e ->
+      e.e_trans.Jit.Pipeline.t_dead <- true;
+      t.retire_list <- (t.epoch, e) :: t.retire_list;
+      t.n_retired <- t.n_retired + 1)
+    resident
 
 let occupancy t = float_of_int t.used /. float_of_int t.capacity
 
@@ -358,4 +445,8 @@ let publish (r : Obs.Registry.t) (t : t) =
   pi "transtab.chain_links" (fun () -> t.n_chain_links);
   pi "transtab.chain_unlinks" (fun () -> t.n_chain_unlinks);
   pi "transtab.chain_live" (fun () -> t.live_chains);
+  pi "transtab.epoch" (fun () -> t.epoch);
+  pi "transtab.retired" (fun () -> t.n_retired);
+  pi "transtab.retire_freed" (fun () -> t.n_retire_freed);
+  pi "transtab.retire_pending" (fun () -> retire_pending t);
   Obs.Registry.fprobe r "transtab.occupancy" (fun () -> occupancy t)

@@ -135,6 +135,18 @@ type translation = {
   mutable t_no_promote : bool;
       (** set when a promotion attempt failed (e.g. under fault
           injection) so the session does not retry every execution *)
+  mutable t_dead : bool;
+      (** retired: removed from the translation table but possibly still
+          referenced by a core's fast-lookup cache or last-exit record.
+          Readers must treat a dead translation as a miss; the retire
+          list frees it at the next scheduler epoch boundary. *)
+  mutable t_epoch : int;
+      (** translation-table epoch this translation was published in
+          (stamped by [Transtab.insert]); retirement is deferred until
+          the epoch has advanced past every possible reader *)
+  mutable t_core : int;
+      (** simulated core that requested this translation (ownership tag
+          for per-core JIT attribution; stamped by the session) *)
 }
 
 (** A chainable exit site: a host exit instruction whose guest target is
@@ -444,6 +456,9 @@ let translate_tree ?(unroll = true) ?(checks : checks option)
         (match constituents with Some cs -> cs | None -> [ guest_addr ]);
       t_hotness = 0L;
       t_no_promote = false;
+      t_dead = false;
+      t_epoch = 0;
+      t_core = 0;
     }
   in
   ( {

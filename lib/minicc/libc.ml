@@ -283,6 +283,26 @@ int vg_check_taint(char *addr, int len) {
   a[1] = len;
   return __clreq(8195, a);
 }
+
+/* DRD tool-arbitrated locks: try-acquire returns 1 on success, 0 when
+   another thread holds the lock.  vg_drd_lock spins with yield until
+   the acquire succeeds; under tools without lock requests the clreq
+   returns 0 forever, so callers should only use these under drd. */
+int vg_drd_trylock(int id) {
+  int a[4];
+  a[0] = id;
+  return __clreq(12289, a);
+}
+
+void vg_drd_lock(int id) {
+  while (vg_drd_trylock(id) == 0) { yield(); }
+}
+
+void vg_drd_unlock(int id) {
+  int a[4];
+  a[0] = id;
+  __clreq(12290, a);
+}
 |}
 
 (** Start-up code: call main, pass its result to exit. *)

@@ -281,6 +281,10 @@ module Profile = struct
     mutable pf_blocks : int64;  (** code blocks executed in this fn *)
     mutable pf_cycles : int64;  (** host cycles attributed to this fn *)
     mutable pf_calls : int64;  (** times entered via a call exit *)
+    mutable pf_core_cycles : (int * int64) list;
+        (** [pf_cycles] split by the simulated core that executed the
+            blocks (sorted by core id); a single-core profile keeps the
+            whole total under core 0 *)
   }
 
   type t = {
@@ -296,17 +300,25 @@ module Profile = struct
     | None ->
         let f =
           { pf_base = base; pf_name = name; pf_blocks = 0L; pf_cycles = 0L;
-            pf_calls = 0L }
+            pf_calls = 0L; pf_core_cycles = [] }
         in
         Hashtbl.replace t.fns base f;
         f
 
   (** Attribute one executed block and its cycles to the function at
-      [base]. *)
-  let block (t : t) ~(base : int64) ~(name : string) ~(cycles : int64) =
+      [base], executed on simulated core [core]. *)
+  let block ?(core = 0) (t : t) ~(base : int64) ~(name : string)
+      ~(cycles : int64) =
     let f = touch t ~base ~name in
     f.pf_blocks <- Int64.add f.pf_blocks 1L;
-    f.pf_cycles <- Int64.add f.pf_cycles cycles
+    f.pf_cycles <- Int64.add f.pf_cycles cycles;
+    f.pf_core_cycles <-
+      (match List.assoc_opt core f.pf_core_cycles with
+      | Some c ->
+          List.sort compare
+            ((core, Int64.add c cycles)
+            :: List.remove_assoc core f.pf_core_cycles)
+      | None -> List.sort compare ((core, cycles) :: f.pf_core_cycles))
 
   (** Record one call edge (an [ek_call] block exit). *)
   let call (t : t) ~(caller : int64) ~(callee_base : int64)
@@ -352,15 +364,31 @@ module Profile = struct
     Buffer.add_string b
       (Printf.sprintf "%14s %6s %10s %8s  %s\n" "cycles" "%" "blocks"
          "calls" "function");
+    (* per-core attribution column, shown once any cycles landed off
+       core 0 (single-core profiles keep the classic layout) *)
+    let multicore =
+      List.exists
+        (fun f -> List.exists (fun (c, _) -> c <> 0) f.pf_core_cycles)
+        fns
+    in
     List.iter
       (fun f ->
         let pct =
           if total = 0L then 0.0
           else 100.0 *. Int64.to_float f.pf_cycles /. Int64.to_float total
         in
+        let cores =
+          if not multicore then ""
+          else
+            Printf.sprintf "  [%s]"
+              (String.concat " "
+                 (List.map
+                    (fun (c, cy) -> Printf.sprintf "c%d:%Ld" c cy)
+                    f.pf_core_cycles))
+        in
         Buffer.add_string b
-          (Printf.sprintf "%14Ld %5.1f%% %10Ld %8Ld  %s\n" f.pf_cycles pct
-             f.pf_blocks f.pf_calls f.pf_name))
+          (Printf.sprintf "%14Ld %5.1f%% %10Ld %8Ld  %s%s\n" f.pf_cycles pct
+             f.pf_blocks f.pf_calls f.pf_name cores))
       (take top fns);
     let edges = edge_list t in
     Buffer.add_string b

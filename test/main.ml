@@ -13,6 +13,8 @@ let () =
       ("minicc", Test_minicc.tests);
       ("core", Test_core.tests);
       ("core-units", Test_core_units.tests);
+      ("sched", Test_sched.tests);
+      ("drd", Test_drd.tests);
       ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
       ("verify", Test_verify.tests);

@@ -17,6 +17,8 @@ let quiet ~seed =
     p_translation_failure = 0.0;
     force_phase = None;
     p_flush = 0.0;
+    p_handoff_stall = 0.0;
+    p_retire_delay = 0.0;
     max_injections = 0;
   }
 

@@ -24,6 +24,9 @@ let dummy_trans_exits key exits : Jit.Pipeline.translation =
     t_constituents = [ key ];
     t_hotness = 0L;
     t_no_promote = false;
+    t_dead = false;
+    t_epoch = 0;
+    t_core = 0;
   }
 
 let dummy_trans key = dummy_trans_exits key [||]
