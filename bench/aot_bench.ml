@@ -1,0 +1,174 @@
+(** AOT-seeding benchmark: the cold-start gate behind [aotcheck].
+
+    Runs each chaining-suite workload under Nulgrind twice — unseeded
+    (the default lazy JIT) and with [--aot-seed] (every statically
+    discovered block pre-translated before the client starts) — and
+    reports the JIT-cycle split.  The claim the gate enforces: with
+    seeding, the {e runtime} JIT share (total JIT cycles minus the AOT
+    seeding share) lands strictly below the unseeded run's JIT cycles,
+    because cold-block translation was paid up front; client output must
+    be identical and the soundness oracle must count zero
+    [static.cfg_miss].
+
+    [metrics] folds into the same flat JSON as the chaining and tier
+    gates ({!Chain_bench.write_json}), so one baseline carries all
+    three. *)
+
+let unseeded_options = Vg_core.Session.default_options
+
+let seeded_options =
+  { Vg_core.Session.default_options with scan = true; aot_seed = true }
+
+type row = {
+  a_name : string;
+  a_jit_unseeded : int64;  (** JIT cycles, lazy translation *)
+  a_jit_seed_total : int64;  (** JIT cycles with seeding (AOT included) *)
+  a_jit_aot : int64;  (** the AOT seeding share of the above *)
+  a_seeded : int;  (** blocks pre-translated *)
+  a_failed : int;  (** seed attempts the JIT rejected *)
+  a_cfg_checked : int;  (** soundness-oracle checks *)
+  a_cfg_miss : int;  (** executed starts the scan never found *)
+  a_outputs_equal : bool;
+}
+
+(* runtime JIT share of the seeded run: what translation still happened
+   while the client was running *)
+let runtime_jit (r : row) : int64 = Int64.sub r.a_jit_seed_total r.a_jit_aot
+
+let run_one ?(scale = 1) (name : string) : row option =
+  match Workloads.find name with
+  | None ->
+      Printf.printf "!! unknown workload %s\n" name;
+      None
+  | Some w ->
+      let img = Workloads.compile ~scale w in
+      let run options = Harness.run_tool ~options Vg_core.Tool.nulgrind img in
+      let plain = run unseeded_options in
+      let seeded = run seeded_options in
+      Some
+        {
+          a_name = name;
+          a_jit_unseeded = plain.tr_stats.st_jit_cycles;
+          a_jit_seed_total = seeded.tr_stats.st_jit_cycles;
+          a_jit_aot = seeded.tr_stats.st_aot_cycles;
+          a_seeded = seeded.tr_stats.st_aot_seeded;
+          a_failed = seeded.tr_stats.st_aot_failed;
+          a_cfg_checked = seeded.tr_stats.st_cfg_checked;
+          a_cfg_miss = seeded.tr_stats.st_cfg_miss;
+          a_outputs_equal = seeded.tr_stdout = plain.tr_stdout;
+        }
+
+let rows ?scale () : row list =
+  List.filter_map (run_one ?scale) Chain_bench.suite
+
+let pct_less (now : int64) (before : int64) : float =
+  if before = 0L then 0.0
+  else 100.0 *. (1.0 -. (Int64.to_float now /. Int64.to_float before))
+
+(** The human-readable AOT table. *)
+let run ?scale () =
+  Harness.section
+    "AOT seeding: cold-start JIT cycles (unseeded vs seeded runtime share)";
+  Printf.printf "%-9s %11s %11s %11s %6s %6s %6s %5s %5s\n" "program"
+    "jit(lazy)" "jit(rt)" "jit(aot)" "save%" "seed" "check" "miss" "out=";
+  Harness.hr ();
+  let rs = rows ?scale () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %11Ld %11Ld %11Ld %5.1f%% %6d %6d %5d %5b\n%!"
+        r.a_name r.a_jit_unseeded (runtime_jit r) r.a_jit_aot
+        (pct_less (runtime_jit r) r.a_jit_unseeded)
+        r.a_seeded r.a_cfg_checked r.a_cfg_miss r.a_outputs_equal)
+    rs;
+  Harness.hr ();
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  let rt = sum runtime_jit and lazy_ = sum (fun r -> r.a_jit_unseeded) in
+  Printf.printf
+    "%-9s %11Ld %11Ld  (gate: runtime < lazy, outputs equal, 0 miss)\n"
+    "total" lazy_ rt;
+  if Int64.unsigned_compare rt lazy_ >= 0 then
+    print_endline "!! seeded runtime JIT cycles did not beat the lazy JIT";
+  if List.exists (fun r -> r.a_cfg_miss > 0) rs then
+    print_endline "!! soundness oracle counted misses";
+  if not (List.for_all (fun r -> r.a_outputs_equal) rs) then
+    print_endline "!! AOT seeding changed client output"
+
+(* Metrics for the flat JSON gate file.  "cycles_" keys get the gate's
+   10% regression tolerance; the exact counts (seeded blocks, oracle
+   checks/misses) ride along un-gated for the aotcheck gate below. *)
+let metrics_of_row (r : row) : (string * int64) list =
+  [
+    (r.a_name ^ ".cycles_jit_unseeded", r.a_jit_unseeded);
+    (r.a_name ^ ".cycles_jit_seed_runtime", runtime_jit r);
+    (r.a_name ^ ".cycles_jit_aot", r.a_jit_aot);
+    (r.a_name ^ ".aot_seeded", Int64.of_int r.a_seeded);
+    (r.a_name ^ ".aot_failed", Int64.of_int r.a_failed);
+    (r.a_name ^ ".cfg_checked", Int64.of_int r.a_cfg_checked);
+    (r.a_name ^ ".cfg_miss", Int64.of_int r.a_cfg_miss);
+    (r.a_name ^ ".aot_outputs_equal", if r.a_outputs_equal then 1L else 0L);
+  ]
+
+let metrics ?scale () : (string * int64) list =
+  let rs = rows ?scale () in
+  let sum f = List.fold_left (fun a r -> Int64.add a (f r)) 0L rs in
+  List.concat_map metrics_of_row rs
+  @ [
+      ("total.cycles_jit_unseeded", sum (fun r -> r.a_jit_unseeded));
+      ("total.cycles_jit_seed_runtime", sum runtime_jit);
+      ("total.cycles_jit_aot", sum (fun r -> r.a_jit_aot));
+      ("total.cfg_miss", sum (fun r -> Int64.of_int r.a_cfg_miss));
+      ( "total.aot_outputs_equal",
+        if List.for_all (fun r -> r.a_outputs_equal) rs then 1L else 0L );
+    ]
+
+(** The AOT gate, over an already-written metrics file: the seeded
+    runtime JIT share must land strictly below the unseeded JIT cycles
+    (per workload and in total), the soundness oracle must have counted
+    zero misses, and outputs must be equal.  Exits non-zero on failure
+    so CI can gate on it. *)
+let check_current ~(current : string) =
+  let cur = Chain_bench.read_json current in
+  if cur = [] then begin
+    Printf.printf "aot gate FAILED: no metrics parsed from %s\n" current;
+    exit 1
+  end;
+  let failures = ref 0 in
+  let suffix_is k s =
+    let n = String.length s in
+    String.length k >= n && String.sub k (String.length k - n) n = s
+  in
+  List.iter
+    (fun (k, v) ->
+      if suffix_is k ".cycles_jit_unseeded" then begin
+        let prefix =
+          String.sub k 0
+            (String.length k - String.length ".cycles_jit_unseeded")
+        in
+        match List.assoc_opt (prefix ^ ".cycles_jit_seed_runtime") cur with
+        | None ->
+            incr failures;
+            Printf.printf "!! %s: no matching seed_runtime metric\n" k
+        | Some rt ->
+            if Int64.unsigned_compare rt v >= 0 then begin
+              incr failures;
+              Printf.printf
+                "!! %s: seeded runtime JIT %Ld >= unseeded %Ld\n" prefix rt v
+            end
+            else
+              Printf.printf "ok %s: runtime %Ld < unseeded %Ld (-%.1f%%)\n"
+                prefix rt v (pct_less rt v)
+      end
+      else if suffix_is k ".cfg_miss" && v <> 0L then begin
+        incr failures;
+        Printf.printf "!! %s: soundness oracle counted %Ld misses\n" k v
+      end
+      else if suffix_is k "aot_outputs_equal" && v = 0L then begin
+        incr failures;
+        Printf.printf "!! %s: AOT seeding changed client output\n" k
+      end)
+    cur;
+  if !failures > 0 then begin
+    Printf.printf "aot gate FAILED: %d problem(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "aot gate passed"

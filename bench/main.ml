@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|cores|chainjson|chaincheck|tiercheck|corescheck|caa|transtab|loc|micro|all]*";
+     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|aot|cores|chainjson|chaincheck|tiercheck|aotcheck|corescheck|caa|transtab|loc|micro|all]*";
   print_endline "       table2 options: --scale N --programs a,b,c";
   print_endline "       chainjson options: --out FILE";
   print_endline "       chaincheck/tiercheck options: --baseline FILE --out FILE";
@@ -54,15 +54,22 @@ let () =
     | "dispatch" -> Dispatch_bench.run ()
     | "chain" -> Chain_bench.run ~scale:!scale ()
     | "tier" -> Tier_bench.run ~scale:!scale ()
+    | "aot" -> Aot_bench.run ~scale:!scale ()
     | "cores" -> Cores_bench.run ()
     | "chainjson" ->
         Chain_bench.write_json ~path:!out ~scale:!scale
-          ~extra:(Tier_bench.metrics ~scale:!scale () @ Cores_bench.metrics ())
+          ~extra:
+            (Tier_bench.metrics ~scale:!scale ()
+            @ Aot_bench.metrics ~scale:!scale ()
+            @ Cores_bench.metrics ())
           ()
     | "chaincheck" -> Chain_bench.check ~baseline:!baseline ~current:!out
     | "tiercheck" ->
         Chain_bench.check ~baseline:!baseline ~current:!out;
         Tier_bench.check_current ~current:!out
+    | "aotcheck" ->
+        Chain_bench.check ~baseline:!baseline ~current:!out;
+        Aot_bench.check_current ~current:!out
     | "corescheck" -> Cores_bench.check ()
     | "caa" -> Caa_bench.run ()
     | "transtab" -> Transtab_bench.run ()
@@ -77,6 +84,7 @@ let () =
         Dispatch_bench.run ();
         Chain_bench.run ~scale:!scale ();
         Tier_bench.run ~scale:!scale ();
+        Aot_bench.run ~scale:!scale ();
         Cores_bench.run ();
         Caa_bench.run ();
         Transtab_bench.run ();

@@ -37,7 +37,8 @@ let load_image (path : string) : Guest.Image.t =
   else Minicc.Driver.compile (read_file path)
 
 let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
-    promote_threshold stats profile trace_file stdin_file supp_file path =
+    promote_threshold scan aot_seed stats profile trace_file stdin_file
+    supp_file path =
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -90,6 +91,8 @@ let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
       superblocks =
         Vg_core.Session.default_options.superblocks
         && not (tier0_only || no_tier0);
+      scan = scan || aot_seed;
+      aot_seed;
     }
   in
   let s = Vg_core.Session.create ~options ~tool img in
@@ -113,6 +116,20 @@ let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
   s.kern.stdout_echo <- true;
   Printf.eprintf "==vg== %s: %s\n" tool.name tool.description;
   Printf.eprintf "==vg== running %s\n" path;
+  (match s.static_scan with
+  | Some cfg ->
+      let findings = Static.Lint.run cfg in
+      Printf.eprintf
+        "==vgscan== %d insns, %d blocks, %d weak, %d findings\n"
+        cfg.Static.Cfg.n_insns
+        (List.length cfg.Static.Cfg.blocks)
+        cfg.Static.Cfg.n_weak (List.length findings);
+      List.iter
+        (fun (f : Static.Lint.finding) ->
+          Printf.eprintf "==vgscan== [%s] 0x%Lx: %s\n" f.Static.Lint.f_class
+            f.Static.Lint.f_addr f.Static.Lint.f_msg)
+        findings
+  | None -> ());
   let reason = Vg_core.Session.run s in
   (match stats with
   | None -> ()
@@ -152,7 +169,13 @@ let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
         (fun i c ->
           Printf.eprintf "  %s=%Ld" Jit.Pipeline.phase_names.(i) c)
         st.st_jit_phase_cycles;
-      Printf.eprintf "\n");
+      Printf.eprintf "\n";
+      if scan || aot_seed then
+        Printf.eprintf
+          "==vg== vgscan oracle: %d checked, %d missed;  aot: %d seeded, \
+           %d failed, %Ld cycles\n"
+          st.st_cfg_checked st.st_cfg_miss st.st_aot_seeded st.st_aot_failed
+          st.st_aot_cycles);
   if profile then prerr_string (Vg_core.Session.profile_report s);
   (match (trace_file, Vg_core.Session.trace s) with
   | Some f, Some tr ->
@@ -236,6 +259,26 @@ let cmd =
              its block has executed $(docv) times (default \
              $(b,256); 0 disables promotion).")
   in
+  let scan =
+    Arg.(
+      value & flag
+      & info [ "scan" ]
+          ~doc:
+            "Statically scan the whole image before start-up (Vgscan): \
+             recover the guest CFG, report hostile-code findings, and \
+             check every executed block start against the static CFG \
+             (the soundness oracle, counted under $(b,static.cfg_miss)).")
+  in
+  let aot_seed =
+    Arg.(
+      value & flag
+      & info [ "aot-seed" ]
+          ~doc:
+            "Pre-translate every statically discovered basic block \
+             through the cold tier before the client runs (implies \
+             $(b,--scan)); seeding work is counted separately under \
+             $(b,jit.aot.*).")
+  in
   let stats =
     Arg.(
       value
@@ -287,8 +330,8 @@ let cmd =
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
       const run $ tool $ cores $ no_chaining $ no_verify $ smc $ tier0_only
-      $ no_tier0 $ promote_threshold $ stats $ profile $ trace_file
-      $ stdin_file $ supp $ path)
+      $ no_tier0 $ promote_threshold $ scan $ aot_seed $ stats $ profile
+      $ trace_file $ stdin_file $ supp $ path)
 
 (* cmdliner's optional-value arguments consume a following bare token,
    so "--stats PROGRAM" would swallow the program path.  Rewrite the

@@ -57,6 +57,7 @@ let corpus_modes : (string * Vg_core.Session.options) list =
         max_blocks = 50_000L;
         promote_threshold = 8;
         trace_threshold = 64;
+        scan = true;
       } );
     ( "tier0-only",
       {
@@ -64,6 +65,7 @@ let corpus_modes : (string * Vg_core.Session.options) list =
         max_blocks = 50_000L;
         promote_threshold = 0;
         superblocks = false;
+        scan = true;
       } );
   ]
 
@@ -78,6 +80,20 @@ let run_corpus () : bool =
         | None -> failwith ("unknown workload " ^ wname)
       in
       let img = Workloads.compile ~scale:1 w in
+      (* vgscan lint classes over the benign workload: any finding is a
+         false positive and fails the corpus *)
+      let scan_findings = Static.Lint.run (Static.Cfg.scan img) in
+      if scan_findings <> [] then begin
+        failed := !failed + List.length scan_findings;
+        List.iter
+          (fun (f : Static.Lint.finding) ->
+            Fmt.pr "%-10s vgscan FALSE POSITIVE [%s] 0x%Lx: %s@." wname
+              f.Static.Lint.f_class f.Static.Lint.f_addr
+              f.Static.Lint.f_msg)
+          scan_findings
+      end
+      else Fmt.pr "%-10s vgscan           clean (%s)@." wname
+             (String.concat "|" Static.Lint.classes);
       List.iter
         (fun (tname, tool) ->
           (* fuel (max_blocks) keeps slow tools (redux, memcheck-origins)
@@ -90,8 +106,18 @@ let run_corpus () : bool =
                   Vg_core.Session.run s
                 in
                 let st = Vg_core.Session.stats s in
-                Fmt.pr "%-10s %-16s %-10s ok (%d translations, %d checks)@."
+                (* soundness oracle: every executed block start must be
+                   statically known (corpus modes run with [scan]) *)
+                if st.st_cfg_miss <> 0 then begin
+                  incr failed;
+                  Fmt.pr "%-10s %-16s %-10s CFG MISS: %d of %d@." wname
+                    tname mname st.st_cfg_miss st.st_cfg_checked
+                end;
+                Fmt.pr
+                  "%-10s %-16s %-10s ok (%d translations, %d checks, %d \
+                   oracle)@."
                   wname tname mname st.st_translations st.st_verify_checks
+                  st.st_cfg_checked
               with Verify.Verr.Error _ as e ->
                 incr failed;
                 Fmt.pr "%-10s %-16s %-10s VERIFY FAILED: %s@." wname tname

@@ -99,6 +99,20 @@ type options = {
       (** chained transfers through one exit site before the path it
           starts is stitched into a superblock (0 = never) *)
   trace_max_blocks : int;  (** max constituent blocks per superblock *)
+  scan : bool;
+      (** static whole-image analysis (Vgscan) before start-up: recover
+          the guest CFG and keep it for the soundness oracle — every
+          dynamically executed block start is checked against the
+          statically discovered instruction set, with misses counted
+          under [static.cfg_miss].  Off by default. *)
+  aot_seed : bool;
+      (** ahead-of-time translation seeding (implies the scan): every
+          statically discovered basic block is pre-translated through
+          the cold tier before the client runs, so start-up JIT cost is
+          paid up front and counted separately ([jit.aot.*]).  Off by
+          default. *)
+  aot_limit : int;
+      (** cap on the number of blocks AOT seeding will pre-translate *)
 }
 
 let default_options =
@@ -126,6 +140,9 @@ let default_options =
     superblocks = true;
     trace_threshold = 16384;
     trace_max_blocks = 3;
+    scan = false;
+    aot_seed = false;
+    aot_limit = 8192;
   }
 
 type exit_reason =
@@ -202,6 +219,16 @@ type t = {
   (* main stack range, for SMC-on-stack detection *)
   mutable stack_lo : int64;
   mutable stack_hi : int64;
+  (* static analysis (Vgscan): the whole-image CFG when --scan or
+     --aot-seed asked for one, plus oracle and seeding accounting *)
+  static_scan : Static.Cfg.t option;
+  mutable cfg_checked : int;  (** block starts checked against the CFG *)
+  mutable cfg_miss : int;  (** executed starts the scan never found *)
+  mutable aot_seeded : int;  (** blocks pre-translated before start-up *)
+  mutable aot_failed : int;  (** seed attempts that failed to translate *)
+  mutable aot_cycles : int64;
+      (** the share of jit cycles spent during AOT seeding *)
+  mutable in_aot : bool;  (** inside the seeding loop (accounting flag) *)
 }
 
 (** Total work cycles across every core (host + overhead + jit + smc;
@@ -286,6 +313,19 @@ let publish_metrics (s : t) =
       let total = dsum Dispatch.entries in
       if total = 0L then 0.0
       else Int64.to_float hits /. Int64.to_float total);
+  (* Vgscan: soundness oracle and AOT seeding (only when a scan ran,
+     so default sessions publish an unchanged metric set) *)
+  (match s.static_scan with
+  | Some cfg ->
+      pi "static.insns" (fun () -> cfg.Static.Cfg.n_insns);
+      pi "static.weak_insns" (fun () -> cfg.Static.Cfg.n_weak);
+      pi "static.blocks" (fun () -> List.length cfg.Static.Cfg.blocks);
+      pi "static.cfg_checked" (fun () -> s.cfg_checked);
+      pi "static.cfg_miss" (fun () -> s.cfg_miss);
+      pi "jit.aot.seeded" (fun () -> s.aot_seeded);
+      pi "jit.aot.failed" (fun () -> s.aot_failed);
+      pL "jit.aot.cycles" (fun () -> s.aot_cycles)
+  | None -> ());
   Array.iter (fun e -> Engine.publish r e) s.cores;
   Transtab.publish r s.transtab;
   Syswrap.publish r s.sysw;
@@ -376,6 +416,16 @@ let create ?(options = default_options) ~(tool : Tool.t)
       thread_exit_tramp = 0L;
       stack_lo = 0L;
       stack_hi = 0L;
+      static_scan =
+        (if options.scan || options.aot_seed then
+           Some (Static.Cfg.scan image)
+         else None);
+      cfg_checked = 0;
+      cfg_miss = 0;
+      aot_seeded = 0;
+      aot_failed = 0;
+      aot_cycles = 0L;
+      in_aot = false;
     }
   in
   (* chaos: transient mapping denials, injected behind the core's own
@@ -658,6 +708,9 @@ let account_translation (s : t) ~(pc : int64) (t : Jit.Pipeline.translation)
   t.t_core <- s.active.Engine.id;
   s.active.Engine.jit_cycles <-
     Int64.add s.active.Engine.jit_cycles (Int64.of_int cost);
+  (* AOT seeding pays normal jit cycles, but the share is sub-accounted
+     so cold-start cost (total jit minus aot) stays measurable *)
+  if s.in_aot then s.aot_cycles <- Int64.add s.aot_cycles (Int64.of_int cost);
   (match t.t_tier with
   | Jit.Pipeline.Tier_quick ->
       Array.iteri
@@ -721,6 +774,41 @@ let scheduler_find (s : t) (pc : int64) : Jit.Pipeline.translation =
   match Transtab.find s.transtab pc with
   | Some t -> t
   | None -> translate s pc
+
+(* AOT seeding: pre-translate every statically discovered basic block
+   through the cold tier before the client executes its first
+   instruction.  Failures are counted, never fatal — a block the static
+   scan found but the JIT rejects simply translates lazily later. *)
+let aot_seed_blocks (s : t) : unit =
+  match s.static_scan with
+  | Some cfg when s.opts.aot_seed ->
+      let tier =
+        if s.opts.tier0 then Jit.Pipeline.Tier_quick
+        else Jit.Pipeline.Tier_full
+      in
+      s.in_aot <- true;
+      (try
+         List.iter
+           (fun pc ->
+             if s.aot_seeded >= s.opts.aot_limit then raise Exit;
+             if Transtab.find s.transtab pc = None then
+               match translate_tier s ~tier pc with
+               | _ -> s.aot_seeded <- s.aot_seeded + 1
+               | exception
+                   ( Jit.Pipeline.Translation_failure _
+                   | Guest.Decode.Truncated
+                   | Guest.Decode.Truncated_at _
+                   | Aspace.Fault _ ) ->
+                   s.aot_failed <- s.aot_failed + 1)
+           (Static.Cfg.block_starts cfg)
+       with Exit -> ());
+      s.in_aot <- false;
+      tev s ~cat:"jit" ~name:"aot_seed"
+        ~args:
+          [ ("seeded", Obs.Trace.I (Int64.of_int s.aot_seeded));
+            ("failed", Obs.Trace.I (Int64.of_int s.aot_failed)) ]
+        ()
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Signals (§3.15)                                                      *)
@@ -1234,6 +1322,21 @@ let run_block (s : t) =
   let th = s.threads.current in
   let pc = Threads.get_eip s.threads th in
   Engine.trace_block e pc;
+  (* Vgscan soundness oracle: every executed block start inside the
+     image text must be a statically discovered instruction start.
+     Stubs, trampolines and stack-hosted code live outside text and are
+     exempt by the range check. *)
+  (match s.static_scan with
+  | Some cfg ->
+      if
+        Int64.unsigned_compare pc cfg.Static.Cfg.text_lo >= 0
+        && Int64.unsigned_compare pc cfg.Static.Cfg.text_hi < 0
+      then begin
+        s.cfg_checked <- s.cfg_checked + 1;
+        if not (Static.Cfg.known_insn cfg pc) then
+          s.cfg_miss <- s.cfg_miss + 1
+      end
+  | None -> ());
   match acquire_translation s pc with
   | `Invalid_exec -> invalid_exec s th pc
   | `Failed msg ->
@@ -1332,6 +1435,7 @@ let pick_core (s : t) : Engine.t option =
 
 let run_inner (s : t) : exit_reason =
   startup s;
+  aot_seed_blocks s;
   let continue_ = ref true in
   while !continue_ do
     (match s.exit_reason with
@@ -1489,6 +1593,12 @@ type stats = {
   st_injected_errnos : int;  (** injected errnos the client saw *)
   st_short_io : int;  (** injected short reads/writes *)
   st_map_retries : int;  (** mmap/mremap retries after transient denial *)
+  (* static analysis (Vgscan) *)
+  st_cfg_checked : int;  (** block starts checked by the oracle *)
+  st_cfg_miss : int;  (** executed starts the static scan never found *)
+  st_aot_seeded : int;  (** blocks pre-translated before start-up *)
+  st_aot_failed : int;  (** AOT seed attempts that failed *)
+  st_aot_cycles : int64;  (** the AOT share of [st_jit_cycles] *)
 }
 
 let stats (s : t) : stats =
@@ -1537,6 +1647,11 @@ let stats (s : t) : stats =
     st_injected_errnos = s.sysw.n_injected_errnos;
     st_short_io = s.sysw.n_short_io;
     st_map_retries = s.sysw.n_map_retries;
+    st_cfg_checked = s.cfg_checked;
+    st_cfg_miss = s.cfg_miss;
+    st_aot_seeded = s.aot_seeded;
+    st_aot_failed = s.aot_failed;
+    st_aot_cycles = s.aot_cycles;
   }
 
 (** Client console output (via the simulated kernel). *)

@@ -13,6 +13,12 @@ type fetch = int64 -> int (* address -> unsigned byte *)
 
 exception Truncated (* fetch faulted: page not executable/mapped *)
 
+exception Truncated_at of int64
+(** Like {!Truncated}, but carries the exact unfetchable byte address, so
+    an instruction straddling an image or mapping boundary is reported at
+    the byte that faulted rather than "somewhere in this block".  Raised
+    by {!decode_exact} and {!iter_block}. *)
+
 let alu_of_index = function
   | 0 -> ADD | 1 -> SUB | 2 -> AND | 3 -> OR | 4 -> XOR | 5 -> SHL
   | 6 -> SHR | 7 -> SAR | 8 -> MUL | 9 -> DIVS | 10 -> DIVU
@@ -213,3 +219,84 @@ let decode (fetch : fetch) (addr : int64) : insn * int =
     | _ -> Ud
   in
   (insn, Int64.to_int (Int64.sub !pos addr))
+
+(* ------------------------------------------------------------------ *)
+(* Block-decoding iterator                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** How an instruction transfers control — the classification both the
+    reference interpreter's decode cache and the Vgscan static scanner
+    use to delimit straight-line runs, so the two always agree on where
+    a block ends. *)
+type control =
+  | C_fall  (** execution continues at the next instruction only *)
+  | C_jump of int64  (** unconditional direct jump *)
+  | C_branch of int64  (** conditional: taken target, else fallthrough *)
+  | C_call of int64  (** direct call; execution resumes at the return site *)
+  | C_call_ind of int  (** indirect call through a register *)
+  | C_jump_ind of int  (** indirect jump through a register *)
+  | C_ret
+  | C_stop  (** [Ud]: decoding past it is meaningless *)
+
+let control_of (i : insn) : control =
+  match i with
+  | Jmp t -> C_jump t
+  | Jcc (_, t) -> C_branch t
+  | Call t -> C_call t
+  | Calli r -> C_call_ind r
+  | Jmpi r -> C_jump_ind r
+  | Ret -> C_ret
+  | Ud -> C_stop
+  | _ -> C_fall
+
+(** [decode_exact fetch addr] is {!decode}, but a fetch fault —
+    [Truncated] from a synthetic byte source or [Aspace.Fault] from the
+    address space — is reported as [Truncated_at a] where [a] is the
+    exact byte that could not be fetched. *)
+let decode_exact (fetch : fetch) (addr : int64) : insn * int =
+  let f a =
+    try fetch a with Truncated | Aspace.Fault _ -> raise (Truncated_at a)
+  in
+  decode f addr
+
+(** Why {!iter_block} stopped decoding. *)
+type stop =
+  | S_control of control  (** the run ended at a control-flow instruction *)
+  | S_limit  (** the instruction budget ran out mid-run *)
+  | S_known  (** [stop_before] recognised the next address *)
+  | S_truncated of int64
+      (** a later instruction was unfetchable at this exact byte; every
+          complete instruction before it was delivered *)
+
+(** [iter_block ?limit ?stop_before fetch addr f] decodes the
+    straight-line run starting at [addr], calling [f addr insn len] for
+    every complete instruction, and returns the address one past the
+    last delivered instruction together with the reason the run ended
+    (for [S_truncated] the returned address is the start of the partial
+    instruction).  [stop_before] is consulted before each instruction
+    after the first — the interpreter passes its decode-cache membership,
+    the scanner its already-decoded set, so neither re-decodes shared
+    tails.  A fetch fault on the very first instruction raises
+    {!Truncated_at}: the caller got nothing. *)
+let iter_block ?(limit = max_int) ?(stop_before = fun _ -> false)
+    (fetch : fetch) (addr : int64) (f : int64 -> insn -> int -> unit) :
+    int64 * stop =
+  let pc = ref addr and n = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !n > 0 && stop_before !pc then result := Some S_known
+    else if !n >= limit then result := Some S_limit
+    else
+      match decode_exact fetch !pc with
+      | exception Truncated_at a ->
+          if !n = 0 then raise (Truncated_at a)
+          else result := Some (S_truncated a)
+      | insn, len ->
+          f !pc insn len;
+          incr n;
+          pc := Int64.add !pc (Int64.of_int len);
+          (match control_of insn with
+          | C_fall -> ()
+          | c -> result := Some (S_control c))
+  done;
+  (!pc, Option.get !result)

@@ -127,13 +127,29 @@ let decode_at (t : cached_interp) (addr : int64) : insn * int =
   match Hashtbl.find_opt t.dcache addr with
   | Some r -> r
   | None ->
-      let r = Decode.decode (Aspace.fetch_u8 t.st.mem) addr in
-      Hashtbl.replace t.dcache addr r;
-      let pi = Aspace.page_index addr in
-      (match Hashtbl.find_opt t.cached_pages pi with
-      | Some l -> l := addr :: !l
-      | None -> Hashtbl.replace t.cached_pages pi (ref [ addr ]));
-      r
+      let cache a r =
+        Hashtbl.replace t.dcache a r;
+        let pi = Aspace.page_index a in
+        match Hashtbl.find_opt t.cached_pages pi with
+        | Some l -> l := a :: !l
+        | None -> Hashtbl.replace t.cached_pages pi (ref [ a ])
+      in
+      (* Fill the cache a straight-line run at a time through the shared
+         block iterator (the same loop the Vgscan static scanner walks),
+         so the interpreter and the scanner agree on where a block ends.
+         A fault on a later instruction just shortens the run; the first
+         instruction re-decodes below so the fault surfaces exactly as a
+         plain decode would raise it. *)
+      (try
+         ignore
+           (Decode.iter_block ~limit:64
+              ~stop_before:(Hashtbl.mem t.dcache)
+              (Aspace.fetch_u8 t.st.mem) addr (fun a insn len ->
+                cache a (insn, len)))
+       with Decode.Truncated_at _ -> ());
+      (match Hashtbl.find_opt t.dcache addr with
+      | Some r -> r
+      | None -> Decode.decode (Aspace.fetch_u8 t.st.mem) addr)
 
 let alu_eval op (a : int64) (b : int64) ~at : int64 =
   match op with

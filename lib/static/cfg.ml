@@ -1,0 +1,598 @@
+(** Whole-image static CFG recovery for VG32 guests (the Vgscan core).
+
+    Recursive-traversal disassembly over a {!Guest.Image}: starting from
+    the image entry point, every text symbol, and every direct
+    jump/branch/call target, straight-line runs are decoded through the
+    same block iterator the reference interpreter uses
+    ({!Guest.Decode.iter_block}), so the scanner and the executors agree
+    on instruction boundaries by construction.
+
+    Indirect control flow is handled explicitly rather than guessed:
+
+    - [jmpi r] sites are matched against the bounded jump-table pattern
+      (a [ldw rT, \[table + rI*4\]] defining the jump register, ideally
+      guarded by a [cmpi rI, n] bound); recognised tables contribute
+      their in-text entries as further roots, unrecognised sites land on
+      the {e frontier}.
+    - [calli r] sites always land on the frontier; their possible
+      targets are approximated by the {e address-taken} set — immediates
+      in reached code ([movi]/[pushi]/absolute [lea]) whose value falls
+      inside text.  Address-taken roots are decoded {e weakly}: their
+      instruction starts feed the soundness oracle (overapproximation is
+      safe there) but never the lint layer (a data-looking constant that
+      happens to land mid-instruction must not produce findings).
+
+    Unreached text bytes are reported as gaps, never classified as
+    code.  Everything in the result is sorted, so reports built from it
+    are bit-identical across runs. *)
+
+module Arch = Guest.Arch
+module Decode = Guest.Decode
+module Image = Guest.Image
+
+type edge_kind =
+  | E_fall  (** straight-line continuation into the next block *)
+  | E_jump  (** unconditional direct jump *)
+  | E_branch  (** the taken edge of a conditional branch *)
+  | E_ret_site  (** continuation after a call (the return site) *)
+  | E_table  (** one recognised jump-table entry *)
+
+let edge_name = function
+  | E_fall -> "fall"
+  | E_jump -> "jump"
+  | E_branch -> "branch"
+  | E_ret_site -> "ret-site"
+  | E_table -> "table"
+
+type entry_kind =
+  | Ent_image  (** the image entry point *)
+  | Ent_symbol  (** a text symbol *)
+  | Ent_addr_taken  (** an in-code immediate landing in text (weak) *)
+
+type frontier_reason = F_calli | F_jmpi
+
+type frontier_item = {
+  fr_addr : int64;  (** address of the indirect-flow instruction *)
+  fr_reason : frontier_reason;
+}
+
+type table = {
+  tb_jump : int64;  (** address of the [jmpi] *)
+  tb_base : int64;  (** first table word *)
+  tb_entries : int64 list;  (** accepted targets, in table order *)
+  tb_bounded : bool;  (** an index bound ([cmpi rI, n]) guarded it *)
+}
+
+type block = {
+  bk_addr : int64;
+  bk_len : int;  (** bytes *)
+  bk_insns : int;
+  bk_succs : (int64 * edge_kind) list;  (** sorted by (addr, kind) *)
+  bk_term : string;  (** terminator class, for reports *)
+}
+
+(* Raw facts accumulated during traversal; the lint layer consumes them. *)
+type raw = {
+  r_overlaps : (int64 * int64) list;
+      (** (earlier claimant, second stream start) byte-sharing pairs *)
+  r_targets : (int64 * int64) list;  (** (site, direct target) *)
+  r_stores : (int64 * int64 * int) list;
+      (** (site, absolute EA, width) for statically evaluable stores *)
+  r_truncated : (int64 * int64) list;
+      (** (instruction start, exact faulting byte) inside text *)
+}
+
+type t = {
+  image : Image.t;
+  text_lo : int64;
+  text_hi : int64;  (** exclusive *)
+  insns : (int64, Arch.insn * int) Hashtbl.t;  (** strongly reached *)
+  weak : (int64, unit) Hashtbl.t;  (** weak-only instruction starts *)
+  owner : int array;
+      (** per text byte: offset of the first strong instruction claiming
+          it, or -1 (unreached) *)
+  blocks : block list;  (** sorted by address *)
+  entries : (int64 * entry_kind) list;  (** sorted roots *)
+  calls : (int64 * int64) list;  (** (call site, callee), sorted *)
+  frontier : frontier_item list;  (** sorted by address *)
+  tables : table list;  (** sorted by jump address *)
+  unreached : (int64 * int) list;  (** maximal never-decoded gaps *)
+  raw : raw;
+  n_insns : int;
+  n_weak : int;
+  coverage_bytes : int;
+}
+
+let in_text (t_lo : int64) (t_hi : int64) (a : int64) : bool =
+  Int64.unsigned_compare a t_lo >= 0 && Int64.unsigned_compare a t_hi < 0
+
+(** Does the soundness oracle know [pc] as an instruction start?  Strong
+    or weak: the oracle only ever overapproximates. *)
+let known_insn (t : t) (pc : int64) : bool =
+  Hashtbl.mem t.insns pc || Hashtbl.mem t.weak pc
+
+(** The integer registers an instruction writes (for jump-table
+    recognition: finding the defining load of the jump register). *)
+let writes_reg (i : Arch.insn) (r : int) : bool =
+  let open Arch in
+  match i with
+  | Mov (d, _) | Movi (d, _) | Lea (d, _) | Ld (_, _, d, _)
+  | Alu (_, d, _) | Alui (_, d, _) | Inc d | Dec d | Neg d | Not d
+  | Setcc (_, d) | Pop d | Fdtoi (d, _) | Vextr (d, _, _) ->
+      d = r
+  | Sysinfo | Syscall | Clreq -> r = 0 || r = 1
+  | _ -> false
+
+(* Read a 32-bit little-endian word from the image's static bytes (text
+   or data); [None] outside both. *)
+let read_word (img : Image.t) (addr : int64) : int64 option =
+  let from (base : int64) (bytes : Bytes.t) =
+    let off = Int64.to_int (Int64.sub addr base) in
+    if
+      Int64.unsigned_compare addr base >= 0
+      && off + 4 <= Bytes.length bytes
+    then
+      Some (Int64.of_int32 (Bytes.get_int32_le bytes off) |> fun v ->
+            Int64.logand v 0xFFFF_FFFFL)
+    else None
+  in
+  match from img.Image.text_addr img.Image.text with
+  | Some v -> Some v
+  | None -> from img.Image.data_addr img.Image.data
+
+let max_unbounded_table = 256
+let max_bounded_table = 1024
+
+(** Recognise the bounded jump-table pattern behind [jmpi jr] at
+    [jaddr], looking back through [recent] (newest first: the current
+    run's instructions before the jump).  The defining write of [jr]
+    must be [ldw jr, \[base + rI*scale\]] with a constant base; a
+    [cmpi rI, n] anywhere earlier in the run bounds the table.  Entries
+    are read from the image and accepted while they land in text. *)
+let recognise_table (img : Image.t) ~(t_lo : int64) ~(t_hi : int64)
+    ~(jaddr : int64) ~(jr : int) (recent : (int64 * Arch.insn) list) :
+    table option =
+  let open Arch in
+  (* the defining write of the jump register *)
+  let rec find_def = function
+    | [] -> None
+    | (_, i) :: rest ->
+        if writes_reg i jr then
+          match i with
+          | Ld (W4, Zx, d, { base = None; index = Some (ri, sc); disp })
+            when d = jr ->
+              Some (ri, sc, disp, rest)
+          | _ -> None (* clobbered by something that is not a table load *)
+        else find_def rest
+  in
+  match find_def recent with
+  | None -> None
+  | Some (ri, scale, base, before) ->
+      let bound =
+        List.find_map
+          (fun (_, i) ->
+            match i with
+            | Cmpi (r, n) when r = ri && Int64.unsigned_compare n 0L > 0 ->
+                Some (Int64.to_int n)
+            | _ -> None)
+          before
+      in
+      let limit =
+        match bound with
+        | Some n -> min n max_bounded_table
+        | None -> max_unbounded_table
+      in
+      let entries = ref [] in
+      let k = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !k < limit do
+        (match read_word img (Int64.add base (Int64.of_int (!k * scale))) with
+        | Some v when in_text t_lo t_hi v -> entries := v :: !entries
+        | _ -> stop := true);
+        incr k
+      done;
+      let entries = List.rev !entries in
+      if entries = [] then None
+      else
+        Some
+          {
+            tb_jump = jaddr;
+            tb_base = base;
+            tb_entries = entries;
+            tb_bounded = bound <> None;
+          }
+
+let uniq_sorted (cmp : 'a -> 'a -> int) (l : 'a list) : 'a list =
+  let sorted = List.sort cmp l in
+  let rec dedup = function
+    | a :: b :: rest when cmp a b = 0 -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+(** Scan [img]: recover the whole-image CFG.  Pure and deterministic —
+    the same image always produces the identical result value. *)
+let scan (img : Image.t) : t =
+  let t_lo = img.Image.text_addr in
+  let text_len = Bytes.length img.Image.text in
+  let t_hi = Int64.add t_lo (Int64.of_int text_len) in
+  let fetch a =
+    if in_text t_lo t_hi a then
+      Bytes.get_uint8 img.Image.text (Int64.to_int (Int64.sub a t_lo))
+    else raise (Decode.Truncated_at a)
+  in
+  let insns : (int64, Arch.insn * int) Hashtbl.t = Hashtbl.create 4096 in
+  let weak : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  let owner = Array.make text_len (-1) in
+  (* accumulators (reversed; sorted at the end) *)
+  let overlaps = ref [] and overlap_seen = Hashtbl.create 64 in
+  let targets = ref [] in
+  let stores = ref [] in
+  let truncated = ref [] in
+  let calls = ref [] in
+  let frontier = ref [] in
+  let tables = ref [] in
+  let starts : (int64, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let add_start a = if in_text t_lo t_hi a then Hashtbl.replace starts a () in
+  (* roots *)
+  let entries = ref [] in
+  let pending = Queue.create () in
+  let root kind a =
+    if in_text t_lo t_hi a then begin
+      entries := (a, kind) :: !entries;
+      add_start a;
+      Queue.add (a, true) pending
+    end
+  in
+  root Ent_image img.Image.entry;
+  List.iter
+    (fun (_, a) -> if in_text t_lo t_hi a then root Ent_symbol a)
+    (List.sort
+       (fun (n1, a1) (n2, a2) ->
+         match Int64.unsigned_compare a1 a2 with
+         | 0 -> compare n1 n2
+         | c -> c)
+       img.Image.symbols);
+  let weak_pending = Queue.create () in
+  let weak_root a =
+    if in_text t_lo t_hi a then begin
+      entries := (a, Ent_addr_taken) :: !entries;
+      Queue.add a weak_pending
+    end
+  in
+  (* ---- strong traversal ------------------------------------------- *)
+  let claim (a : int64) (len : int) =
+    let off = Int64.to_int (Int64.sub a t_lo) in
+    for b = off to min (off + len - 1) (text_len - 1) do
+      if owner.(b) = -1 then owner.(b) <- off
+      else if owner.(b) <> off then begin
+        let pair = (Int64.add t_lo (Int64.of_int owner.(b)), a) in
+        if not (Hashtbl.mem overlap_seen pair) then begin
+          Hashtbl.replace overlap_seen pair ();
+          overlaps := pair :: !overlaps
+        end
+      end
+    done
+  in
+  let note_insn (a : int64) (i : Arch.insn) (len : int) =
+    let open Arch in
+    claim a len;
+    (* direct control targets (lints check them; traversal roots them) *)
+    (match i with
+    | Jmp tgt | Jcc (_, tgt) | Call tgt -> targets := (a, tgt) :: !targets
+    | _ -> ());
+    (match i with
+    | Call tgt when in_text t_lo t_hi tgt -> calls := (a, tgt) :: !calls
+    | _ -> ());
+    (* address-taken immediates: possible indirect-call/handler targets *)
+    (match i with
+    | Movi (_, v) | Pushi v | Alui (ADD, _, v) ->
+        if in_text t_lo t_hi v && not (Hashtbl.mem starts v) then weak_root v
+    | Lea (_, { base = None; index = None; disp }) ->
+        if in_text t_lo t_hi disp && not (Hashtbl.mem starts disp) then
+          weak_root disp
+    | _ -> ());
+    (* statically evaluable stores (static SMC candidates) *)
+    match i with
+    | St (w, { base = None; index = None; disp }, _) ->
+        let wb = match w with W1 -> 1 | W2 -> 2 | W4 -> 4 in
+        stores := (a, disp, wb) :: !stores
+    | Fst ({ base = None; index = None; disp }, _) ->
+        stores := (a, disp, 8) :: !stores
+    | Vst ({ base = None; index = None; disp }, _) ->
+        stores := (a, disp, 16) :: !stores
+    | _ -> ()
+  in
+  let drain_strong () =
+    while not (Queue.is_empty pending) do
+      let a, _strong = Queue.pop pending in
+      if in_text t_lo t_hi a && not (Hashtbl.mem insns a) then begin
+        let pc = ref a in
+        let continue_run = ref true in
+        (* [recent] spans branch/call continuations within this root, so a
+           jump-table bound check separated from the load by its guard
+           branch is still seen by [recognise_table] *)
+        let recent = ref [] in
+        while !continue_run do
+          continue_run := false;
+          let run_start = !pc in
+          match
+            Decode.iter_block ~stop_before:(Hashtbl.mem insns) fetch
+              run_start (fun ia insn len ->
+                Hashtbl.replace insns ia (insn, len);
+                recent := (ia, insn) :: !recent;
+                note_insn ia insn len)
+          with
+          | exception Decode.Truncated_at fa ->
+              (* nothing decoded: the root itself is unfetchable (only
+                 possible for a root at the very end of text) *)
+              if in_text t_lo t_hi run_start then
+                truncated := (run_start, fa) :: !truncated
+          | after, stop -> (
+              match stop with
+              | Decode.S_known | Decode.S_limit -> ()
+              | Decode.S_truncated fa ->
+                  (* [after] is the start of the partial instruction; a
+                     run ending exactly at text end is a clean stop, not
+                     a finding *)
+                  if Int64.unsigned_compare after t_hi < 0 then
+                    truncated := (after, fa) :: !truncated
+              | Decode.S_control c -> (
+                  let term_addr =
+                    (* the terminator is the newest instruction seen *)
+                    match !recent with (ia, _) :: _ -> ia | [] -> run_start
+                  in
+                  match c with
+                  | Decode.C_fall -> ()
+                  | Decode.C_stop | Decode.C_ret -> ()
+                  | Decode.C_jump tgt ->
+                      add_start tgt;
+                      Queue.add (tgt, true) pending
+                  | Decode.C_branch tgt ->
+                      add_start tgt;
+                      Queue.add (tgt, true) pending;
+                      add_start after;
+                      pc := after;
+                      continue_run := true
+                  | Decode.C_call tgt ->
+                      add_start tgt;
+                      Queue.add (tgt, true) pending;
+                      add_start after;
+                      pc := after;
+                      continue_run := true
+                  | Decode.C_call_ind _ ->
+                      frontier :=
+                        { fr_addr = term_addr; fr_reason = F_calli }
+                        :: !frontier;
+                      add_start after;
+                      pc := after;
+                      continue_run := true
+                  | Decode.C_jump_ind jr -> (
+                      match
+                        recognise_table img ~t_lo ~t_hi ~jaddr:term_addr
+                          ~jr (List.tl !recent)
+                      with
+                      | Some tb ->
+                          tables := tb :: !tables;
+                          List.iter
+                            (fun e ->
+                              add_start e;
+                              Queue.add (e, true) pending)
+                            tb.tb_entries
+                      | None ->
+                          frontier :=
+                            { fr_addr = term_addr; fr_reason = F_jmpi }
+                            :: !frontier)))
+        done
+      end
+    done
+  in
+  drain_strong ();
+  (* ---- weak traversal (address-taken roots; oracle only) ----------- *)
+  let known a = Hashtbl.mem insns a || Hashtbl.mem weak a in
+  while not (Queue.is_empty weak_pending) do
+    let a = Queue.pop weak_pending in
+    if in_text t_lo t_hi a && not (known a) then begin
+      let pc = ref a in
+      let continue_run = ref true in
+      while !continue_run do
+        continue_run := false;
+        match
+          Decode.iter_block ~stop_before:known fetch !pc
+            (fun ia _insn _len -> Hashtbl.replace weak ia ())
+        with
+        | exception Decode.Truncated_at _ -> ()
+        | after, stop -> (
+            match stop with
+            | Decode.S_known | Decode.S_limit | Decode.S_truncated _ -> ()
+            | Decode.S_control c -> (
+                match c with
+                | Decode.C_fall | Decode.C_stop | Decode.C_ret
+                | Decode.C_jump_ind _ ->
+                    ()
+                | Decode.C_jump tgt ->
+                    if (not (known tgt)) && in_text t_lo t_hi tgt then begin
+                      pc := tgt;
+                      continue_run := true
+                    end
+                | Decode.C_branch tgt | Decode.C_call tgt ->
+                    if (not (known tgt)) && in_text t_lo t_hi tgt then
+                      Queue.add tgt weak_pending;
+                    pc := after;
+                    continue_run := true
+                | Decode.C_call_ind _ ->
+                    pc := after;
+                    continue_run := true))
+      done
+    end
+  done;
+  (* a strong insn supersedes a weak record at the same address *)
+  Hashtbl.iter (fun a _ -> if Hashtbl.mem insns a then Hashtbl.remove weak a)
+    (Hashtbl.copy weak);
+  (* ---- block structure --------------------------------------------- *)
+  let sorted_insns =
+    Hashtbl.fold (fun a (i, len) acc -> (a, i, len) :: acc) insns []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int64.unsigned_compare a b)
+  in
+  let tables_l =
+    List.sort (fun a b -> Int64.unsigned_compare a.tb_jump b.tb_jump) !tables
+  in
+  let table_succs : (int64, (int64 * edge_kind) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun tb ->
+      Hashtbl.replace table_succs tb.tb_jump
+        (List.map (fun e -> (e, E_table)) tb.tb_entries))
+    tables_l;
+  let blocks = ref [] in
+  let cur : (int64 * int * int) option ref = ref None in
+  (* (start, bytes, insns) of the open block *)
+  let succs_of (term_addr : int64) (i : Arch.insn) (after : int64) :
+      (int64 * edge_kind) list * string =
+    match Decode.control_of i with
+    | Decode.C_fall -> ([ (after, E_fall) ], "fall")
+    | Decode.C_jump tgt -> ([ (tgt, E_jump) ], "jmp")
+    | Decode.C_branch tgt ->
+        ([ (tgt, E_branch); (after, E_fall) ], "jcc")
+    | Decode.C_call _ -> ([ (after, E_ret_site) ], "call")
+    | Decode.C_call_ind _ -> ([ (after, E_ret_site) ], "calli")
+    | Decode.C_jump_ind _ -> (
+        match Hashtbl.find_opt table_succs term_addr with
+        | Some es -> (es, "jmpi-table")
+        | None -> ([], "jmpi"))
+    | Decode.C_ret -> ([], "ret")
+    | Decode.C_stop -> ([], "ud")
+  in
+  let flush term_addr term_insn after =
+    match !cur with
+    | None -> ()
+    | Some (bstart, bytes, count) ->
+        let succs, term =
+          match term_insn with
+          | Some i ->
+              let s, t = succs_of term_addr i after in
+              ( uniq_sorted
+                  (fun (a1, k1) (a2, k2) ->
+                    match Int64.unsigned_compare a1 a2 with
+                    | 0 -> compare (edge_name k1) (edge_name k2)
+                    | c -> c)
+                  s,
+                t )
+          | None -> ([], "cut")
+        in
+        blocks :=
+          {
+            bk_addr = bstart;
+            bk_len = bytes;
+            bk_insns = count;
+            bk_succs = succs;
+            bk_term = term;
+          }
+          :: !blocks;
+        cur := None
+  in
+  let prev : (int64 * Arch.insn * int) option ref = ref None in
+  List.iter
+    (fun (a, i, len) ->
+      let after = Int64.add a (Int64.of_int len) in
+      let discontinuous =
+        match !prev with
+        | Some (pa, _, plen) -> Int64.add pa (Int64.of_int plen) <> a
+        | None -> true
+      in
+      if discontinuous || Hashtbl.mem starts a then begin
+        (* close the open block at the previous instruction *)
+        (match !prev with
+        | Some (pa, pi, plen) ->
+            flush pa (Some pi) (Int64.add pa (Int64.of_int plen))
+        | None -> ());
+        cur := Some (a, 0, 0)
+      end;
+      (match !cur with
+      | Some (bstart, bytes, count) ->
+          cur := Some (bstart, bytes + len, count + 1)
+      | None -> cur := Some (a, len, 1));
+      (* a terminator closes the block immediately *)
+      (match Decode.control_of i with
+      | Decode.C_fall -> ()
+      | _ -> flush a (Some i) after);
+      prev := Some (a, i, len))
+    sorted_insns;
+  (match !prev with
+  | Some (pa, pi, plen) -> flush pa (Some pi) (Int64.add pa (Int64.of_int plen))
+  | None -> ());
+  let blocks = List.rev !blocks in
+  (* ---- unreached gaps ---------------------------------------------- *)
+  let unreached = ref [] in
+  let gap_start = ref (-1) in
+  for b = 0 to text_len - 1 do
+    if owner.(b) = -1 then begin
+      if !gap_start = -1 then gap_start := b
+    end
+    else if !gap_start >= 0 then begin
+      unreached :=
+        (Int64.add t_lo (Int64.of_int !gap_start), b - !gap_start)
+        :: !unreached;
+      gap_start := -1
+    end
+  done;
+  if !gap_start >= 0 then
+    unreached :=
+      (Int64.add t_lo (Int64.of_int !gap_start), text_len - !gap_start)
+      :: !unreached;
+  let coverage = Array.fold_left (fun n o -> if o >= 0 then n + 1 else n) 0 owner in
+  let cmp2 (a1, b1) (a2, b2) =
+    match Int64.unsigned_compare a1 a2 with
+    | 0 -> Int64.unsigned_compare b1 b2
+    | c -> c
+  in
+  {
+    image = img;
+    text_lo = t_lo;
+    text_hi = t_hi;
+    insns;
+    weak;
+    owner;
+    blocks;
+    entries =
+      uniq_sorted
+        (fun (a1, k1) (a2, k2) ->
+          match Int64.unsigned_compare a1 a2 with
+          | 0 -> compare k1 k2
+          | c -> c)
+        !entries;
+    calls = uniq_sorted cmp2 !calls;
+    frontier =
+      uniq_sorted
+        (fun f1 f2 ->
+          match Int64.unsigned_compare f1.fr_addr f2.fr_addr with
+          | 0 -> compare f1.fr_reason f2.fr_reason
+          | c -> c)
+        !frontier;
+    tables = tables_l;
+    unreached = List.rev !unreached;
+    raw =
+      {
+        r_overlaps = uniq_sorted cmp2 !overlaps;
+        r_targets = uniq_sorted cmp2 !targets;
+        r_stores =
+          uniq_sorted
+            (fun (a1, b1, c1) (a2, b2, c2) ->
+              match cmp2 (a1, b1) (a2, b2) with
+              | 0 -> compare c1 c2
+              | c -> c)
+            !stores;
+        r_truncated = uniq_sorted cmp2 !truncated;
+      };
+    n_insns = Hashtbl.length insns;
+    n_weak = Hashtbl.length weak;
+    coverage_bytes = coverage;
+  }
+
+(** Sorted strong block starts — the AOT seeding order. *)
+let block_starts (t : t) : int64 list = List.map (fun b -> b.bk_addr) t.blocks
+
+let n_edges (t : t) : int =
+  List.fold_left (fun n b -> n + List.length b.bk_succs) 0 t.blocks

@@ -1,0 +1,176 @@
+(** Hand-written hostile guest images for exercising the static lints.
+
+    Each fixture is a small VG32 image built to trigger one hostile-code
+    class.  Where the code is runnable, the hostile construct is guarded
+    so execution stays well-defined and exits with a known code — the
+    test suite runs those fixtures through both the reference
+    interpreter and the native executor and checks differential
+    agreement, proving the scanner flags code that executors accept. *)
+
+type fixture = {
+  fx_name : string;
+  fx_image : Guest.Image.t;
+  fx_expect : string list;  (** finding classes that must appear *)
+  fx_runnable : int option;  (** expected exit code, when runnable *)
+}
+
+(* Two instruction streams over the same bytes.  The taken branch lands
+   two bytes into the [movi r2, 0x3101] whose immediate bytes re-decode
+   as [mov r3, r1; nop; nop], re-merging with the straight stream at the
+   next instruction — both paths are valid code, so this runs cleanly
+   while sharing text bytes between streams. *)
+let overlap_src =
+  {|
+_start:
+    movi r1, 1
+    cmpi r1, 1
+    jeq over+2
+over:
+    movi r2, 0x3101
+merge:
+    movi r0, 1
+    movi r1, 6
+    syscall
+|}
+
+(* A (dynamically never-taken) branch into the immediate of a movi. *)
+let midinsn_src =
+  {|
+_start:
+    movi r1, 0
+    cmpi r1, 1
+    jeq hold+2
+hold:
+    movi r2, 0xFFFFFFFF
+    movi r0, 1
+    movi r1, 5
+    syscall
+|}
+
+(* The canonical bounded jump-table dispatch: bound check, table load,
+   indirect jump.  The scanner must recognise the table and root every
+   entry. *)
+let jumptable_src =
+  {|
+_start:
+    movi r1, 2
+    cmpi r1, 4
+    jae default
+    ldw r2, [tbl+r1*4]
+    jmpr r2
+case0:
+    movi r3, 10
+    jmp done
+case1:
+    movi r3, 11
+    jmp done
+case2:
+    movi r3, 12
+    jmp done
+case3:
+    movi r3, 13
+    jmp done
+default:
+    movi r3, 99
+done:
+    movi r0, 1
+    mov r1, r3
+    syscall
+
+    .data
+tbl:
+    .word case0, case1, case2, case3
+|}
+
+(* A store aimed at the image's own text (a static SMC candidate),
+   guarded so it never actually executes. *)
+let smc_src =
+  {|
+_start:
+    movi r1, 0
+    cmpi r1, 0
+    jeq skip
+    stb [patch], r1
+patch:
+    nop
+skip:
+    movi r0, 1
+    movi r1, 3
+    syscall
+|}
+
+(* A (never-executed) direct jump clean out of the image. *)
+let badtarget_src =
+  {|
+_start:
+    movi r1, 0
+    cmpi r1, 0
+    jeq ok
+    jmp 0xDEAD0000
+ok:
+    movi r0, 1
+    movi r1, 4
+    syscall
+|}
+
+(* Text that ends in the middle of an instruction: [nop] followed by
+   the first two bytes of a movi.  Built from raw bytes — no assembler
+   will emit this. *)
+let truncated_image () : Guest.Image.t =
+  let text = Bytes.of_string "\x00\x02\x01" in
+  let text_addr = Guest.Image.default_text_base in
+  {
+    Guest.Image.text_addr;
+    text;
+    data_addr = Guest.Image.round_page (Int64.add text_addr 3L);
+    data = Bytes.create 0;
+    bss_len = 0;
+    entry = text_addr;
+    symbols = [ ("_start", text_addr) ];
+  }
+
+let all () : fixture list =
+  let asm name src = (name, Guest.Asm.assemble src) in
+  let n1, i1 = asm "overlap-exec" overlap_src in
+  let n2, i2 = asm "midinsn-branch" midinsn_src in
+  let n3, i3 = asm "jump-table" jumptable_src in
+  let n4, i4 = asm "smc-stub" smc_src in
+  let n5, i5 = asm "bad-target" badtarget_src in
+  [
+    {
+      fx_name = n1;
+      fx_image = i1;
+      fx_expect = [ "overlap"; "mid-insn-jump" ];
+      fx_runnable = Some 6;
+    };
+    {
+      fx_name = n2;
+      fx_image = i2;
+      fx_expect = [ "mid-insn-jump" ];
+      fx_runnable = Some 5;
+    };
+    {
+      fx_name = n3;
+      fx_image = i3;
+      fx_expect = [ "jump-table" ];
+      fx_runnable = Some 12;
+    };
+    {
+      fx_name = n4;
+      fx_image = i4;
+      fx_expect = [ "smc-write" ];
+      fx_runnable = Some 3;
+    };
+    {
+      fx_name = n5;
+      fx_image = i5;
+      fx_expect = [ "bad-target" ];
+      fx_runnable = Some 4;
+    };
+    {
+      fx_name = "truncated-text";
+      fx_image = truncated_image ();
+      fx_expect = [ "truncated" ];
+      fx_runnable = None;
+    };
+  ]

@@ -1,0 +1,12 @@
+(** Vgscan: whole-image static analysis of VG32 guests.
+
+    {!Cfg} recovers a sound whole-image control-flow graph by recursive
+    traversal, {!Lint} turns the recovered facts into hostile-code
+    findings, {!Report} serialises both deterministically, and
+    {!Hostile} carries the hand-written hostile fixture images used by
+    tests and CI goldens. *)
+
+module Cfg = Cfg
+module Lint = Lint
+module Report = Report
+module Hostile = Hostile

@@ -18,6 +18,7 @@ let () =
       ("obs", Test_obs.tests);
       ("chaos", Test_chaos.tests);
       ("verify", Test_verify.tests);
+      ("static", Test_static.tests);
       ("memcheck", Test_memcheck.tests);
       ("tools", Test_tools.tests);
       ("caa", Test_caa.tests);
