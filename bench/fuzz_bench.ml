@@ -1,0 +1,34 @@
+(** Vgfuzz throughput: how fast the differential oracle burns through
+    generated programs.
+
+    Two rates matter for sizing the CI sweep budget: raw generation
+    (seed -> assembled image) and the full five-way differential check
+    (native + four session variants under the witness tool).  No gate —
+    the numbers contextualise the [--count] the CI job can afford. *)
+
+let run ?(count = 60) () =
+  Printf.printf "\n== vgfuzz throughput (count=%d) ==\n%!" count;
+  let gen_t0 = Sys.time () in
+  for i = 0 to count - 1 do
+    ignore
+      (Fuzz.Gen.image ~faulty:(i mod 10 = 9) ~seed:(9000 + i)
+         ~size:(1 + (i mod 20)) ())
+  done;
+  let gen_dt = Sys.time () -. gen_t0 in
+  Printf.printf "  generate+assemble: %6.0f programs/s\n%!"
+    (float_of_int count /. gen_dt);
+  let chk_t0 = Sys.time () in
+  let divergent = ref 0 in
+  for i = 0 to count - 1 do
+    let img =
+      Fuzz.Gen.image ~faulty:(i mod 10 = 9) ~seed:(9000 + i)
+        ~size:(1 + (i mod 20)) ()
+    in
+    if Fuzz.Diff.check img <> [] then incr divergent
+  done;
+  let chk_dt = Sys.time () -. chk_t0 in
+  Printf.printf "  differential check: %5.1f programs/s (%d divergent)\n%!"
+    (float_of_int count /. chk_dt)
+    !divergent;
+  Printf.printf "  a 2000-program CI sweep at this rate: ~%.0f s\n%!"
+    (2000.0 /. (float_of_int count /. chk_dt))

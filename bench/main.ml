@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|aot|cores|chainjson|chaincheck|tiercheck|aotcheck|corescheck|caa|transtab|loc|micro|all]*";
+     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|aot|cores|chainjson|chaincheck|tiercheck|aotcheck|corescheck|caa|transtab|loc|micro|fuzz|all]*";
   print_endline "       table2 options: --scale N --programs a,b,c";
   print_endline "       chainjson options: --out FILE";
   print_endline "       chaincheck/tiercheck options: --baseline FILE --out FILE";
@@ -75,6 +75,7 @@ let () =
     | "transtab" -> Transtab_bench.run ()
     | "loc" -> Loc_bench.run ()
     | "micro" -> Micro.run ()
+    | "fuzz" -> Fuzz_bench.run ()
     | "all" ->
         Figures.fig1 ();
         Figures.fig2 ();
@@ -89,7 +90,8 @@ let () =
         Caa_bench.run ();
         Transtab_bench.run ();
         Loc_bench.run ();
-        Micro.run ()
+        Micro.run ();
+        Fuzz_bench.run ()
     | c ->
         Printf.printf "unknown command '%s'\n" c;
         usage ()

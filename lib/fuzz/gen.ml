@@ -1,0 +1,357 @@
+(** Vgfuzz program generator: seeded, replay-exact VG32 clients.
+
+    A generated program is fully determined by the pair [(seed, size)]:
+    [size] is the number of code blocks, and block [i] draws all of its
+    randomness from a private splitmix64 stream derived from [(seed, i)].
+    Because the streams are independent, the program of size [k] is a
+    strict prefix of the program of size [k+1] (plus the fixed epilogue)
+    — which is what makes shrinking replay-exact: re-generating at a
+    smaller size *is* the reduced test case, no test-case mutation or
+    state capture needed (same determinism discipline as {!Chaos}).
+
+    The emitted source is well-formed but deliberately weird: random
+    arithmetic over the edge-width/flag-thunk surface (shift counts past
+    the register width, signed division at INT_MIN, mul flag hi-halves),
+    sub-word loads and stores, computed branches through bounded jump
+    tables, branches into the middle of a [movi] immediate (overlapping
+    decode), self-modifying code hosted on the stack, and deep call
+    chains.  Constructs whose native-vs-session difference is *by
+    design* are excluded: [clreq] (RUNNING_ON_VALGRIND), [getcycles] /
+    [gettimeofday] / [time] (virtual-clock reads), threads, and
+    fallible syscalls under chaos.  Control flow is forward-only apart
+    from counted loops with a dedicated counter register, so every
+    program terminates by construction. *)
+
+open Support
+
+(* Arch-stable integer mix (no [Hashtbl.hash]): derives the per-block
+   stream seed from (seed, block index). *)
+let mix (seed : int) (i : int) : int =
+  let x = (seed * 0x9E3779B1) lxor ((i + 1) * 0x85EBCA6B) in
+  let x = x lxor (x lsr 13) in
+  (x * 0x27D4EB2F) land 0x3FFFFFFF
+
+type ctx = {
+  code : Buffer.t;  (** main instruction stream *)
+  helpers : Buffer.t;  (** call-chain bodies + SMC donor routines *)
+  data : Buffer.t;  (** .data items (jump tables) *)
+  size : int;
+  faulty : bool;  (** allow blocks that fault on purpose *)
+}
+
+let ins ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.code "    ";
+      Buffer.add_string ctx.code s;
+      Buffer.add_char ctx.code '\n')
+    fmt
+
+let lbl ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.code s;
+      Buffer.add_string ctx.code ":\n")
+    fmt
+
+let hins ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.helpers "    ";
+      Buffer.add_string ctx.helpers s;
+      Buffer.add_char ctx.helpers '\n')
+    fmt
+
+let hlbl ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.helpers s;
+      Buffer.add_string ctx.helpers ":\n")
+    fmt
+
+(* Immediates biased towards the 32-bit edge cases the flag thunk and
+   the width-changing ops care about. *)
+let interesting =
+  [|
+    0L; 1L; 2L; 0x7FL; 0x80L; 0xFFL; 0x100L; 0x7FFFL; 0x8000L; 0xFFFFL;
+    0x10000L; 0x7FFFFFFFL; 0x80000000L; 0xFFFFFFFFL; 0xFFFFFFFEL;
+    0x55555555L; 0xAAAAAAAAL; 31L; 32L; 33L; 63L;
+  |]
+
+let imm rng =
+  if Rng.bool rng then interesting.(Rng.int rng (Array.length interesting))
+  else Int64.logand (Rng.next_u64 rng) 0xFFFFFFFFL
+
+let conds =
+  [| "eq"; "ne"; "lt"; "le"; "gt"; "ge"; "b"; "be"; "a"; "ae"; "s"; "ns" |]
+
+let cond rng = conds.(Rng.int rng (Array.length conds))
+
+(* Scratch-buffer size in .data; all generated loads/stores land inside. *)
+let buf_len = 256
+
+(** Emit one random straight-line instruction (or a short idiom).
+    [maxreg] bounds the register pool: loop bodies use r0..r4 so the
+    loop counter in r5 survives; everything else may use r0..r5.  r6/r7
+    (fp/sp) are only touched by the dedicated SMC/push templates. *)
+let rand_op ctx rng ~maxreg =
+  let reg () = Rng.int rng (maxreg + 1) in
+  let alu2 = [| "add"; "sub"; "and"; "or"; "xor"; "mul" |] in
+  let alu2i = [| "addi"; "subi"; "andi"; "ori"; "xori"; "muli" |] in
+  match Rng.int rng 20 with
+  | 0 | 1 | 2 ->
+      ins ctx "%s r%d, r%d" alu2.(Rng.int rng 6) (reg ()) (reg ())
+  | 3 | 4 -> ins ctx "%s r%d, 0x%Lx" alu2i.(Rng.int rng 6) (reg ()) (imm rng)
+  | 5 ->
+      (* shift by immediate, including counts >= the register width *)
+      let op = [| "shli"; "shri"; "sari" |].(Rng.int rng 3) in
+      ins ctx "%s r%d, %d" op (reg ()) (Rng.int rng 41)
+  | 6 ->
+      (* shift by register: the count is whatever the register holds *)
+      let op = [| "shl"; "shr"; "sar" |].(Rng.int rng 3) in
+      ins ctx "%s r%d, r%d" op (reg ()) (reg ())
+  | 7 ->
+      (* division: force the divisor odd so it is never zero *)
+      let d = reg () and s = reg () in
+      ins ctx "ori r%d, 1" s;
+      ins ctx "%s r%d, r%d" (if Rng.bool rng then "divs" else "divu") d s
+  | 8 ->
+      ins ctx "%s r%d" [| "inc"; "dec"; "neg"; "not" |].(Rng.int rng 4)
+        (reg ())
+  | 9 ->
+      (match Rng.int rng 3 with
+      | 0 -> ins ctx "cmp r%d, r%d" (reg ()) (reg ())
+      | 1 -> ins ctx "cmpi r%d, 0x%Lx" (reg ()) (imm rng)
+      | _ -> ins ctx "test r%d, r%d" (reg ()) (reg ()));
+      ins ctx "set%s r%d" (cond rng) (reg ())
+  | 10 | 11 ->
+      (* sub-word and word loads from the scratch buffer; offsets may be
+         unaligned on purpose *)
+      let w = [| "ldb"; "ldbs"; "ldh"; "ldhs"; "ldw" |].(Rng.int rng 5) in
+      if Rng.bool rng then
+        ins ctx "%s r%d, [buf+%d]" w (reg ()) (Rng.int rng (buf_len - 4))
+      else begin
+        let i = reg () in
+        ins ctx "andi r%d, 0x%x" i (buf_len - 8);
+        ins ctx "%s r%d, [r%d+buf+%d]" w (reg ()) i (Rng.int rng 4)
+      end
+  | 12 ->
+      let w = [| "stb"; "sth"; "stw" |].(Rng.int rng 3) in
+      ins ctx "%s [buf+%d], r%d" w (Rng.int rng (buf_len - 4)) (reg ())
+  | 13 ->
+      let scale = [| 1; 2; 4; 8 |].(Rng.int rng 4) in
+      ins ctx "lea r%d, [r%d+r%d*%d+0x%Lx]" (reg ()) (reg ()) (reg ()) scale
+        (Int64.of_int (Rng.int rng 4096))
+  | 14 ->
+      let a = reg () and b = reg () in
+      ins ctx "push r%d" a;
+      ins ctx "pop r%d" b
+  | 15 ->
+      (* float round-trip; fabs keeps fsqrt's operand non-negative *)
+      let f1 = Rng.int rng 4 and f2 = Rng.int rng 4 in
+      ins ctx "fitod f%d, r%d" f1 (reg ());
+      (match Rng.int rng 4 with
+      | 0 -> ins ctx "fadd f%d, f%d" f1 f2
+      | 1 -> ins ctx "fsub f%d, f%d" f1 f2
+      | 2 -> ins ctx "fmul f%d, f%d" f1 f2
+      | _ ->
+          ins ctx "fabs f%d" f1;
+          ins ctx "fsqrt f%d" f1);
+      ins ctx "fdtoi r%d, f%d" (reg ()) f1
+  | 16 ->
+      let v1 = Rng.int rng 4 and v2 = Rng.int rng 4 in
+      ins ctx "vsplat v%d, r%d" v1 (reg ());
+      (match Rng.int rng 4 with
+      | 0 -> ins ctx "vadd32 v%d, v%d" v1 v2
+      | 1 -> ins ctx "vxor v%d, v%d" v1 v2
+      | 2 -> ins ctx "vsub8 v%d, v%d" v1 v2
+      | _ -> ins ctx "vcmpeq32 v%d, v%d" v1 v2);
+      ins ctx "vextr r%d, v%d, %d" (reg ()) v1 (Rng.int rng 4)
+  | 17 -> ins ctx "mov r%d, r%d" (reg ()) (reg ())
+  | 18 ->
+      if Rng.int rng 4 = 0 then ins ctx "sysinfo"
+      else ins ctx "movi r%d, 0x%Lx" (reg ()) (imm rng)
+  | _ -> ins ctx "movi r%d, 0x%Lx" (reg ()) (imm rng)
+
+let rand_ops ctx rng ~maxreg n =
+  for _ = 1 to n do
+    rand_op ctx rng ~maxreg
+  done
+
+(* --- block kinds ---------------------------------------------------- *)
+
+let gen_straight ctx rng = rand_ops ctx rng ~maxreg:5 (4 + Rng.int rng 6)
+
+let gen_branch ctx rng ~i =
+  rand_ops ctx rng ~maxreg:5 (1 + Rng.int rng 4);
+  (match Rng.int rng 3 with
+  | 0 -> ins ctx "cmp r%d, r%d" (Rng.int rng 6) (Rng.int rng 6)
+  | 1 -> ins ctx "cmpi r%d, 0x%Lx" (Rng.int rng 6) (imm rng)
+  | _ -> ins ctx "test r%d, r%d" (Rng.int rng 6) (Rng.int rng 6));
+  let tgt = min (i + 1 + Rng.int rng 2) ctx.size in
+  ins ctx "j%s b%d" (cond rng) tgt;
+  rand_ops ctx rng ~maxreg:5 (Rng.int rng 3)
+
+let gen_loop ctx rng ~i =
+  ins ctx "movi r5, %d" (1 + Rng.int rng 6);
+  lbl ctx "b%dl" i;
+  rand_ops ctx rng ~maxreg:4 (1 + Rng.int rng 4);
+  ins ctx "dec r5";
+  ins ctx "jne b%dl" i
+
+let gen_call ctx rng ~i =
+  let deep = Rng.int rng 5 = 0 in
+  let depth = if deep then 12 + Rng.int rng 8 else 1 + Rng.int rng 4 in
+  if Rng.bool rng then ins ctx "call fn%d_0" i
+  else begin
+    ins ctx "movi r4, fn%d_0" i;
+    ins ctx "callr r4"
+  end;
+  for k = 0 to depth - 1 do
+    hlbl ctx "fn%d_%d" i k;
+    (* helper bodies share the generator but write through the helper
+       buffer: temporarily swap [code] *)
+    let saved = { ctx with code = ctx.helpers } in
+    rand_ops saved rng ~maxreg:5 (if deep then Rng.int rng 2 else 1 + Rng.int rng 3);
+    if k < depth - 1 then hins ctx "call fn%d_%d" i (k + 1);
+    rand_ops saved rng ~maxreg:5 (Rng.int rng 2);
+    hins ctx "ret"
+  done
+
+let gen_jumptable ctx rng ~i =
+  let idx = Rng.int rng 4 (* r0..r3: must not be the r4 target temp *) in
+  ins ctx "andi r%d, 3" idx;
+  ins ctx "ldw r4, [r%d*4+jt%d]" idx i;
+  ins ctx "jmpr r4";
+  for c = 0 to 3 do
+    lbl ctx "jt%dc%d" i c;
+    rand_ops ctx rng ~maxreg:3 (1 + Rng.int rng 2);
+    if c < 3 then ins ctx "jmp b%dx" i
+  done;
+  lbl ctx "b%dx" i;
+  Buffer.add_string ctx.data
+    (Printf.sprintf "jt%d:\n    .word jt%dc0, jt%dc1, jt%dc2, jt%dc3\n" i i i
+       i i)
+
+(* Branch into the middle of a [movi] immediate: the bytes 01 31 00 00
+   of [movi r2, 0x3101] re-decode from +2 as [mov r3, r1; nop; nop], so
+   the taken and fall-through paths overlap and rejoin at the next
+   instruction.  Same shape as the Vgscan overlap fixture. *)
+let gen_overlap ctx rng ~i =
+  ins ctx "movi r1, %d" (Rng.int rng 2);
+  ins ctx "cmpi r1, 1";
+  ins ctx "jeq ov%d+2" i;
+  lbl ctx "ov%d" i;
+  ins ctx "movi r2, 0x3101"
+
+(* Self-modifying code on the stack: copy a 12-byte donor routine
+   ([movi r3, imm; ret] plus padding) well below sp, patch the low
+   immediate byte, call it — then re-patch and call again so the
+   session's SMC hash check must catch the rewrite. *)
+let gen_smc ctx rng ~i =
+  let off = 1024 + (256 * Rng.int rng 4) in
+  ins ctx "mov r4, sp";
+  ins ctx "subi r4, %d" off;
+  ins ctx "ldw r3, [smc%d]" i;
+  ins ctx "stw [r4], r3";
+  ins ctx "ldw r3, [smc%d+4]" i;
+  ins ctx "stw [r4+4], r3";
+  ins ctx "ldw r3, [smc%d+8]" i;
+  ins ctx "stw [r4+8], r3";
+  ins ctx "movi r2, %d" (Rng.int rng 256);
+  ins ctx "stb [r4+2], r2";
+  ins ctx "callr r4";
+  ins ctx "add r0, r3";
+  if Rng.bool rng then begin
+    ins ctx "movi r2, %d" (Rng.int rng 256);
+    ins ctx "stb [r4+2], r2";
+    ins ctx "callr r4";
+    ins ctx "xor r0, r3"
+  end;
+  hlbl ctx "smc%d" i;
+  hins ctx "movi r3, 0";
+  hins ctx "ret";
+  for _ = 1 to 5 do
+    hins ctx "nop"
+  done
+
+(* Deliberate faults (only with ~faulty:true): an unmapped data access
+   or a jump to unmapped memory, for the faulting-PC attribution
+   oracle.  Everything after the fault is dead code. *)
+let gen_fault ctx rng ~i:_ =
+  let addr =
+    [| 0x44L; 0x0C0F_0000L; 0xEEEE_0010L |].(Rng.int rng 3)
+  in
+  match Rng.int rng 3 with
+  | 0 ->
+      ins ctx "movi r4, 0x%Lx" addr;
+      ins ctx "ldw r3, [r4]"
+  | 1 ->
+      ins ctx "movi r4, 0x%Lx" addr;
+      ins ctx "stw [r4], r3"
+  | _ ->
+      ins ctx "movi r4, 0x%Lx" addr;
+      ins ctx "jmpr r4"
+
+let gen_block ctx rng ~i =
+  lbl ctx "b%d" i;
+  let n_kinds = if ctx.faulty then 11 else 10 in
+  match Rng.int rng n_kinds with
+  | 0 | 1 | 2 -> gen_straight ctx rng
+  | 3 | 4 -> gen_branch ctx rng ~i
+  | 5 -> gen_loop ctx rng ~i
+  | 6 -> gen_call ctx rng ~i
+  | 7 -> gen_jumptable ctx rng ~i
+  | 8 -> gen_overlap ctx rng ~i
+  | 9 -> gen_smc ctx rng ~i
+  | _ -> gen_fault ctx rng ~i
+
+(* --- whole programs ------------------------------------------------- *)
+
+let name ~seed ~size = Printf.sprintf "s%d_n%d" seed size
+
+(** The generated assembly source for [(seed, size)]. *)
+let source ?(faulty = false) ~seed ~size () : string =
+  let ctx =
+    {
+      code = Buffer.create 4096;
+      helpers = Buffer.create 1024;
+      data = Buffer.create 256;
+      size;
+      faulty;
+    }
+  in
+  Buffer.add_string ctx.code
+    (Printf.sprintf "; vgfuzz %s%s\n" (name ~seed ~size)
+       (if faulty then " (faulty)" else ""));
+  lbl ctx "_start";
+  let rng0 = Rng.create (mix seed 1_000_003) in
+  for r = 0 to 5 do
+    ins ctx "movi r%d, 0x%Lx" r (imm rng0)
+  done;
+  for i = 0 to size - 1 do
+    let rng = Rng.create (mix seed i) in
+    gen_block ctx rng ~i
+  done;
+  (* epilogue: publish the register file to memory, fold it into an
+     exit code, leave *)
+  lbl ctx "b%d" size;
+  for r = 0 to 5 do
+    ins ctx "stw [buf+%d], r%d" (4 * r) r
+  done;
+  ins ctx "mov r1, r0";
+  for r = 2 to 5 do
+    ins ctx "xor r1, r%d" r
+  done;
+  ins ctx "andi r1, 63";
+  ins ctx "movi r0, 1";
+  ins ctx "syscall";
+  Buffer.add_buffer ctx.code ctx.helpers;
+  Buffer.add_string ctx.code ".data\nbuf:\n";
+  Buffer.add_string ctx.code (Printf.sprintf "    .space %d\n" buf_len);
+  Buffer.add_buffer ctx.code ctx.data;
+  Buffer.contents ctx.code
+
+(** Assembled image for [(seed, size)]. *)
+let image ?(faulty = false) ~seed ~size () : Guest.Image.t =
+  Guest.Asm.assemble (source ~faulty ~seed ~size ())

@@ -1,0 +1,213 @@
+(** The curated hostile suite: malware-shaped clients beyond the static
+    fixtures in {!Static.Hostile}.
+
+    Each guest is an *executable* adversarial pattern from the
+    anti-instrumentation literature (self-decryption, timing probes,
+    stack pivots, overlapping dispatch), with a deterministic
+    architectural result so it can run under every tool and every
+    schedule and still be checked exactly.  Guests that read the
+    virtual cycle clock are excluded from the differential register
+    oracle (the clock legitimately differs under instrumentation) —
+    their contract is the exit code, zero uncaught exceptions, and a
+    deterministic report. *)
+
+type guest = {
+  g_name : string;
+  g_desc : string;
+  g_source : string;
+  g_exit : int;  (** expected exit code under every engine and tool *)
+  g_lints : string list;
+      (** Vgscan lint classes that must fire on the image *)
+}
+
+(* --- self-decrypting XOR loop ---------------------------------------- *)
+
+let xor_key = 0x5A
+
+(* [movi r3, v; ret] padded to 8 bytes, encrypted byte-wise. *)
+let payload v =
+  List.map (fun b -> b lxor xor_key) [ 0x02; 0x03; v; 0x00; 0x00; 0x00; 0x3D; 0x00 ]
+
+let bytes_directive bs =
+  "    .byte " ^ String.concat ", " (List.map (Printf.sprintf "0x%02x") bs)
+
+(* Decrypts an 8-byte payload from text into rwx stack memory and calls
+   it; then decrypts a *different* payload over the same address —
+   rewriting the body it just executed — and calls again.  The
+   encrypted blobs live in .text (data-in-text, the classic packer
+   shape), and the absolute [ldw] from text is the integrity-probe
+   signature the [text-read] lint keys on. *)
+let selfdecrypt =
+  {
+    g_name = "selfdecrypt";
+    g_desc = "XOR-decrypts its own code onto the stack, twice";
+    g_exit = 66 (* 55 + 11 *);
+    g_lints = [ "text-read" ];
+    g_source =
+      String.concat "\n"
+        [
+          "_start:";
+          "    ldw r2, [enc1]        ; self-inspection: absolute read of own text";
+          "    mov r4, sp";
+          "    subi r4, 2048";
+          "    movi r1, 0";
+          "d1:";
+          "    ldb r2, [r1+enc1]";
+          "    xori r2, 0x5A";
+          "    stb [r4+r1], r2";
+          "    inc r1";
+          "    cmpi r1, 8";
+          "    jne d1";
+          "    callr r4";
+          "    mov r5, r3";
+          "    movi r1, 0";
+          "d2:";
+          "    ldb r2, [r1+enc2]";
+          "    xori r2, 0x5A";
+          "    stb [r4+r1], r2";
+          "    inc r1";
+          "    cmpi r1, 8";
+          "    jne d2";
+          "    callr r4";
+          "    add r5, r3";
+          "    movi r0, 1";
+          "    mov r1, r5";
+          "    syscall";
+          "enc1:";
+          bytes_directive (payload 55);
+          "enc2:";
+          bytes_directive (payload 11);
+          "";
+        ];
+  }
+
+(* --- anti-instrumentation timing probe ------------------------------- *)
+
+(* Reads the virtual cycle clock twice and branches on the delta.  The
+   delta differs under instrumentation (tool helpers charge cycles) —
+   the transparency bound we assert is behavioural: under every engine
+   the delta is positive and below the generous threshold, so the probe
+   takes the same path and exits 7 everywhere. *)
+let timingprobe =
+  {
+    g_name = "timingprobe";
+    g_desc = "branches on a cycle-clock delta, twice-read";
+    g_exit = 7;
+    g_lints = [ "timing-probe" ];
+    g_source =
+      String.concat "\n"
+        [
+          "_start:";
+          "    movi r0, 21           ; sys_getcycles";
+          "    syscall";
+          "    mov r4, r0";
+          "    movi r0, 21";
+          "    syscall";
+          "    sub r0, r4            ; delta";
+          "    cmpi r0, 0";
+          "    jle caught            ; clock stalled: instrumentation visible";
+          "    cmpi r0, 100000";
+          "    ja caught             ; clock jumped: instrumentation visible";
+          "    movi r1, 7";
+          "    jmp leave";
+          "caught:";
+          "    movi r1, 8";
+          "leave:";
+          "    movi r0, 1";
+          "    syscall";
+          "";
+        ];
+  }
+
+(* --- stack pivot onto heap memory ------------------------------------ *)
+
+(* mmaps a page, points sp into it, runs pushes/pops/calls on the
+   pivoted stack, then restores.  Exercises the unknown-SP-update
+   classifier (the delta is far past any frame size, so the core must
+   treat it as a stack switch, not allocation). *)
+let stackpivot =
+  {
+    g_name = "stackpivot";
+    g_desc = "pivots sp onto mmap'd heap, computes, pivots back";
+    g_exit = 44 (* (0x1234 + 0x5678) land 63 *);
+    g_lints = [ "sp-pivot" ];
+    g_source =
+      String.concat "\n"
+        [
+          "_start:";
+          "    movi r0, 7            ; sys_mmap";
+          "    movi r2, 4096         ; length";
+          "    syscall";
+          "    mov r4, r0";
+          "    addi r4, 4080";
+          "    mov r5, sp";
+          "    mov sp, r4            ; pivot";
+          "    pushi 0x1234";
+          "    pushi 0x5678";
+          "    pop r2";
+          "    pop r3";
+          "    add r2, r3";
+          "    call onpivot";
+          "    mov sp, r5            ; pivot back";
+          "    andi r2, 63";
+          "    movi r0, 1";
+          "    mov r1, r2";
+          "    syscall";
+          "onpivot:";
+          "    push r2";
+          "    pop r2";
+          "    ret";
+          "";
+        ];
+  }
+
+(* --- jump-table dispatch over overlapping instruction starts --------- *)
+
+(* A 4-entry dispatch table whose entries include both [ov] and [ov+2]:
+   the same text bytes execute as two different instruction streams
+   depending on the dynamic index.  r3 per iteration: 5 (case0),
+   5 (ov: movi r2 only), 9 (case2), 3 (ov+2: mov r3, r1 with r1=3). *)
+let overjump =
+  {
+    g_name = "overjump";
+    g_desc = "jump table dispatching into overlapping decode streams";
+    g_exit = 22 (* 5 + 5 + 9 + 3 *);
+    g_lints = [];
+    g_source =
+      String.concat "\n"
+        [
+          "_start:";
+          "    movi r5, 0";
+          "    movi r1, 0";
+          "next:";
+          "    andi r1, 3";
+          "    ldw r4, [r1*4+jt]";
+          "    jmpr r4";
+          "case0:";
+          "    movi r3, 5";
+          "    jmp join";
+          "ov:";
+          "    movi r2, 0x3101       ; +2 decodes as mov r3, r1; nop; nop";
+          "    jmp join";
+          "case2:";
+          "    movi r3, 9";
+          "    jmp join";
+          "join:";
+          "    add r5, r3";
+          "    inc r1";
+          "    cmpi r1, 4";
+          "    jb next";
+          "    mov r1, r5";
+          "    andi r1, 63";
+          "    movi r0, 1";
+          "    syscall";
+          ".data";
+          "jt:";
+          "    .word case0, ov, case2, ov+2";
+          "";
+        ];
+  }
+
+let all () : guest list = [ selfdecrypt; timingprobe; stackpivot; overjump ]
+
+let image (g : guest) : Guest.Image.t = Guest.Asm.assemble g.g_source

@@ -1,0 +1,60 @@
+(** Replay-exact shrinking.
+
+    A generated program is a pure function of [(seed, size)], and the
+    per-block randomness streams are independent of [size] — so the
+    program of size [k] is the original with its last [size - k] blocks
+    removed (branch targets past the end re-clamp to the epilogue).
+    Shrinking is therefore just a scan: re-generate at sizes 1, 2, ...
+    and keep the first size that still fails.  That size is minimal by
+    construction — every smaller program (every "remove trailing
+    blocks" reduction) passes — and rerunning the scan on the same
+    failure is deterministic, so a repro shrinks to the same [.s] file
+    on every machine. *)
+
+type result = {
+  r_seed : int;
+  r_size : int;  (** minimal failing size *)
+  r_orig_size : int;
+  r_faulty : bool;  (** generator faulty mode (part of program identity) *)
+  r_divs : Diff.divergence list;  (** divergences at the minimal size *)
+}
+
+(** Find the smallest [k <= size] at which [check ~seed ~size:k] still
+    reports divergences.  [check] defaults to the full differential
+    oracle.  [faulty] must match the flag the program was generated
+    with — it is part of the program's identity, and is recorded in the
+    result so {!repro_source} regenerates the same bytes. *)
+let shrink ?check ?(faulty = false) ~seed ~size () : result =
+  let check =
+    match check with
+    | Some f -> f
+    | None -> fun ~seed ~size -> Diff.check (Gen.image ~faulty ~seed ~size ())
+  in
+  let rec scan k =
+    if k >= size then
+      { r_seed = seed; r_size = size; r_orig_size = size; r_faulty = faulty;
+        r_divs = check ~seed ~size }
+    else
+      match check ~seed ~size:k with
+      | [] -> scan (k + 1)
+      | divs -> { r_seed = seed; r_size = k; r_orig_size = size;
+                  r_faulty = faulty; r_divs = divs }
+  in
+  scan 1
+
+(** Render a minimized repro as a committable [.s] file: the generated
+    source verbatim, headed by a comment recording provenance and the
+    divergence list, so replaying the file needs no generator at all. *)
+let repro_source (r : result) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "; vgfuzz minimized repro: seed=%d size=%d (shrunk from %d)\n"
+       r.r_seed r.r_size r.r_orig_size);
+  List.iter
+    (fun d ->
+      Buffer.add_string b ("; divergence: " ^ Diff.pp_divergence d ^ "\n"))
+    r.r_divs;
+  Buffer.add_string b
+    (Gen.source ~faulty:r.r_faulty ~seed:r.r_seed ~size:r.r_size ());
+  Buffer.contents b

@@ -473,7 +473,11 @@ let dead (b : block) : block =
           ||
           match e with
           | Binop ((DivS32 | DivU32), _, _) -> true (* may trap *)
-          | Load _ -> false (* dead loads dropped: fine for our guest *)
+          | Load _ -> true
+              (* a load whose value is dead still faults on an unmapped
+                 address: dropping it would swallow the client's SIGSEGV
+                 (found by vgfuzz: ldw into a register that is
+                 overwritten later in the same superblock) *)
           | _ -> false)
       | Store _ -> true
       | Dirty _ -> true

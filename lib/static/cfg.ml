@@ -78,6 +78,9 @@ type raw = {
   r_targets : (int64 * int64) list;  (** (site, direct target) *)
   r_stores : (int64 * int64 * int) list;
       (** (site, absolute EA, width) for statically evaluable stores *)
+  r_loads : (int64 * int64 * int) list;
+      (** (site, absolute EA, width) for statically evaluable loads —
+          the self-inspection signature (text checksums, unpacker keys) *)
   r_truncated : (int64 * int64) list;
       (** (instruction start, exact faulting byte) inside text *)
 }
@@ -229,6 +232,7 @@ let scan (img : Image.t) : t =
   let overlaps = ref [] and overlap_seen = Hashtbl.create 64 in
   let targets = ref [] in
   let stores = ref [] in
+  let loads = ref [] in
   let truncated = ref [] in
   let calls = ref [] in
   let frontier = ref [] in
@@ -294,7 +298,7 @@ let scan (img : Image.t) : t =
           weak_root disp
     | _ -> ());
     (* statically evaluable stores (static SMC candidates) *)
-    match i with
+    (match i with
     | St (w, { base = None; index = None; disp }, _) ->
         let wb = match w with W1 -> 1 | W2 -> 2 | W4 -> 4 in
         stores := (a, disp, wb) :: !stores
@@ -302,6 +306,16 @@ let scan (img : Image.t) : t =
         stores := (a, disp, 8) :: !stores
     | Vst ({ base = None; index = None; disp }, _) ->
         stores := (a, disp, 16) :: !stores
+    | _ -> ());
+    (* statically evaluable loads (self-inspection candidates) *)
+    match i with
+    | Ld (w, _, _, { base = None; index = None; disp }) ->
+        let wb = match w with W1 -> 1 | W2 -> 2 | W4 -> 4 in
+        loads := (a, disp, wb) :: !loads
+    | Fld (_, { base = None; index = None; disp }) ->
+        loads := (a, disp, 8) :: !loads
+    | Vld (_, { base = None; index = None; disp }) ->
+        loads := (a, disp, 16) :: !loads
     | _ -> ()
   in
   let drain_strong () =
@@ -584,6 +598,13 @@ let scan (img : Image.t) : t =
               | 0 -> compare c1 c2
               | c -> c)
             !stores;
+        r_loads =
+          uniq_sorted
+            (fun (a1, b1, c1) (a2, b2, c2) ->
+              match cmp2 (a1, b1) (a2, b2) with
+              | 0 -> compare c1 c2
+              | c -> c)
+            !loads;
         r_truncated = uniq_sorted cmp2 !truncated;
       };
     n_insns = Hashtbl.length insns;

@@ -24,6 +24,9 @@ let classes =
     "jump-table";
     "jump-table-density";
     "indirect-unresolved";
+    "text-read";
+    "timing-probe";
+    "sp-pivot";
   ]
 
 (* How many recognised-or-unresolved indirect-dispatch sites make an
@@ -91,6 +94,64 @@ let run (cfg : Cfg.t) : finding list =
           (Printf.sprintf "%d-byte store to %s targets executable text"
              width (hex ea)))
     cfg.raw.r_stores;
+  (* statically evaluable loads from executable bytes: the program reads
+     its own code — integrity checksums, unpacker key material (vgfuzz's
+     selfdecrypt hostile guest is the canonical instance) *)
+  List.iter
+    (fun (site, ea, width) ->
+      if
+        Verify.Dataflow.ranges_overlap
+          (Int64.to_int ea, width)
+          (Int64.to_int t_lo, text_len)
+      then
+        emit "text-read" site ea
+          (Printf.sprintf "%d-byte load from %s reads executable text"
+             width (hex ea)))
+    cfg.raw.r_loads;
+  (* timing probe: two or more static getcycles call sites (movi r0, 21
+     immediately followed by syscall).  One read is ordinary profiling;
+     two make a delta, and branching on a clock delta is the classic
+     instrumentation detector. *)
+  (let sites = ref [] in
+   Hashtbl.iter
+     (fun a (i, len) ->
+       match i with
+       | Guest.Arch.Movi (0, 21L) -> (
+           match
+             Hashtbl.find_opt cfg.insns (Int64.add a (Int64.of_int len))
+           with
+           | Some (Guest.Arch.Syscall, _) -> sites := a :: !sites
+           | _ -> ())
+       | _ -> ())
+     cfg.insns;
+   let sites = List.sort Int64.unsigned_compare !sites in
+   match sites with
+   | first :: _ :: _ ->
+       emit "timing-probe" first (Int64.of_int (List.length sites))
+         (Printf.sprintf
+            "%d static getcycles sites: the program can measure its own \
+             slow-down"
+            (List.length sites))
+   | _ -> ());
+  (* stack pivot: sp written from something other than fp or sp-relative
+     arithmetic.  Compiled code only ever moves fp back into sp or
+     adjusts sp by an immediate; loading sp from a general register or a
+     constant is the ROP/stack-switch signature. *)
+  Hashtbl.iter
+    (fun a (i, _len) ->
+      let open Guest.Arch in
+      let pivot =
+        match i with
+        | Mov (d, s) -> d = reg_sp && s <> reg_fp && s <> reg_sp
+        | Movi (d, _) -> d = reg_sp
+        | Lea (d, m) -> d = reg_sp && m.base <> Some reg_sp
+        | _ -> false
+      in
+      if pivot then
+        emit "sp-pivot" a 0L
+          (Printf.sprintf
+             "sp is loaded at %s from outside the frame discipline" (hex a)))
+    cfg.insns;
   (* instructions straddling the end of text mid-image *)
   List.iter
     (fun (start, fault) ->

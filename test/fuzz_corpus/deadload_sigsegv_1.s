@@ -1,0 +1,72 @@
+; vgfuzz minimized repro: seed=1000032 size=4 (shrunk from 10), generator faulty mode
+; found 2026-08: the JIT's dead-code pass dropped a load whose destination
+; register was overwritten later in the superblock, swallowing the SIGSEGV
+; (native: signal 11 at 0x10082; session before the fix: clean exit 0)
+_start:
+    movi r0, 0x97252a5a
+    movi r1, 0xfec5f1bd
+    movi r2, 0x80
+    movi r3, 0xb135b87
+    movi r4, 0x418e8bdb
+    movi r5, 0x80
+b0:
+    movi r1, 1
+    cmpi r1, 1
+    jeq ov0+2
+ov0:
+    movi r2, 0x3101
+b1:
+    andi r3, 3
+    ldw r4, [r3*4+jt1]
+    jmpr r4
+jt1c0:
+    ldw r2, [buf+148]
+    mul r2, r2
+    jmp b1x
+jt1c1:
+    mul r1, r3
+    jmp b1x
+jt1c2:
+    lea r3, [r0+r1*2+0xa92]
+    jmp b1x
+jt1c3:
+    cmpi r3, 0x34dbec85
+    setbe r2
+    fitod f1, r1
+    fmul f1, f1
+    fdtoi r3, f1
+b1x:
+b2:
+    movi r4, 0xc0f0000
+    ldw r3, [r4]
+b3:
+    andi r2, 0x5d04dbf5
+    mov r2, r5
+    cmpi r2, 0x28022dea
+    setgt r4
+    mov r5, r0
+    fitod f0, r4
+    fadd f0, f2
+    fdtoi r3, f0
+    movi r1, 0x532bafb3
+b4:
+    stw [buf+0], r0
+    stw [buf+4], r1
+    stw [buf+8], r2
+    stw [buf+12], r3
+    stw [buf+16], r4
+    stw [buf+20], r5
+    mov r1, r0
+    xor r1, r2
+    xor r1, r3
+    xor r1, r4
+    xor r1, r5
+    andi r1, 63
+    movi r0, 1
+    syscall
+.data
+buf:
+    .space 256
+jt1:
+    .word jt1c0, jt1c1, jt1c2, jt1c3
+

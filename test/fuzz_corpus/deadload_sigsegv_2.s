@@ -1,0 +1,105 @@
+; vgfuzz minimized repro: seed=1000102 size=5 (shrunk from 20), generator faulty mode
+; same dead-load DCE class as deadload_sigsegv_1.s, reached through an
+; SMC-on-stack block: native faulted at 0x100b0, the session ran 43 extra
+; instructions and exited cleanly before the fix
+_start:
+    movi r0, 0x20
+    movi r1, 0x10000
+    movi r2, 0x2cf4c828
+    movi r3, 0x2
+    movi r4, 0xffff
+    movi r5, 0x55555555
+b0:
+    call fn0_0
+b1:
+    mov r4, sp
+    subi r4, 1792
+    ldw r3, [smc1]
+    stw [r4], r3
+    ldw r3, [smc1+4]
+    stw [r4+4], r3
+    ldw r3, [smc1+8]
+    stw [r4+8], r3
+    movi r2, 206
+    stb [r4+2], r2
+    callr r4
+    add r0, r3
+    movi r2, 206
+    stb [r4+2], r2
+    callr r4
+    xor r0, r3
+b2:
+    movi r0, 0x12cae2d4
+    push r3
+    pop r1
+    cmpi r0, 0xd168819c
+    seta r1
+    muli r5, 0x7a0cfd69
+    ori r0, 1
+    divu r2, r0
+    andi r3, 0xf8
+    ldbs r2, [r3+buf+0]
+b3:
+    movi r4, 0x44
+    ldw r3, [r4]
+b4:
+    movi r5, 4
+b4l:
+    mov r3, r2
+    test r2, r1
+    setlt r0
+    movi r3, 0x8000
+    ori r0, 0x416cd15a
+    dec r5
+    jne b4l
+b5:
+    stw [buf+0], r0
+    stw [buf+4], r1
+    stw [buf+8], r2
+    stw [buf+12], r3
+    stw [buf+16], r4
+    stw [buf+20], r5
+    mov r1, r0
+    xor r1, r2
+    xor r1, r3
+    xor r1, r4
+    xor r1, r5
+    andi r1, 63
+    movi r0, 1
+    syscall
+fn0_0:
+    movi r0, 0x5abd6e39
+    sub r4, r1
+    andi r5, 0xf8
+    ldw r0, [r5+buf+3]
+    call fn0_1
+    ret
+fn0_1:
+    movi r3, 0x7fffffff
+    call fn0_2
+    vsplat v2, r4
+    vcmpeq32 v2, v1
+    vextr r5, v2, 3
+    ret
+fn0_2:
+    add r5, r3
+    mov r0, r3
+    mul r3, r1
+    call fn0_3
+    ret
+fn0_3:
+    xori r4, 0x0
+    sub r5, r2
+    ret
+smc1:
+    movi r3, 0
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+.data
+buf:
+    .space 256
+

@@ -1,0 +1,24 @@
+; curated: signed/unsigned division edge cases every engine must agree
+; on bit-for-bit: INT_MIN/-1 (the x86-overflow case), INT_MIN/1,
+; all-ones unsigned, and quotients feeding flags.
+_start:
+    movi r1, 0x80000000
+    movi r2, 0xffffffff
+    mov r3, r1
+    divs r3, r2            ; INT_MIN / -1
+    stw [buf+0], r3
+    mov r4, r1
+    movi r5, 1
+    divs r4, r5            ; INT_MIN / 1 -> INT_MIN
+    stw [buf+4], r4
+    mov r5, r2
+    movi r3, 3
+    divu r5, r3            ; 0xffffffff /u 3 -> 0x55555555
+    stw [buf+8], r5
+    cmpi r5, 0x55555555
+    seteq r1
+    movi r0, 1
+    syscall
+.data
+buf:
+    .space 16

@@ -1,0 +1,14 @@
+; curated: mid-block fault attribution.  Scratch registers are written
+; before a store to an unmapped address; the signal number, faulting
+; PC, sp and fp must match the native interpreter exactly (scratch
+; register PUTs may legally be dead-store-eliminated at the fault, so
+; the oracle only pins the precise-exception set).
+_start:
+    movi r1, 0x11
+    addi r1, 0x22
+    movi r2, 0xeeee0010
+    shli r1, 4
+    stw [r2], r1           ; unmapped: SIGSEGV here
+    movi r0, 1
+    movi r1, 0
+    syscall

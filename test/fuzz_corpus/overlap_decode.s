@@ -1,0 +1,22 @@
+; curated: overlapping decode streams.  The 6-byte movi at ov encodes
+; "mov r3, r1; nop; nop" starting at ov+2; both entry points execute
+; depending on r0, and flags set before the overlapped region must
+; survive into the join under both decodings.
+_start:
+    movi r5, 0
+    movi r0, 0
+again:
+    movi r1, 9
+    cmpi r0, 1
+    jeq ov+2               ; second pass enters mid-instruction
+ov:
+    movi r2, 0x3101        ; +2 decodes as: mov r3, r1; nop; nop
+    movi r3, 4
+join:
+    add r5, r3             ; pass 1: +4, pass 2: +9
+    inc r0
+    cmpi r0, 2
+    jb again
+    mov r1, r5             ; 13
+    movi r0, 1
+    syscall

@@ -1,0 +1,28 @@
+; curated: shift counts at and beyond the 32-bit register width.
+; VG32 masks shift counts mod 32 (like x86); the interp, the JIT's
+; constant folder and the host ALU must all agree on 31/32/33/63/64.
+_start:
+    movi r1, 0x80000001
+    mov r2, r1
+    shli r2, 31            ; -> 0x80000000
+    mov r3, r1
+    shli r3, 32            ; count 32 masks to 0 -> unchanged
+    mov r4, r1
+    shri r4, 33            ; count 33 masks to 1 -> 0x40000000
+    mov r5, r1
+    sari r5, 63            ; count 63 masks to 31 -> 0xffffffff
+    movi r0, 64
+    mov r1, r1
+    shl r1, r0             ; register count 64 masks to 0 -> unchanged
+    ; fold everything into the exit code
+    xor r1, r2
+    xor r1, r3
+    xor r1, r4
+    xor r1, r5
+    stw [buf+0], r1
+    andi r1, 63
+    movi r0, 1
+    syscall
+.data
+buf:
+    .space 16

@@ -1,0 +1,27 @@
+; curated: self-modifying code on the rwx stack.  Copies a donor
+; routine (movi r3, 0; ret) below sp, patches the movi immediate byte
+; between calls, and calls it twice; the second call must see the new
+; immediate under every engine (the session must invalidate the first
+; translation of the stack-hosted block).
+_start:
+    mov r4, sp
+    subi r4, 512
+    ldw r3, [donor]
+    stw [r4], r3
+    ldw r3, [donor+4]
+    stw [r4+4], r3
+    movi r2, 21
+    stb [r4+2], r2         ; patch imm low byte: movi r3, 21
+    callr r4
+    mov r5, r3
+    movi r2, 33
+    stb [r4+2], r2         ; repatch: movi r3, 33
+    callr r4
+    add r5, r3             ; 21 + 33 = 54
+    movi r0, 1
+    mov r1, r5
+    syscall
+donor:
+    movi r3, 0
+    ret
+    nop

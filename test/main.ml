@@ -23,4 +23,5 @@ let () =
       ("tools", Test_tools.tests);
       ("caa", Test_caa.tests);
       ("workloads", Test_workloads.tests);
+      ("fuzz", Test_fuzz.tests);
     ]
