@@ -11,7 +11,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|aot|cores|chainjson|chaincheck|tiercheck|aotcheck|corescheck|caa|transtab|loc|micro|fuzz|all]*";
+     [fig1|fig2|fig3|table1|table2|dispatch|chain|tier|aot|cores|replay|chainjson|chaincheck|tiercheck|aotcheck|corescheck|replaycheck|caa|transtab|loc|micro|fuzz|all]*";
   print_endline "       table2 options: --scale N --programs a,b,c";
   print_endline "       chainjson options: --out FILE";
   print_endline "       chaincheck/tiercheck options: --baseline FILE --out FILE";
@@ -56,12 +56,14 @@ let () =
     | "tier" -> Tier_bench.run ~scale:!scale ()
     | "aot" -> Aot_bench.run ~scale:!scale ()
     | "cores" -> Cores_bench.run ()
+    | "replay" -> Replay_bench.run ~scale:!scale ()
     | "chainjson" ->
         Chain_bench.write_json ~path:!out ~scale:!scale
           ~extra:
             (Tier_bench.metrics ~scale:!scale ()
             @ Aot_bench.metrics ~scale:!scale ()
-            @ Cores_bench.metrics ())
+            @ Cores_bench.metrics ()
+            @ Replay_bench.metrics ~scale:!scale ())
           ()
     | "chaincheck" -> Chain_bench.check ~baseline:!baseline ~current:!out
     | "tiercheck" ->
@@ -71,6 +73,7 @@ let () =
         Chain_bench.check ~baseline:!baseline ~current:!out;
         Aot_bench.check_current ~current:!out
     | "corescheck" -> Cores_bench.check ()
+    | "replaycheck" -> Replay_bench.check_current ~current:!out
     | "caa" -> Caa_bench.run ()
     | "transtab" -> Transtab_bench.run ()
     | "loc" -> Loc_bench.run ()
@@ -87,6 +90,7 @@ let () =
         Tier_bench.run ~scale:!scale ();
         Aot_bench.run ~scale:!scale ();
         Cores_bench.run ();
+        Replay_bench.run ~scale:!scale ();
         Caa_bench.run ();
         Transtab_bench.run ();
         Loc_bench.run ();

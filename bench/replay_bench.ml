@@ -1,0 +1,181 @@
+(** Record/replay benchmark: the Vgrewind overhead gate behind
+    [replaycheck].
+
+    Runs each chaining-suite workload under Nulgrind three times — plain,
+    recording (the log of non-derivable inputs written as it runs), and
+    replaying that log — and reports the modelled-cycle deltas plus the
+    log footprint.  The claims the gate enforces:
+
+    - recording charges zero simulated cycles by design, so a recorded
+      run must land within 5% of the plain run's wall cycles (it is in
+      fact cycle-identical; the gate gives slack so a future
+      cost-modelled recorder still passes);
+    - a replayed run re-derives the identical cycle count and every
+      final-state digest must verify ([Session.replay_mismatches] empty).
+
+    [metrics] folds into the same flat JSON as the chaining, tier and
+    AOT gates under a [replay.] prefix, so one baseline carries all of
+    them; the replay keys are additive (new keys, no existing key
+    changes). *)
+
+type row = {
+  r_name : string;
+  r_cycles_plain : int64;
+  r_cycles_record : int64;
+  r_cycles_replay : int64;
+  r_log_bytes : int;
+  r_events : int;
+  r_verified : bool;  (** every replay digest matched *)
+}
+
+let overhead_pm (r : row) : int64 =
+  if r.r_cycles_plain = 0L then 0L
+  else
+    Int64.of_float
+      (1000.0
+      *. (Int64.to_float r.r_cycles_record /. Int64.to_float r.r_cycles_plain
+        -. 1.0))
+
+let run_one ?(scale = 1) (name : string) : row option =
+  match Workloads.find name with
+  | None ->
+      Printf.printf "!! unknown workload %s\n" name;
+      None
+  | Some w ->
+      let img = Workloads.compile ~scale w in
+      let plain = Harness.run_tool Vg_core.Tool.nulgrind img in
+      let rec_ = Replay.recorder () in
+      Replay.set_header rec_ ~tool:"nulgrind" ~cores:1;
+      let recorded =
+        Harness.run_tool
+          ~options:
+            { Vg_core.Session.default_options with rr = Replay.Record rec_ }
+          Vg_core.Tool.nulgrind img
+      in
+      let data = Replay.to_string rec_ in
+      let p = Replay.player_of_string data in
+      let replayed =
+        Harness.run_tool
+          ~options:
+            { Vg_core.Session.default_options with rr = Replay.Replay p }
+          Vg_core.Tool.nulgrind img
+      in
+      Some
+        {
+          r_name = name;
+          r_cycles_plain = plain.tr_cycles;
+          r_cycles_record = recorded.tr_cycles;
+          r_cycles_replay = replayed.tr_cycles;
+          r_log_bytes = String.length data;
+          r_events = Replay.n_events rec_;
+          r_verified =
+            Vg_core.Session.replay_mismatches replayed.tr_session = []
+            && recorded.tr_stdout = plain.tr_stdout
+            && replayed.tr_stdout = plain.tr_stdout;
+        }
+
+let rows ?scale () : row list =
+  List.filter_map (run_one ?scale) Chain_bench.suite
+
+(** The human-readable record/replay table. *)
+let run ?scale () =
+  Harness.section
+    "Vgrewind: record/replay wall cycles, log footprint, digest verification";
+  Printf.printf "%-9s %13s %13s %13s %7s %9s %7s %5s\n" "program" "plain"
+    "record" "replay" "ovh_pm" "log(B)" "events" "ok";
+  Harness.hr ();
+  let rs = rows ?scale () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-9s %13Ld %13Ld %13Ld %7Ld %9d %7d %5b\n%!" r.r_name
+        r.r_cycles_plain r.r_cycles_record r.r_cycles_replay (overhead_pm r)
+        r.r_log_bytes r.r_events r.r_verified)
+    rs;
+  Harness.hr ();
+  print_endline
+    "(gate: record within 5% of plain, replay cycle-identical, all digests \
+     verified)";
+  if List.exists (fun r -> overhead_pm r > 50L) rs then
+    print_endline "!! recording overhead exceeded 5%";
+  if List.exists (fun r -> r.r_cycles_replay <> r.r_cycles_record) rs then
+    print_endline "!! replay did not re-derive the recorded cycle count";
+  if not (List.for_all (fun r -> r.r_verified) rs) then
+    print_endline "!! replay digest verification failed"
+
+(* Metrics for the flat JSON gate file.  The "replay." prefix keeps them
+   out of the chain gate's first-dot "cycles_" heuristic: they are gated
+   by [check_current] below instead, and ride into the baseline
+   additively. *)
+let metrics_of_row (r : row) : (string * int64) list =
+  [
+    ("replay." ^ r.r_name ^ ".cycles_plain", r.r_cycles_plain);
+    ("replay." ^ r.r_name ^ ".cycles_record", r.r_cycles_record);
+    ("replay." ^ r.r_name ^ ".cycles_replay", r.r_cycles_replay);
+    ("replay." ^ r.r_name ^ ".log_bytes", Int64.of_int r.r_log_bytes);
+    ("replay." ^ r.r_name ^ ".events", Int64.of_int r.r_events);
+    ("replay." ^ r.r_name ^ ".verified", if r.r_verified then 1L else 0L);
+    ("replay." ^ r.r_name ^ ".overhead_pm", overhead_pm r);
+  ]
+
+let metrics ?scale () : (string * int64) list =
+  List.concat_map metrics_of_row (rows ?scale ())
+
+(** The record/replay gate, over an already-written metrics file: per
+    workload, recording overhead must stay under 5% (50 per mille) of
+    plain wall cycles, the replayed run must re-derive the recorded
+    cycle count exactly, and every digest must have verified.  Exits
+    non-zero on failure so CI can gate on it. *)
+let check_current ~(current : string) =
+  let cur = Chain_bench.read_json current in
+  let replay_keys =
+    List.filter
+      (fun (k, _) -> String.length k > 7 && String.sub k 0 7 = "replay.")
+      cur
+  in
+  if replay_keys = [] then begin
+    Printf.printf "replay gate FAILED: no replay.* metrics in %s\n" current;
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      let suffix_is s =
+        let n = String.length s in
+        String.length k >= n && String.sub k (String.length k - n) n = s
+      in
+      if suffix_is ".cycles_plain" then begin
+        let prefix =
+          String.sub k 0 (String.length k - String.length ".cycles_plain")
+        in
+        (match List.assoc_opt (prefix ^ ".cycles_record") cur with
+        | None ->
+            incr failures;
+            Printf.printf "!! %s: no matching cycles_record metric\n" prefix
+        | Some rc ->
+            let limit = Int64.of_float (Int64.to_float v *. 1.05) in
+            if Int64.unsigned_compare rc limit > 0 then begin
+              incr failures;
+              Printf.printf "!! %s: recording overhead %Ld > %Ld (+5%%)\n"
+                prefix rc limit
+            end
+            else Printf.printf "ok %s: record %Ld vs plain %Ld\n" prefix rc v);
+        match
+          ( List.assoc_opt (prefix ^ ".cycles_record") cur,
+            List.assoc_opt (prefix ^ ".cycles_replay") cur )
+        with
+        | Some rc, Some rp when rc <> rp ->
+            incr failures;
+            Printf.printf "!! %s: replay cycles %Ld <> recorded %Ld\n" prefix
+              rp rc
+        | _ -> ()
+      end
+      else if suffix_is ".verified" && v = 0L then begin
+        incr failures;
+        Printf.printf "!! %s: replay digest verification failed\n" k
+      end)
+    replay_keys;
+  if !failures > 0 then begin
+    Printf.printf "replay gate FAILED: %d problem(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "replay gate passed"

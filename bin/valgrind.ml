@@ -24,21 +24,145 @@ let tools : (string * Vg_core.Tool.t) list =
     ("icntc", Tools.Icnt.icnt_call);
   ]
 
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
 let load_image (path : string) : Guest.Image.t =
-  let read_file p =
-    let ic = open_in_bin p in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
   if Filename.check_suffix path ".s" || Filename.check_suffix path ".asm" then
     Guest.Asm.assemble (read_file path)
   else Minicc.Driver.compile (read_file path)
 
+(* The translation configuration shapes the cycle counts, so a replay
+   must run under the recording's exact flags: --record stashes them in
+   the log header and --replay restores them from there. *)
+let encode_options (o : Vg_core.Session.options) : string =
+  Printf.sprintf "chaining=%b verify=%b smc=%s tier0=%b promote=%d super=%b scan=%b aot=%b"
+    o.chaining o.verify_jit
+    (match o.smc_mode with
+    | Vg_core.Session.Smc_none -> "none"
+    | Vg_core.Session.Smc_all -> "all"
+    | Vg_core.Session.Smc_stack -> "stack")
+    o.tier0 o.promote_threshold o.superblocks o.scan o.aot_seed
+
+let decode_options (s : string) (o : Vg_core.Session.options) :
+    Vg_core.Session.options =
+  List.fold_left
+    (fun o kv ->
+      match String.index_opt kv '=' with
+      | None -> o
+      | Some i -> (
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match k with
+          | "chaining" -> { o with Vg_core.Session.chaining = v = "true" }
+          | "verify" -> { o with verify_jit = v = "true" }
+          | "smc" ->
+              {
+                o with
+                smc_mode =
+                  (match v with
+                  | "none" -> Vg_core.Session.Smc_none
+                  | "all" -> Vg_core.Session.Smc_all
+                  | _ -> Vg_core.Session.Smc_stack);
+              }
+          | "tier0" -> { o with tier0 = v = "true" }
+          | "promote" -> { o with promote_threshold = int_of_string v }
+          | "super" -> { o with superblocks = v = "true" }
+          | "scan" -> { o with scan = v = "true" }
+          | "aot" -> { o with aot_seed = v = "true" }
+          | _ -> o))
+    o
+    (String.split_on_char ' ' s)
+
+(* --replay: everything comes out of the log — the program source, the
+   tool, the core count and the translation flags — so the replay is a
+   pure function of the .vgrw file. *)
+let run_replay (file : string) stats =
+  let p =
+    try Replay.player_of_file file with
+    | Replay.Corrupt m ->
+        Printf.eprintf "valgrind: %s: corrupt log: %s\n" file m;
+        exit 2
+    | Sys_error m ->
+        Printf.eprintf "valgrind: %s\n" m;
+        exit 2
+  in
+  let log = p.Replay.p_log in
+  let meta k = List.assoc_opt k log.Replay.l_meta in
+  let src =
+    match meta "source" with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "valgrind: %s: log carries no program source\n" file;
+        exit 2
+  in
+  let img =
+    if meta "kind" = Some "asm" then Guest.Asm.assemble src
+    else Minicc.Driver.compile src
+  in
+  let tool =
+    match List.assoc_opt log.Replay.l_tool tools with
+    | Some t -> t
+    | None ->
+        Printf.eprintf "valgrind: log needs unknown tool '%s'\n"
+          log.Replay.l_tool;
+        exit 2
+  in
+  let options =
+    {
+      Vg_core.Session.default_options with
+      cores = log.Replay.l_cores;
+      chaos = None;
+      rr = Replay.Replay p;
+    }
+  in
+  let options =
+    match meta "options" with Some o -> decode_options o options | None -> options
+  in
+  let s = Vg_core.Session.create ~options ~tool img in
+  s.echo_output <- true;
+  s.kern.stdout_echo <- true;
+  Printf.eprintf "==vg== replaying %s (%s, cores=%d, %d events)\n" file
+    log.Replay.l_tool log.Replay.l_cores (List.length log.Replay.l_events);
+  (try
+     let reason = Vg_core.Session.run s in
+     ignore reason
+   with Replay.Divergence _ as e ->
+     Printf.eprintf "==vg== REPLAY DIVERGED: %s\n" (Printexc.to_string e);
+     exit 1);
+  if stats <> None then print_string (Vg_core.Session.stats_json s);
+  match Vg_core.Session.replay_mismatches s with
+  | [] ->
+      Printf.eprintf "==vg== replay verified: all digests match\n";
+      exit 0
+  | ms ->
+      List.iter
+        (fun (k, want, got) ->
+          Printf.eprintf "==vg== DIGEST MISMATCH %s: recorded %s, replayed %s\n"
+            k want got)
+        ms;
+      exit 1
+
 let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
     promote_threshold scan aot_seed stats profile trace_file stdin_file
-    supp_file path =
+    supp_file record_file replay_file path_opt =
+  (match (record_file, replay_file) with
+  | Some _, Some _ ->
+      prerr_endline "valgrind: --record and --replay are mutually exclusive";
+      exit 2
+  | _ -> ());
+  (match replay_file with Some f -> run_replay f stats | None -> ());
+  let path =
+    match path_opt with
+    | Some p -> p
+    | None ->
+        prerr_endline "valgrind: required PROGRAM argument is missing";
+        exit 2
+  in
   let tool =
     match List.assoc_opt tool_name tools with
     | Some t -> t
@@ -95,6 +219,25 @@ let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
       aot_seed;
     }
   in
+  let rec_ =
+    match record_file with
+    | None -> None
+    | Some _ ->
+        let r = Replay.recorder () in
+        Replay.add_meta r "program" (Filename.basename path);
+        Replay.add_meta r "kind"
+          (if Filename.check_suffix path ".s" || Filename.check_suffix path ".asm"
+           then "asm"
+           else "c");
+        Replay.add_meta r "source" (read_file path);
+        Replay.add_meta r "options" (encode_options options);
+        Some r
+  in
+  let options =
+    match rec_ with
+    | Some r -> { options with rr = Replay.Record r }
+    | None -> options
+  in
   let s = Vg_core.Session.create ~options ~tool img in
   s.echo_output <- true;
   (match supp_file with
@@ -131,6 +274,11 @@ let run tool_name cores no_chaining no_verify smc_mode tier0_only no_tier0
         findings
   | None -> ());
   let reason = Vg_core.Session.run s in
+  (match (rec_, record_file) with
+  | Some r, Some f ->
+      Replay.to_file r f;
+      Printf.eprintf "==vg== recorded %d events -> %s\n" (Replay.n_events r) f
+  | _ -> ());
   (match stats with
   | None -> ()
   | Some "json" ->
@@ -323,15 +471,38 @@ let cmd =
       & info [ "suppressions" ]
           ~doc:"Suppression file (errors matching its entries are hidden).")
   in
+  let record_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Record a replay log to $(docv): every non-derivable input \
+             (syscall results, signal delivery points, chaos faults) plus \
+             the program source and translation flags, sealed with \
+             final-state digests.  Replay with $(b,--replay) or the \
+             $(b,vgrewind) driver.")
+  in
+  let replay_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute a recording bit-identically.  The program, tool, \
+             core count and translation flags all come from the log; the \
+             final state is checked against the recorded digests and any \
+             mismatch exits non-zero.")
+  in
   let path =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM")
   in
   Cmd.v
     (Cmd.info "valgrind" ~doc:"run a VG32 program under a Valgrind tool")
     Term.(
       const run $ tool $ cores $ no_chaining $ no_verify $ smc $ tier0_only
       $ no_tier0 $ promote_threshold $ scan $ aot_seed $ stats $ profile
-      $ trace_file $ stdin_file $ supp $ path)
+      $ trace_file $ stdin_file $ supp $ record_file $ replay_file $ path)
 
 (* cmdliner's optional-value arguments consume a following bare token,
    so "--stats PROGRAM" would swallow the program path.  Rewrite the

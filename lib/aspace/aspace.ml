@@ -46,18 +46,30 @@ let pp_access_kind ppf = function
   | Exec -> Fmt.string ppf "exec"
   | Map -> Fmt.string ppf "map"
 
+(** Mapping-level events, for observers that need to mirror the address
+    space (the record/replay log watches these alongside stores). *)
+type map_event =
+  | Mapped of { addr : int64; len : int; perm : perm; zero : bool }
+  | Unmapped of { addr : int64; len : int }
+
 type t = {
   pages : (int, page) Hashtbl.t;
   mutable bytes_mapped : int;  (** total currently-mapped bytes *)
   mutable store_watch : (int64 -> int -> unit) list;
       (** called on every successful store (address, size); used by the
           core and interpreters to notice self-modifying code *)
+  mutable map_watch : (map_event -> unit) list;
+      (** called on every map/unmap, before the pages change *)
 }
 
-let create () = { pages = Hashtbl.create 1024; bytes_mapped = 0; store_watch = [] }
+let create () =
+  { pages = Hashtbl.create 1024; bytes_mapped = 0; store_watch = [];
+    map_watch = [] }
 
 let add_store_watch t f = t.store_watch <- f :: t.store_watch
 let notify_store t addr size = List.iter (fun f -> f addr size) t.store_watch
+let add_map_watch t f = t.map_watch <- f :: t.map_watch
+let notify_map t ev = List.iter (fun f -> f ev) t.map_watch
 
 let page_index (addr : int64) =
   Int64.to_int (Int64.shift_right_logical (Support.Bits.trunc32 addr) page_shift)
@@ -86,6 +98,7 @@ let iter_pages addr len f =
     its contents but updates the permission (like mmap MAP_FIXED over an
     existing mapping would zero it — we zero too when [zero] is true). *)
 let map ?(zero = true) t ~addr ~len ~perm =
+  if len > 0 then notify_map t (Mapped { addr; len; perm; zero });
   iter_pages addr len (fun pi ->
       match Hashtbl.find_opt t.pages pi with
       | Some p ->
@@ -96,6 +109,7 @@ let map ?(zero = true) t ~addr ~len ~perm =
           t.bytes_mapped <- t.bytes_mapped + page_size)
 
 let unmap t ~addr ~len =
+  if len > 0 then notify_map t (Unmapped { addr; len });
   iter_pages addr len (fun pi ->
       if Hashtbl.mem t.pages pi then begin
         Hashtbl.remove t.pages pi;
@@ -251,3 +265,28 @@ let read_asciiz ?(max = 4096) t addr =
 let move t ~src ~dst ~len =
   let tmp = read_bytes t src len in
   write_bytes t dst tmp
+
+(** {2 Snapshot / restore}
+
+    A deep copy of every page plus the mapped-byte count.  Watches are
+    deliberately not part of a snapshot: they belong to the observers,
+    not to the observed state.  Restoring mutates [t] in place so every
+    existing reference (kernel, engines, threads) stays valid. *)
+
+type snap = { s_pages : (int * Bytes.t * perm) list; s_bytes_mapped : int }
+
+let snapshot (t : t) : snap =
+  let s_pages =
+    Hashtbl.fold (fun pi p acc -> (pi, Bytes.copy p.data, p.perm) :: acc)
+      t.pages []
+  in
+  { s_pages = List.sort (fun (a, _, _) (b, _, _) -> compare a b) s_pages;
+    s_bytes_mapped = t.bytes_mapped }
+
+let restore (t : t) (s : snap) : unit =
+  Hashtbl.reset t.pages;
+  List.iter
+    (fun (pi, data, perm) ->
+      Hashtbl.replace t.pages pi { data = Bytes.copy data; perm })
+    s.s_pages;
+  t.bytes_mapped <- s.s_bytes_mapped

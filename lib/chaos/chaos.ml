@@ -245,9 +245,10 @@ let checks_failing_at (phase : int) : Jit.Pipeline.checks =
   }
 
 (** Decide whether this translation request fails, and at which phase
-    boundary.  Returns a checks record to compose into the pipeline: it
-    raises [Translation_failure] at the chosen boundary. *)
-let translation_checks t ~(pc : int64) : Jit.Pipeline.checks option =
+    boundary.  Returns the condemned phase (1..8); the record/replay
+    log stores this ordinal so a replaying session can rebuild the same
+    failing checks without a chaos stream. *)
+let translation_fate t ~(pc : int64) : int option =
   if roll t t.cfg.p_translation_failure then begin
     let phase =
       match t.cfg.force_phase with
@@ -259,9 +260,14 @@ let translation_checks t ~(pc : int64) : Jit.Pipeline.checks option =
     inject t "jit"
       (Printf.sprintf "force Translation_failure at phase %d (%s), pc 0x%LX"
          phase phase_names.(phase - 1) pc);
-    Some (checks_failing_at phase)
+    Some phase
   end
   else None
+
+(** As {!translation_fate}, but returns the composable checks record:
+    it raises [Translation_failure] at the chosen boundary. *)
+let translation_checks t ~(pc : int64) : Jit.Pipeline.checks option =
+  Option.map checks_failing_at (translation_fate t ~pc)
 
 (** Force a full code-cache flush before the next block?  (Simulates
     extreme cache pressure: every resident translation and chain is

@@ -27,6 +27,10 @@ type t = {
   mutable symbolize : int64 -> string;
   mutable output : string -> unit;
   mutable show_immediately : bool;
+  mutable on_record : (error -> unit) option;
+      (** observer fired for each {e new} (post-dedup, unsuppressed)
+          error; vgrewind's [when] subcommand hooks this to find the
+          cycle an error first fired at *)
 }
 
 let create ?(output = prerr_string) () =
@@ -37,6 +41,7 @@ let create ?(output = prerr_string) () =
     symbolize = (fun a -> Printf.sprintf "0x%LX" a);
     output;
     show_immediately = true;
+    on_record = None;
   }
 
 let add_suppression t s = t.suppressions <- s :: t.suppressions
@@ -134,7 +139,25 @@ let record (t : t) ~kind ~msg ~(stack : int64 list) : bool =
         let e = { err_kind = kind; err_msg = msg; err_stack = stack; err_count = 1 } in
         t.errors <- e :: t.errors;
         if t.show_immediately then t.output (render t e);
+        (match t.on_record with Some f -> f e | None -> ());
         true
+
+(** {2 Snapshot / restore} — the recorded error list (with per-error
+    dedup counts) and the suppression counter.  Suppressions, the
+    symbolizer and the sinks are wiring and survive untouched. *)
+
+type snap = { s_errors : (error * int) list; s_n_suppressed : int }
+
+let snapshot (t : t) : snap =
+  {
+    s_errors = List.map (fun e -> (e, e.err_count)) t.errors;
+    s_n_suppressed = t.n_suppressed;
+  }
+
+let restore (t : t) (s : snap) : unit =
+  List.iter (fun (e, n) -> e.err_count <- n) s.s_errors;
+  t.errors <- List.map fst s.s_errors;
+  t.n_suppressed <- s.s_n_suppressed
 
 let distinct_errors t = List.length t.errors
 let total_errors t = List.fold_left (fun a e -> a + e.err_count) 0 t.errors

@@ -113,6 +113,19 @@ type options = {
           default. *)
   aot_limit : int;
       (** cap on the number of blocks AOT seeding will pre-translate *)
+  rr : Replay.rr;
+      (** record/replay binding (Vgrewind; default [No_rr]).  [Record r]
+          feeds every non-derivable input — syscall results and side
+          effects, async signal deliveries, chaos scheduling decisions —
+          into [r], at zero simulated cycles.  [Replay p] drives the
+          session from [p]'s log instead of the kernel and the chaos
+          RNG; a replaying session must be created with the log's core
+          count and with [chaos = None]. *)
+  snapshot_every : int64;
+      (** time-travel checkpoint cadence in simulated wall cycles
+          (replay mode only; 0 = no checkpoints).  {!seek} and {!back}
+          restore the nearest checkpoint at or before the target and
+          re-execute forward. *)
 }
 
 let default_options =
@@ -143,12 +156,53 @@ let default_options =
     scan = false;
     aot_seed = false;
     aot_limit = 8192;
+    rr = Replay.No_rr;
+    snapshot_every = 0L;
   }
 
 type exit_reason =
   | Exited of int
   | Fatal_signal of int
   | Out_of_fuel
+
+(** One full-state checkpoint (time travel, replay mode): everything a
+    scheduler step reads or writes, deep-copied.  Restoring mutates the
+    live session in place; a snapshot can be restored any number of
+    times (the translation graph is re-copied on every restore). *)
+type snapshot = {
+  sp_cycle : int64;  (** simulated wall cycles at capture *)
+  sp_insns : int64;  (** host instructions executed at capture *)
+  sp_mem : Aspace.snap;
+  sp_kern : Kernel.snap;
+  sp_threads : Threads.snap;
+  sp_transtab : Transtab.snap;
+  sp_engines : Engine.snap array;
+  sp_active : int;
+  sp_events : Events.snap;
+  sp_errors : Errors.snap;
+  sp_output : string;
+  sp_tool : Bytes.t;  (** the tool instance's serialized private state *)
+  sp_marks : Replay.marks option;  (** log cursor positions *)
+  sp_sched_iters : int64;
+  sp_trans_reqs : int64;
+  sp_blocks : int64;
+  sp_translations : int * int * int * int;  (** made, tier0, full, super *)
+  sp_retrans_smc : int;
+  sp_verify_checks : int;
+  sp_interp_fallbacks : int;
+  sp_uninstr : int;
+  sp_chaos_flushes : int;
+  sp_promotions : int * int;  (** promotions, promotions_failed *)
+  sp_super_aborts : int;
+  sp_jit_t0 : int64;
+  sp_jit_phase : int64 array;
+  sp_jit_phase_t0 : int64 array;
+  sp_sysw : int * int * int * int;
+  sp_arena_next : int64;
+  sp_regstacks : int * (int * int64 * int64) list;
+  sp_cfg : int * int;  (** cfg_checked, cfg_miss *)
+  sp_exit : exit_reason option;
+}
 
 type t = {
   opts : options;
@@ -229,6 +283,17 @@ type t = {
   mutable aot_cycles : int64;
       (** the share of jit cycles spent during AOT seeding *)
   mutable in_aot : bool;  (** inside the seeding loop (accounting flag) *)
+  (* record/replay + time travel (Vgrewind) *)
+  mutable started : bool;  (** start-up + AOT seeding have run *)
+  mutable sched_iters : int64;
+      (** scheduler-loop ordinal: the replay key for async signal
+          deliveries, chaos flushes, handoff stalls and retire delays *)
+  mutable trans_reqs : int64;
+      (** translation-request ordinal: the replay key for chaos-condemned
+          translations *)
+  mutable snapshots : (int64 * snapshot) list;
+      (** time-travel checkpoints, newest first, keyed by wall cycle *)
+  mutable next_snap_at : int64;  (** next checkpoint wall-cycle mark *)
 }
 
 (** Total work cycles across every core (host + overhead + jit + smc;
@@ -326,6 +391,19 @@ let publish_metrics (s : t) =
       pi "jit.aot.failed" (fun () -> s.aot_failed);
       pL "jit.aot.cycles" (fun () -> s.aot_cycles)
   | None -> ());
+  (* Vgrewind: log production/consumption counters.  replay.* keys are
+     excluded from record/replay digest comparison (Replay.filter_stats),
+     like chaos.*, since they only exist on one side of the pair. *)
+  (match s.opts.rr with
+  | Replay.Record rec_ ->
+      pi "replay.recorded_events" (fun () -> Replay.n_events rec_)
+  | Replay.Replay p ->
+      List.iter
+        (fun (k, _) ->
+          pi ("replay." ^ k) (fun () -> List.assoc k (Replay.progress p)))
+        (Replay.progress p);
+      pi "replay.snapshots" (fun () -> List.length s.snapshots)
+  | Replay.No_rr -> ());
   Array.iter (fun e -> Engine.publish r e) s.cores;
   Transtab.publish r s.transtab;
   Syswrap.publish r s.sysw;
@@ -426,8 +504,30 @@ let create ?(options = default_options) ~(tool : Tool.t)
       aot_failed = 0;
       aot_cycles = 0L;
       in_aot = false;
+      started = false;
+      sched_iters = 0L;
+      trans_reqs = 0L;
+      snapshots = [];
+      next_snap_at = 0L;
     }
   in
+  (* record/replay wiring.  Recording: capture the kernel's stores and
+     mapping changes (only those made while a syscall is in flight count
+     — guest code never runs during [invoke]).  Replaying: the log's
+     core count must match, or every scheduling decision is off. *)
+  (match options.rr with
+  | Replay.Record rec_ ->
+      Replay.set_header rec_ ~tool:tool.Tool.name ~cores:options.cores;
+      Aspace.add_store_watch mem (fun addr size ->
+          Replay.note_store rec_ addr size);
+      Aspace.add_map_watch mem (fun ev -> Replay.note_map rec_ ev)
+  | Replay.Replay p ->
+      if p.Replay.p_log.Replay.l_cores <> options.cores then
+        invalid_arg
+          (Printf.sprintf
+             "Session.create: log was recorded with cores=%d, session has %d"
+             p.Replay.p_log.Replay.l_cores options.cores)
+  | Replay.No_rr -> ());
   (* chaos: transient mapping denials, injected behind the core's own
      pre-check so a denial looks exactly like address-space pressure *)
   (match options.chaos with
@@ -672,6 +772,10 @@ let wants_smc_check (s : t) (pc : int64) : bool =
    failure contract are tier-independent. *)
 let translation_checks (s : t) ~(fetch_pc : int64) :
     Jit.Pipeline.checks option =
+  (* every translation request gets an ordinal: the replay key for
+     chaos-condemned translations (the request sequence is deterministic,
+     the dice roll is not) *)
+  s.trans_reqs <- Int64.add s.trans_reqs 1L;
   let verify_checks =
     if s.opts.verify_jit then
       Some
@@ -681,11 +785,26 @@ let translation_checks (s : t) ~(fetch_pc : int64) :
     else None
   in
   (* chaos: this translation request may be condemned to fail at one of
-     the eight phase boundaries (recovery interprets the block instead) *)
+     the eight phase boundaries (recovery interprets the block instead).
+     Recording logs the condemned phase; replay re-applies it from the
+     log without a Chaos.t. *)
   let chaos_checks =
-    match s.opts.chaos with
-    | Some c -> Chaos.translation_checks c ~pc:fetch_pc
-    | None -> None
+    match s.opts.rr with
+    | Replay.Replay p -> (
+        match Replay.condemn_due p ~req:s.trans_reqs ~cycle:(wall_cycles s) with
+        | Some phase -> Some (Chaos.checks_failing_at phase)
+        | None -> None)
+    | rr -> (
+        match s.opts.chaos with
+        | Some c -> (
+            let fate = Chaos.translation_fate c ~pc:fetch_pc in
+            (match (fate, rr) with
+            | Some phase, Replay.Record rec_ ->
+                Replay.record_condemn rec_ ~req:s.trans_reqs ~phase
+                  ~pc:fetch_pc ~cycle:(wall_cycles s)
+            | _ -> ());
+            Option.map Chaos.checks_failing_at fate)
+        | None -> None)
   in
   match (verify_checks, chaos_checks) with
   | Some a, Some b -> Some (Jit.Pipeline.compose_checks a b)
@@ -852,20 +971,37 @@ let deliver_signal (s : t) (th : Threads.thread) (signal : int) =
       Threads.put_reg s.threads th GA.reg_sp sp;
       Threads.put_eip s.threads th h.sh_addr
 
+(* Deliver into the target thread's ThreadState, and preempt its core
+   so the handler runs the next time that core steps (when the target is
+   on the stepping core, it runs immediately — the single-core
+   behaviour). *)
+let deliver_to (s : t) (tid : int) (signal : int) =
+  match Threads.find s.threads tid with
+  | Some th when th.status = Threads.Runnable ->
+      Threads.preempt s.threads th
+        ~make_current:(th.core = s.active.Engine.id);
+      deliver_signal s th signal
+  | _ -> deliver_signal s s.threads.current signal
+
 let check_signals (s : t) =
-  match Kernel.take_pending_signal s.kern with
-  | None -> ()
-  | Some (tid, signal) -> (
-      (* deliver into the target thread's ThreadState, and preempt its
-         core so the handler runs the next time that core steps (when
-         the target is on the stepping core, it runs immediately —
-         the single-core behaviour) *)
-      match Threads.find s.threads tid with
-      | Some th when th.status = Threads.Runnable ->
-          Threads.preempt s.threads th
-            ~make_current:(th.core = s.active.Engine.id);
-          deliver_signal s th signal
-      | _ -> deliver_signal s s.threads.current signal)
+  match s.opts.rr with
+  | Replay.Replay p -> (
+      (* the kernel never runs on replay, so its pending queue stays
+         empty; deliveries come from the log, keyed by the scheduler
+         iteration at which the recording session took them *)
+      match Replay.signal_due p ~iter:s.sched_iters ~cycle:(wall_cycles s) with
+      | Some (tid, signo) -> deliver_to s tid signo
+      | None -> ())
+  | rr -> (
+      match Kernel.take_pending_signal s.kern with
+      | None -> ()
+      | Some (tid, signal) ->
+          (match rr with
+          | Replay.Record rec_ ->
+              Replay.record_signal rec_ ~iter:s.sched_iters ~tid
+                ~signo:signal ~cycle:(wall_cycles s)
+          | _ -> ());
+          deliver_to s tid signal)
 
 (* ------------------------------------------------------------------ *)
 (* Client requests (§3.11)                                              *)
@@ -929,6 +1065,208 @@ let handle_client_request (s : t) =
             | Some v -> set_result v
             | None -> set_result 0L)
         | None -> set_result 0L
+
+(* ------------------------------------------------------------------ *)
+(* Time travel (Vgrewind): snapshots, digests                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Host instructions executed so far, summed over every core — the
+    target unit for {!back}. *)
+let host_insns (s : t) : int64 =
+  Array.fold_left (fun acc e -> Int64.add acc e.Engine.cpu.insns) 0L s.cores
+
+(** Capture a full-state checkpoint of the running session.  Charges
+    nothing: checkpoints are a debugger feature, not simulated work. *)
+let take_snapshot (s : t) : unit =
+  let tt, remap = Transtab.snapshot s.transtab in
+  let sp =
+    {
+      sp_cycle = wall_cycles s;
+      sp_insns = host_insns s;
+      sp_mem = Aspace.snapshot s.mem;
+      sp_kern = Kernel.snapshot s.kern;
+      sp_threads = Threads.snapshot s.threads;
+      sp_transtab = tt;
+      sp_engines = Array.map (fun e -> Engine.snapshot e ~remap) s.cores;
+      sp_active = s.active.Engine.id;
+      sp_events = Events.snapshot s.events;
+      sp_errors = Errors.snapshot s.errors;
+      sp_output = Buffer.contents s.output_buf;
+      sp_tool =
+        (match s.instance with
+        | Some i -> i.Tool.snapshot ()
+        | None -> Bytes.empty);
+      sp_marks =
+        (match s.opts.rr with
+        | Replay.Replay p -> Some (Replay.mark p)
+        | _ -> None);
+      sp_sched_iters = s.sched_iters;
+      sp_trans_reqs = s.trans_reqs;
+      sp_blocks = s.blocks_executed;
+      sp_translations =
+        ( s.translations_made, s.translations_tier0, s.translations_full,
+          s.translations_super );
+      sp_retrans_smc = s.retranslations_smc;
+      sp_verify_checks = s.verify_checks;
+      sp_interp_fallbacks = s.interp_fallbacks;
+      sp_uninstr = s.uninstrumented_steps;
+      sp_chaos_flushes = s.chaos_flushes;
+      sp_promotions = (s.promotions, s.promotions_failed);
+      sp_super_aborts = s.superblock_aborts;
+      sp_jit_t0 = s.jit_cycles_tier0;
+      sp_jit_phase = Array.copy s.jit_phase_cycles;
+      sp_jit_phase_t0 = Array.copy s.jit_phase_cycles_tier0;
+      sp_sysw =
+        ( s.sysw.Syswrap.n_restarts, s.sysw.Syswrap.n_injected_errnos,
+          s.sysw.Syswrap.n_short_io, s.sysw.Syswrap.n_map_retries );
+      sp_arena_next = s.arena_next;
+      sp_regstacks = (s.regstacks.next_id, s.regstacks.stacks);
+      sp_cfg = (s.cfg_checked, s.cfg_miss);
+      sp_exit = s.exit_reason;
+    }
+  in
+  s.snapshots <- (sp.sp_cycle, sp) :: s.snapshots
+
+(** Restore the session, in place, to a previously captured checkpoint.
+    The address space goes first (ThreadStates and shadow state live in
+    guest memory), then the kernel, threads, translation table and
+    per-core caches (through the translation-copy memo so every
+    reference lands on the same fresh copy), then the flat counters. *)
+let restore_snapshot (s : t) (sp : snapshot) : unit =
+  Aspace.restore s.mem sp.sp_mem;
+  Kernel.restore s.kern sp.sp_kern;
+  Threads.restore s.threads sp.sp_threads;
+  let remap = Transtab.restore s.transtab sp.sp_transtab in
+  Array.iteri (fun i e -> Engine.restore e sp.sp_engines.(i) ~remap) s.cores;
+  s.active <- s.cores.(sp.sp_active);
+  Events.restore s.events sp.sp_events;
+  Errors.restore s.errors sp.sp_errors;
+  Buffer.clear s.output_buf;
+  Buffer.add_string s.output_buf sp.sp_output;
+  (match s.instance with
+  | Some i -> i.Tool.restore sp.sp_tool
+  | None -> ());
+  (match (s.opts.rr, sp.sp_marks) with
+  | Replay.Replay p, Some m -> Replay.reset p m
+  | _ -> ());
+  s.sched_iters <- sp.sp_sched_iters;
+  s.trans_reqs <- sp.sp_trans_reqs;
+  s.blocks_executed <- sp.sp_blocks;
+  let tm, t0, tf, tsu = sp.sp_translations in
+  s.translations_made <- tm;
+  s.translations_tier0 <- t0;
+  s.translations_full <- tf;
+  s.translations_super <- tsu;
+  s.retranslations_smc <- sp.sp_retrans_smc;
+  s.verify_checks <- sp.sp_verify_checks;
+  s.interp_fallbacks <- sp.sp_interp_fallbacks;
+  s.uninstrumented_steps <- sp.sp_uninstr;
+  s.chaos_flushes <- sp.sp_chaos_flushes;
+  let pm, pf = sp.sp_promotions in
+  s.promotions <- pm;
+  s.promotions_failed <- pf;
+  s.superblock_aborts <- sp.sp_super_aborts;
+  s.jit_cycles_tier0 <- sp.sp_jit_t0;
+  Array.blit sp.sp_jit_phase 0 s.jit_phase_cycles 0
+    (Array.length s.jit_phase_cycles);
+  Array.blit sp.sp_jit_phase_t0 0 s.jit_phase_cycles_tier0 0
+    (Array.length s.jit_phase_cycles_tier0);
+  let r1, r2, r3, r4 = sp.sp_sysw in
+  s.sysw.Syswrap.n_restarts <- r1;
+  s.sysw.Syswrap.n_injected_errnos <- r2;
+  s.sysw.Syswrap.n_short_io <- r3;
+  s.sysw.Syswrap.n_map_retries <- r4;
+  s.arena_next <- sp.sp_arena_next;
+  let rid, rstacks = sp.sp_regstacks in
+  s.regstacks.next_id <- rid;
+  s.regstacks.stacks <- rstacks;
+  let cchk, cmiss = sp.sp_cfg in
+  s.cfg_checked <- cchk;
+  s.cfg_miss <- cmiss;
+  s.exit_reason <- sp.sp_exit
+
+(* Checkpoint cadence: replay mode only, keyed on simulated wall cycles.
+   [next_snap_at] is deliberately NOT restored by time travel — it is a
+   high-water mark, so re-executing a stretch never re-captures the
+   checkpoints already taken over it. *)
+let maybe_snapshot (s : t) =
+  match s.opts.rr with
+  | Replay.Replay _
+    when Int64.compare s.opts.snapshot_every 0L > 0
+         && Int64.compare (wall_cycles s) s.next_snap_at >= 0 ->
+      take_snapshot s;
+      s.next_snap_at <- Int64.add (wall_cycles s) s.opts.snapshot_every
+  | _ -> ()
+
+let ensure_started (s : t) =
+  if not s.started then begin
+    s.started <- true;
+    startup s;
+    aot_seed_blocks s;
+    (* replay mode: a base checkpoint right after start-up, so seeking
+       near cycle zero never needs a run-from-nothing *)
+    maybe_snapshot s
+  end
+
+(** Final-state digests, written to the log trailer by a recording
+    session and checked after replay.  "stats" covers the whole metrics
+    registry modulo the chaos.* / replay.* keys that only exist on one
+    side of a record/replay pair. *)
+let digests (s : t) : (string * string) list =
+  let exit_str =
+    match s.exit_reason with
+    | Some (Exited n) -> Printf.sprintf "exited:%d" n
+    | Some (Fatal_signal n) -> Printf.sprintf "signal:%d" n
+    | Some Out_of_fuel -> "out_of_fuel"
+    | None -> "running"
+  in
+  let th_h = ref Replay.fnv_basis in
+  List.iter
+    (fun (th : Threads.thread) ->
+      th_h :=
+        Replay.fnv_string ~h:!th_h
+          (Printf.sprintf "t%d@%Ld" th.tid (Threads.get_eip s.threads th));
+      for rg = 0 to GA.n_regs - 1 do
+        th_h :=
+          Replay.fnv_string ~h:!th_h
+            (Int64.to_string (Threads.get_reg s.threads th rg))
+      done)
+    (List.sort
+       (fun (a : Threads.thread) (b : Threads.thread) -> compare a.tid b.tid)
+       s.threads.threads);
+  let ev_h =
+    Array.fold_left
+      (fun h v -> Replay.fnv_string ~h (Int64.to_string v))
+      Replay.fnv_basis
+      (Events.snapshot s.events)
+  in
+  [
+    ("exit", exit_str);
+    ("threads", Replay.hex !th_h);
+    ("memory", Replay.hex (Replay.hash_aspace s.mem));
+    ("events", Replay.hex ev_h);
+    ("stdout", Replay.hex (Replay.fnv_string (Kernel.stdout_contents s.kern)));
+    ("tool", Replay.hex (Replay.fnv_string (Buffer.contents s.output_buf)));
+    ( "stats",
+      Replay.hex
+        (Replay.fnv_string
+           (Replay.filter_stats (Obs.Registry.to_json s.metrics))) );
+  ]
+
+(** Compare the replayed final state against the log's trailer.
+    Returns [(key, recorded, got)] mismatches; empty = bit-identical. *)
+let replay_mismatches (s : t) : (string * string * string) list =
+  match s.opts.rr with
+  | Replay.Replay p ->
+      let got = digests s in
+      List.filter_map
+        (fun (k, want) ->
+          match List.assoc_opt k got with
+          | Some g when g = want -> None
+          | Some g -> Some (k, want, g)
+          | None -> Some (k, want, "<missing>"))
+        p.Replay.p_log.Replay.l_digests
+  | _ -> []
 
 (* ------------------------------------------------------------------ *)
 (* The main scheduler loop (§3.9)                                       *)
@@ -1158,7 +1496,8 @@ let handle_exit (s : t) (th : Threads.thread) ~(ek : int) ~(dest : int64) =
       { Syswrap.events = s.events; kern = s.kern;
         on_discard = (fun a l -> on_discard s a l);
         chaos = s.opts.chaos; counters = s.sysw;
-        charge = (fun c -> charge s c) }
+        charge = (fun c -> charge s c);
+        rr = s.opts.rr; now = (fun () -> wall_cycles s) }
     in
     match Syswrap.syscall wrap_env ~tid:th.tid (Threads.regs_of s.threads th) with
     | Kernel.Ok -> ()
@@ -1402,10 +1741,23 @@ let run_block (s : t) =
    [t_dead] lazy-miss rule guarantees.  Bookkeeping only: no cycles. *)
 let advance_epoch (s : t) =
   let delay =
-    match s.opts.chaos with
-    | Some c when Transtab.retire_pending s.transtab > 0 ->
-        Chaos.retire_delay c ~pending:(Transtab.retire_pending s.transtab)
-    | _ -> false
+    match s.opts.rr with
+    | Replay.Replay p ->
+        Replay.retire_due p ~iter:s.sched_iters ~cycle:(wall_cycles s)
+    | rr -> (
+        match s.opts.chaos with
+        | Some c when Transtab.retire_pending s.transtab > 0 ->
+            let d =
+              Chaos.retire_delay c
+                ~pending:(Transtab.retire_pending s.transtab)
+            in
+            (match rr with
+            | Replay.Record rec_ when d ->
+                Replay.record_retire rec_ ~iter:s.sched_iters
+                  ~cycle:(wall_cycles s)
+            | _ -> ());
+            d
+        | _ -> false)
   in
   let freed = Transtab.advance_epoch ~delay s.transtab in
   if freed <> [] then
@@ -1433,84 +1785,138 @@ let pick_core (s : t) : Engine.t option =
         | _ -> Some e)
     None s.cores
 
-let run_inner (s : t) : exit_reason =
-  startup s;
-  aot_seed_blocks s;
+(** One scheduler-loop iteration: checkpoint if due, bump the iteration
+    ordinal, roll (or replay) the chaos scheduling points, pick a core
+    and run one block.  Returns [false] once the session has exited. *)
+let step (s : t) : bool =
+  ensure_started s;
+  (match s.exit_reason with
+  | Some _ -> ()
+  | None -> (
+      maybe_snapshot s;
+      s.sched_iters <- Int64.add s.sched_iters 1L;
+      if
+        s.opts.max_blocks > 0L
+        && Int64.unsigned_compare s.blocks_executed s.opts.max_blocks > 0
+      then finish s Out_of_fuel
+      else begin
+        (* chaos: forced code-cache pressure between blocks — every
+           resident translation and chain is dropped at once, on every
+           core.  Recorded/replayed by scheduler iteration. *)
+        let flush_now =
+          match s.opts.rr with
+          | Replay.Replay p ->
+              Replay.flush_due p ~iter:s.sched_iters ~cycle:(wall_cycles s)
+          | rr -> (
+              match s.opts.chaos with
+              | Some c when Chaos.flush_cache c ->
+                  (match rr with
+                  | Replay.Record rec_ ->
+                      Replay.record_flush rec_ ~iter:s.sched_iters
+                        ~cycle:(wall_cycles s)
+                  | _ -> ());
+                  true
+              | _ -> false)
+        in
+        if flush_now then begin
+          Transtab.flush s.transtab;
+          Array.iter
+            (fun e ->
+              Dispatch.flush e.Engine.dispatch;
+              e.Engine.last_exit <- None)
+            s.cores;
+          s.chaos_flushes <- s.chaos_flushes + 1
+        end;
+        match pick_core s with
+        | None -> finish s (Exited 0)
+        | Some e ->
+            (* core handoff: chaos may model a migration stall on the
+               incoming core (never fires at the default p = 0) *)
+            if e.Engine.id <> s.active.Engine.id then begin
+              (match s.opts.rr with
+              | Replay.Replay p -> (
+                  match
+                    Replay.stall_due p ~iter:s.sched_iters
+                      ~cycle:(wall_cycles s)
+                  with
+                  | Some cycles -> Engine.charge e cycles
+                  | None -> ())
+              | rr -> (
+                  match s.opts.chaos with
+                  | Some c -> (
+                      match Chaos.handoff_stall c ~core:e.Engine.id with
+                      | Some cycles ->
+                          (match rr with
+                          | Replay.Record rec_ ->
+                              Replay.record_stall rec_ ~iter:s.sched_iters
+                                ~cycles ~cycle:(wall_cycles s)
+                          | _ -> ());
+                          Engine.charge e cycles
+                      | None -> ())
+                  | None -> ()));
+              s.active <- e
+            end;
+            Threads.select s.threads ~core:e.Engine.id;
+            (* periodic scheduler entry: signal poll + epoch advance.
+               On replay the pending queue is always empty (the kernel
+               never runs), so the log is polled every iteration — it
+               holds deliveries from both record-side branches. *)
+            if
+              Int64.rem s.blocks_executed
+                (Int64.of_int s.opts.sched_poll_blocks)
+              = 0L
+            then begin
+              charge s e.Engine.dispatch.slow_cost;
+              check_signals s;
+              advance_epoch s
+            end
+            else if
+              match s.opts.rr with
+              | Replay.Replay _ -> true
+              | _ -> not (Queue.is_empty s.kern.pending)
+            then check_signals s;
+            (* timeslice rotation keyed on the *thread's own* block
+               count, so a thread that arrives mid-interval still gets
+               a full slice (rotation used to key on the global block
+               counter modulo, which starved late-arriving threads) *)
+            let th = s.threads.current in
+            if
+              s.opts.timeslice_blocks > 0
+              && th.status = Threads.Runnable
+              && Int64.compare
+                   (Int64.sub th.blocks_run th.slice_start)
+                   (Int64.of_int s.opts.timeslice_blocks)
+                 >= 0
+            then ignore (switch_thread s);
+            if s.threads.current.status <> Threads.Runnable then
+              ignore (switch_thread s)
+            else run_block s
+      end));
+  s.exit_reason = None
+
+(** Step until the session exits or [stop] holds (checked between
+    iterations, i.e. at block boundaries). *)
+let run_to (s : t) ~(stop : t -> bool) : unit =
+  ensure_started s;
   let continue_ = ref true in
   while !continue_ do
-    (match s.exit_reason with
-    | Some _ -> continue_ := false
-    | None ->
-        if
-          s.opts.max_blocks > 0L
-          && Int64.unsigned_compare s.blocks_executed s.opts.max_blocks > 0
-        then finish s Out_of_fuel
-        else begin
-          (* chaos: forced code-cache pressure between blocks — every
-             resident translation and chain is dropped at once, on every
-             core *)
-          (match s.opts.chaos with
-          | Some c when Chaos.flush_cache c ->
-              Transtab.flush s.transtab;
-              Array.iter
-                (fun e ->
-                  Dispatch.flush e.Engine.dispatch;
-                  e.Engine.last_exit <- None)
-                s.cores;
-              s.chaos_flushes <- s.chaos_flushes + 1
-          | _ -> ());
-          match pick_core s with
-          | None -> finish s (Exited 0)
-          | Some e ->
-              (* core handoff: chaos may model a migration stall on the
-                 incoming core (never fires at the default p = 0) *)
-              if e.Engine.id <> s.active.Engine.id then begin
-                (match s.opts.chaos with
-                | Some c -> (
-                    match Chaos.handoff_stall c ~core:e.Engine.id with
-                    | Some cycles -> Engine.charge e cycles
-                    | None -> ())
-                | None -> ());
-                s.active <- e
-              end;
-              Threads.select s.threads ~core:e.Engine.id;
-              (* periodic scheduler entry: signal poll + epoch advance *)
-              if
-                Int64.rem s.blocks_executed
-                  (Int64.of_int s.opts.sched_poll_blocks)
-                = 0L
-              then begin
-                charge s e.Engine.dispatch.slow_cost;
-                check_signals s;
-                advance_epoch s
-              end
-              else if not (Queue.is_empty s.kern.pending) then
-                check_signals s;
-              (* timeslice rotation keyed on the *thread's own* block
-                 count, so a thread that arrives mid-interval still gets
-                 a full slice (rotation used to key on the global block
-                 counter modulo, which starved late-arriving threads) *)
-              let th = s.threads.current in
-              if
-                s.opts.timeslice_blocks > 0
-                && th.status = Threads.Runnable
-                && Int64.compare
-                     (Int64.sub th.blocks_run th.slice_start)
-                     (Int64.of_int s.opts.timeslice_blocks)
-                   >= 0
-              then ignore (switch_thread s);
-              if s.threads.current.status <> Threads.Runnable then
-                ignore (switch_thread s)
-              else run_block s
-        end);
-    if s.exit_reason <> None then continue_ := false
-  done;
+    if s.exit_reason <> None || stop s then continue_ := false
+    else continue_ := step s
+  done
+
+let run_inner (s : t) : exit_reason =
+  run_to s ~stop:(fun _ -> false);
   let reason = Option.value s.exit_reason ~default:(Exited 0) in
   (match s.instance with
   | Some inst ->
       let exit_code = match reason with Exited c -> c | _ -> 1 in
       inst.fini ~exit_code
   | None -> ());
+  (* recording: seal the log with the final-state digests (after the
+     tool's fini, so the tool-output digest covers its report) *)
+  (match s.opts.rr with
+  | Replay.Record rec_ -> Replay.finish rec_ ~digests:(digests s)
+  | _ -> ());
   reason
 
 (* Snapshot the current thread's guest state and the dispatcher's recent
@@ -1540,6 +1946,38 @@ let run (s : t) : exit_reason =
     (try output s (Errors.render_crash s.errors (crash_context s (Printexc.to_string e)))
      with _ -> ());
     Printexc.raise_with_backtrace e bt
+
+(* ------------------------------------------------------------------ *)
+(* Time travel: seek / back                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Restore the newest checkpoint satisfying [pick], else the oldest one
+   there is (the post-start-up base checkpoint, when cadence is on). *)
+let rewind_to_best (s : t) (pick : snapshot -> bool) =
+  match List.find_opt (fun (_, sp) -> pick sp) s.snapshots with
+  | Some (_, sp) -> restore_snapshot s sp
+  | None -> (
+      match List.rev s.snapshots with
+      | (_, sp) :: _ -> restore_snapshot s sp
+      | [] -> ())
+
+(** Move the session to the first block boundary at or after wall-cycle
+    [cycle] — backwards via checkpoint restore + re-execution, forwards
+    by plain execution.  Replay mode with [snapshot_every > 0]. *)
+let seek (s : t) ~(cycle : int64) : unit =
+  ensure_started s;
+  if Int64.compare (wall_cycles s) cycle > 0 then
+    rewind_to_best s (fun sp -> Int64.compare sp.sp_cycle cycle <= 0);
+  run_to s ~stop:(fun s -> Int64.compare (wall_cycles s) cycle >= 0)
+
+(** Step backwards [insns] host instructions (block granularity: lands
+    on the first block boundary at or after the target). *)
+let back (s : t) ~(insns : int64) : unit =
+  ensure_started s;
+  let target = Int64.sub (host_insns s) insns in
+  let target = if Int64.compare target 0L < 0 then 0L else target in
+  rewind_to_best s (fun sp -> Int64.compare sp.sp_insns target <= 0);
+  run_to s ~stop:(fun s -> Int64.compare (host_insns s) target >= 0)
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                           *)

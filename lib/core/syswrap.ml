@@ -47,6 +47,11 @@ type env = {
   chaos : Chaos.t option;  (** fault injection, if the session runs chaos *)
   counters : counters;
   charge : int -> unit;  (** cycle accounting for restart/backoff work *)
+  rr : Replay.rr;
+      (** record/replay hook: [Record] logs every kernel invocation's
+          client-visible result and effects; [Replay] skips the kernel
+          entirely and reconstructs them from the log *)
+  now : unit -> int64;  (** current wall cycle (informational, logged) *)
 }
 
 (* How often the wrapper re-issues before giving up and letting the
@@ -95,11 +100,16 @@ let rec invoke ?(restarts = 0) (e : env) ~tid ~num (r : Kernel.regs) :
       Kernel.ret r err;
       Kernel.Ok
   | Some (Chaos.Short_len n) ->
-      e.counters.n_short_io <- e.counters.n_short_io + 1;
       let saved = r.get 3 in
       r.set 3 (Int64.of_int n);
       let a = Kernel.syscall e.kern ~tid r in
       r.set 3 saved;
+      (* count only if the clamped call succeeded: a call that failed
+         outright performed no IO, so no short IO was applied to the
+         client (the recorded counter must match the client-visible
+         outcome, or record/replay digests drift) *)
+      if Int64.unsigned_compare (r.get 0) 0xFFFF_F000L < 0 then
+        e.counters.n_short_io <- e.counters.n_short_io + 1;
       a
   | None ->
       if num = Num.sys_mmap || num = Num.sys_mremap then
@@ -173,8 +183,46 @@ let syscall (e : env) ~(tid : int) (r : Kernel.regs) : Kernel.action =
     Events.fire_pre_mem_read ev ~syscall:name ~addr:a1 ~len:8;
   (* state snapshots needed for post-events *)
   let old_brk = e.kern.brk in
-  (* the call itself, with fault injection + restart/retry around it *)
-  let action = invoke e ~tid ~num r in
+  (* the call itself, with fault injection + restart/retry around it —
+     or, on replay, the logged result applied without entering the
+     kernel at all (injected faults were already folded into what the
+     record run logged) *)
+  let action =
+    match e.rr with
+    | Replay.Replay p ->
+        let action, charged, (restarts, errnos, short_io, map_retries) =
+          Replay.replay_syscall p ~kern:e.kern ~num ~r ~cycle:(e.now ())
+        in
+        (* the record run charged restart/backoff cycles incrementally;
+           nothing reads the clock mid-invoke (the kernel never runs
+           here), so one lump of the recorded total is equivalent *)
+        e.charge charged;
+        e.counters.n_restarts <- restarts;
+        e.counters.n_injected_errnos <- errnos;
+        e.counters.n_short_io <- short_io;
+        e.counters.n_map_retries <- map_retries;
+        action
+    | Replay.Record rec_ ->
+        Replay.begin_syscall rec_ ~num ~args:(a1, a2, a3);
+        let charged = ref 0 in
+        let e' =
+          {
+            e with
+            charge =
+              (fun c ->
+                charged := !charged + c;
+                e.charge c);
+          }
+        in
+        let action = invoke e' ~tid ~num r in
+        Replay.end_syscall rec_ ~kern:e.kern ~ret:(r.get 0) ~action
+          ~charged:!charged ~cycle:(e.now ())
+          ~counters:
+            ( e.counters.n_restarts, e.counters.n_injected_errnos,
+              e.counters.n_short_io, e.counters.n_map_retries );
+        action
+    | Replay.No_rr -> invoke e ~tid ~num r
+  in
   let ret = r.get 0 in
   let ok = Int64.unsigned_compare ret 0xFFFF_F000L < 0 (* not -errno *) in
   (* post-events *)

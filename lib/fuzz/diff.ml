@@ -162,6 +162,8 @@ let witness_tool () : Vg_core.Tool.t * totals =
                            name count))
                   (Vg_core.Events.table1_rows ev));
             client_request = (fun ~code:_ ~args:_ -> None);
+            snapshot = Vg_core.Tool.snapshot_nothing;
+            restore = Vg_core.Tool.restore_nothing;
           });
     }
   in
@@ -216,6 +218,34 @@ let variants =
       v_degrade = false };
   ]
 
+let outcome_of_session ~(name : string) ~(tot : totals)
+    (s : Vg_core.Session.t) (er : Vg_core.Session.exit_reason)
+    (img : Guest.Image.t) : outcome =
+  let th =
+    match Vg_core.Threads.find s.Vg_core.Session.threads 1 with
+    | Some th -> th
+    | None -> failwith "vgfuzz: main thread vanished"
+  in
+  let threads = s.Vg_core.Session.threads in
+  let gs off = Vg_core.Threads.get_state threads th ~off ~size:4 in
+  {
+    o_engine = name;
+    o_exit =
+      (match er with
+      | Vg_core.Session.Exited n -> Exit n
+      | Vg_core.Session.Fatal_signal s -> Signal s
+      | Vg_core.Session.Out_of_fuel -> Fuel);
+    o_regs = Array.init GA.n_regs (fun r -> gs (GA.off_reg r));
+    o_eip = gs GA.off_eip;
+    o_flags =
+      Guest.Flags.calculate ~op:(gs GA.off_cc_op) ~dep1:(gs GA.off_cc_dep1)
+        ~dep2:(gs GA.off_cc_dep2) ~ndep:(gs GA.off_cc_ndep);
+    o_mem = hash_mem s.Vg_core.Session.mem img;
+    o_stdout = Vg_core.Session.client_stdout s;
+    o_icnt = tot.n_instrs;
+    o_tool = Vg_core.Session.tool_output s;
+  }
+
 (** One full session run under the witness tool. *)
 let run_session ?(verify = false) (v : variant) (img : Guest.Image.t) :
     outcome =
@@ -254,30 +284,9 @@ let run_session ?(verify = false) (v : variant) (img : Guest.Image.t) :
   in
   let s = Vg_core.Session.create ~options ~tool img in
   let er = Vg_core.Session.run s in
-  let th =
-    match Vg_core.Threads.find s.Vg_core.Session.threads 1 with
-    | Some th -> th
-    | None -> failwith "vgfuzz: main thread vanished"
-  in
-  let threads = s.Vg_core.Session.threads in
-  let gs off = Vg_core.Threads.get_state threads th ~off ~size:4 in
-  {
-    o_engine = v.v_name ^ (if v.v_degrade then "+degrade" else "");
-    o_exit =
-      (match er with
-      | Vg_core.Session.Exited n -> Exit n
-      | Vg_core.Session.Fatal_signal s -> Signal s
-      | Vg_core.Session.Out_of_fuel -> Fuel);
-    o_regs = Array.init GA.n_regs (fun r -> gs (GA.off_reg r));
-    o_eip = gs GA.off_eip;
-    o_flags =
-      Guest.Flags.calculate ~op:(gs GA.off_cc_op) ~dep1:(gs GA.off_cc_dep1)
-        ~dep2:(gs GA.off_cc_dep2) ~ndep:(gs GA.off_cc_ndep);
-    o_mem = hash_mem s.Vg_core.Session.mem img;
-    o_stdout = Vg_core.Session.client_stdout s;
-    o_icnt = tot.n_instrs;
-    o_tool = Vg_core.Session.tool_output s;
-  }
+  outcome_of_session
+    ~name:(v.v_name ^ if v.v_degrade then "+degrade" else "")
+    ~tot s er img
 
 (* --- comparison ------------------------------------------------------ *)
 
@@ -291,6 +300,56 @@ type divergence = {
 let pp_divergence d =
   Printf.sprintf "[%s] %s: reference=%s got=%s" d.dv_engine d.dv_field
     d.dv_ref d.dv_got
+
+(** The sixth way: record the plain jit-c1 run, then re-execute it
+    purely from the log — the kernel never runs, every syscall result
+    and signal delivery comes off the event stream — and compare the
+    replayed outcome like any other engine.  Trailer-digest mismatches
+    are reported as their own divergences. *)
+let run_replayed (img : Guest.Image.t) : outcome * divergence list =
+  let tool, _tot = witness_tool () in
+  let rec_ = Replay.recorder () in
+  let options =
+    {
+      Vg_core.Session.default_options with
+      max_blocks = session_fuel;
+      transtab_capacity = 256;
+      rr = Replay.Record rec_;
+    }
+  in
+  let s = Vg_core.Session.create ~options ~tool img in
+  ignore (Vg_core.Session.run s);
+  let tool2, tot2 = witness_tool () in
+  let p = Replay.player_of_string (Replay.to_string rec_) in
+  let options2 = { options with rr = Replay.Replay p } in
+  let s2 = Vg_core.Session.create ~options:options2 ~tool:tool2 img in
+  let er, diverged =
+    try (Vg_core.Session.run s2, None)
+    with Replay.Divergence _ as e -> (Vg_core.Session.Exited 255, Some e)
+  in
+  let ds =
+    match diverged with
+    | Some e ->
+        [
+          {
+            dv_engine = "jit-replay";
+            dv_field = "replay";
+            dv_ref = "bit-identical re-execution";
+            dv_got = Printexc.to_string e;
+          };
+        ]
+    | None ->
+        List.map
+          (fun (k, want, got) ->
+            {
+              dv_engine = "jit-replay";
+              dv_field = "digest:" ^ k;
+              dv_ref = want;
+              dv_got = got;
+            })
+          (Vg_core.Session.replay_mismatches s2)
+  in
+  (outcome_of_session ~name:"jit-replay" ~tot:tot2 s2 er img, ds)
 
 (** Compare a session outcome against the native reference. *)
 let against_native ~(ref_ : outcome) (o : outcome) : divergence list =
@@ -349,4 +408,7 @@ let check ?(verify = true) (img : Guest.Image.t) : divergence list =
       (fun v -> run_session ~verify:(verify && v.v_name = "jit-c1") v img)
       variants
   in
-  List.concat_map (against_native ~ref_) sessions @ tool_agreement sessions
+  let replayed, replay_ds = run_replayed img in
+  let sessions = sessions @ [ replayed ] in
+  List.concat_map (against_native ~ref_) sessions
+  @ tool_agreement sessions @ replay_ds

@@ -87,6 +87,19 @@ let tool : Vg_core.Tool.t =
             b.stmts;
           nb
         in
+        let snapshot, restore =
+          Vg_core.Tool.marshal_pair
+            ~save:(fun () ->
+              ( st.trace, st.n_loads, st.n_stores, st.n_instrs, st.keep_trace,
+                st.limit ))
+            ~load:(fun (trace, loads, stores, instrs, keep, limit) ->
+              st.trace <- trace;
+              st.n_loads <- loads;
+              st.n_stores <- stores;
+              st.n_instrs <- instrs;
+              st.keep_trace <- keep;
+              st.limit <- limit)
+        in
         {
           instrument;
           fini =
@@ -96,5 +109,7 @@ let tool : Vg_core.Tool.t =
                    "==lackey== instructions: %Ld  loads: %Ld  stores: %Ld\n"
                    st.n_instrs st.n_loads st.n_stores));
           client_request = (fun ~code:_ ~args:_ -> None);
+          snapshot;
+          restore;
         });
   }

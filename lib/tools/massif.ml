@@ -107,14 +107,44 @@ let tool : Vg_core.Tool.t =
             | None -> ());
             note_alloc st naddr size;
             set_result naddr);
+        let snapshot, restore =
+          Vg_core.Tool.marshal_pair
+            ~save:(fun () ->
+              ( st.live, st.sites, st.cur_bytes, st.peak_bytes, st.n_allocs,
+                st.snapshots, st.snapshot_every ))
+            ~load:(fun (live, sites, cur, peak, n, snaps, every) ->
+              Hashtbl.reset st.live;
+              Hashtbl.iter (Hashtbl.replace st.live) live;
+              Hashtbl.reset st.sites;
+              Hashtbl.iter (Hashtbl.replace st.sites) sites;
+              st.cur_bytes <- cur;
+              st.peak_bytes <- peak;
+              st.n_allocs <- n;
+              st.snapshots <- snaps;
+              st.snapshot_every <- every)
+        in
         {
           instrument = (fun b -> b);
           fini =
             (fun ~exit_code:_ ->
+              (* allocations since the last periodic snapshot would
+                 otherwise be invisible in the timeline: take a closing
+                 snapshot unless one just fired on the final ordinal *)
+              if st.n_allocs mod st.snapshot_every <> 0 then
+                st.snapshots <- (st.n_allocs, st.cur_bytes) :: st.snapshots;
               caps.output
                 (Printf.sprintf
                    "==massif== peak heap: %Ld bytes; %d allocations; live at exit: %Ld bytes\n"
                    st.peak_bytes st.n_allocs st.cur_bytes);
+              (match List.rev st.snapshots with
+              | [] -> ()
+              | timeline ->
+                  caps.output "==massif== heap timeline (allocs: live bytes):\n";
+                  List.iter
+                    (fun (n, bytes) ->
+                      caps.output
+                        (Printf.sprintf "==massif==   %6d: %Ld\n" n bytes))
+                    timeline);
               let top =
                 Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.sites []
                 |> List.sort (fun (_, a) (_, b) -> compare b.s_bytes a.s_bytes)
@@ -133,5 +163,7 @@ let tool : Vg_core.Tool.t =
                        s.s_bytes s.s_blocks where))
                 top);
           client_request = (fun ~code:_ ~args:_ -> None);
+          snapshot;
+          restore;
         });
   }

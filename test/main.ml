@@ -24,4 +24,5 @@ let () =
       ("caa", Test_caa.tests);
       ("workloads", Test_workloads.tests);
       ("fuzz", Test_fuzz.tests);
+      ("replay", Test_replay.tests);
     ]
